@@ -1,0 +1,66 @@
+//! Criterion benches of migration planning and of a complete in-dataflow
+//! migration (the end-to-end cost of moving all bins between two workers on a
+//! small word-count computation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use megaphone::prelude::*;
+use timelite::prelude::*;
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_migration");
+    let current = balanced_assignment(4096, 4);
+    let target = imbalanced_assignment(4096, 4);
+    for strategy in
+        [MigrationStrategy::AllAtOnce, MigrationStrategy::Fluid, MigrationStrategy::Batched(64), MigrationStrategy::Optimized]
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &strategy| b.iter(|| plan_migration(strategy, black_box(&current), black_box(&target)).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_migration(c: &mut Criterion) {
+    c.bench_function("migrate_all_bins_single_worker", |b| {
+        b.iter(|| {
+            timelite::execute_single(|worker| {
+                let config = MegaphoneConfig::new(6);
+                let (mut control, mut data, output) = worker.dataflow::<u64, _, _>(|scope| {
+                    let (control_input, control) = scope.new_input::<ControlInst>();
+                    let (data_input, data) = scope.new_input::<(u64, u64)>();
+                    let output = state_machine::<_, u64, u64, u64, u64, _>(
+                        config,
+                        &control,
+                        &data,
+                        "Count",
+                        |_key, value, state| {
+                            *state += value;
+                            (false, vec![*state])
+                        },
+                    );
+                    (control_input, data_input, output)
+                });
+                for key in 0..512u64 {
+                    data.send((key, 1));
+                }
+                control.advance_to(1);
+                data.advance_to(1);
+                worker.step_while(|| output.probe.less_than(&1));
+                // "Migrate" every bin (to the same, single worker: full extract +
+                // encode + install round trip through the dataflow channels).
+                control.send(ControlInst::Map(vec![0; config.bins()]));
+                control.advance_to(2);
+                data.advance_to(2);
+                worker.step_while(|| output.probe.less_than(&2));
+                drop(control);
+                drop(data);
+                worker.step_until_complete();
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_planning, bench_end_to_end_migration);
+criterion_main!(benches);

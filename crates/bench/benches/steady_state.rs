@@ -1,0 +1,57 @@
+//! Criterion benches of the steady-state cost of Megaphone's mechanisms:
+//! key-to-bin mapping, routed fold application, and state encoding. These are
+//! the per-record costs behind the overhead experiment (Figures 13–15).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use megaphone::prelude::*;
+use megaphone::Bin;
+use timelite::hashing::{hash_code, FxHashMap};
+
+fn bench_key_to_bin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_to_bin");
+    for shift in [4u32, 12, 20] {
+        let config = MegaphoneConfig::new(shift);
+        group.bench_with_input(BenchmarkId::from_parameter(shift), &config, |b, config| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(0x9e37_79b9);
+                config.key_to_bin(hash_code(&black_box(key)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_state_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_count_update");
+    for keys in [1_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, &keys| {
+            let mut state: FxHashMap<u64, u64> = FxHashMap::default();
+            let mut key = 0u64;
+            b.iter(|| {
+                key = (key + 1) % keys;
+                let count = state.entry(black_box(key)).or_insert(0);
+                *count += 1;
+                *count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bin_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_encode");
+    for keys in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, &keys| {
+            let bin: Bin<u64, FxHashMap<u64, u64>, (u64, u64)> = Bin {
+                state: (0..keys as u64).map(|k| (k, k * 7)).collect(),
+                pending: Vec::new(),
+            };
+            b.iter(|| black_box(&bin).encode_to_vec().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_to_bin, bench_state_update, bench_bin_encode);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 1: the headline comparison of all-at-once, fluid and optimized
+//! migration strategies on the key-count workload.
+
+use megaphone::prelude::MigrationStrategy;
+use mp_bench::args::Args;
+use mp_bench::keycount::{run, Params};
+use mp_harness::{migration_rows, nanos_to_millis, timeline_rows, MigrationSummary};
+
+fn main() {
+    let args = Args::from_env();
+    let params = Params {
+        workers: args.get("workers", 4),
+        bin_shift: args.get("bin-shift", 8),
+        domain: args.get("domain", 1u64 << 21),
+        rate: args.get("rate", 200_000),
+        runtime_ms: args.get("runtime-ms", 6_000),
+        migrate_at_ms: args.get("migrate-at-ms", 2_000),
+        hash_state: false,
+        epoch_ms: args.get("epoch-ms", 50),
+        strategy: None,
+    };
+    println!("# Figure 1: service latency during a large migration");
+    println!("# domain={} rate={}/s workers={} bins=2^{}", params.domain, params.rate, params.workers, params.bin_shift);
+    let mut summaries = Vec::new();
+    for strategy in [
+        MigrationStrategy::AllAtOnce,
+        MigrationStrategy::Fluid,
+        MigrationStrategy::Optimized,
+    ] {
+        let result = run(Params { strategy: Some(strategy), ..params });
+        println!("\n## {} migration", strategy.name());
+        println!("{}", timeline_rows(&result.points));
+        if let Some((duration, max_latency)) = result.migration {
+            println!(
+                "migration duration: {:.3}s   max latency during migration: {:.1} ms   steady-state max: {:.1} ms",
+                duration as f64 / 1e9,
+                nanos_to_millis(max_latency),
+                nanos_to_millis(result.steady_max)
+            );
+            summaries.push(MigrationSummary {
+                strategy: strategy.name().to_string(),
+                label: format!("2^{}", params.bin_shift),
+                duration_nanos: duration,
+                max_latency_nanos: max_latency,
+            });
+        }
+    }
+    println!("\n## Summary");
+    println!("{}", migration_rows(&summaries));
+}

@@ -1,0 +1,40 @@
+//! Figure 20: resident set size over time for each migration strategy.
+
+use megaphone::prelude::MigrationStrategy;
+use mp_bench::args::Args;
+use mp_bench::keycount::{run, Params};
+use mp_harness::format_bytes;
+
+fn main() {
+    let args = Args::from_env();
+    let base = Params {
+        workers: args.get("workers", 4),
+        bin_shift: args.get("bin-shift", 8),
+        domain: args.get("domain", 1u64 << 22),
+        rate: args.get("rate", 200_000),
+        runtime_ms: args.get("runtime-ms", 6_000),
+        migrate_at_ms: args.get("migrate-at-ms", 2_000),
+        strategy: None,
+        hash_state: true,
+        epoch_ms: args.get("epoch-ms", 50),
+    };
+    println!("# Memory consumption over time per migration strategy (hash-count)");
+    println!("# domain={} rate={}/s workers={}", base.domain, base.rate, base.workers);
+    for strategy in [
+        MigrationStrategy::Batched(16),
+        MigrationStrategy::Fluid,
+        MigrationStrategy::AllAtOnce,
+    ] {
+        let result = run(Params { strategy: Some(strategy), ..base });
+        println!("\n## {} migration — RSS over time", strategy.name());
+        println!("{:>10} {:>14}", "time[s]", "rss");
+        for sample in result.memory.samples() {
+            println!(
+                "{:>10.2} {:>14}",
+                sample.at_nanos as f64 / 1e9,
+                format_bytes(sample.rss_bytes)
+            );
+        }
+        println!("peak RSS: {}", format_bytes(result.memory.peak_rss()));
+    }
+}

@@ -1,0 +1,61 @@
+//! Figures 16–18: migration maximum latency versus duration, sweeping the
+//! number of bins (Fig. 16), the number of keys (Fig. 17), or both
+//! proportionally so the state per bin stays constant (Fig. 18).
+
+use megaphone::prelude::MigrationStrategy;
+use mp_bench::args::Args;
+use mp_bench::keycount::{run, Params};
+use mp_harness::{migration_rows, MigrationSummary};
+
+fn main() {
+    let args = Args::from_env();
+    let sweep = args.get_str("sweep").unwrap_or("bins").to_string();
+    let base = Params {
+        workers: args.get("workers", 4),
+        bin_shift: 8,
+        domain: args.get("domain", 1u64 << 21),
+        rate: args.get("rate", 150_000),
+        runtime_ms: args.get("runtime-ms", 4_000),
+        migrate_at_ms: args.get("migrate-at-ms", 1_500),
+        strategy: None,
+        hash_state: false,
+        epoch_ms: args.get("epoch-ms", 50),
+    };
+    // (label, bin_shift, domain) configurations for the requested sweep.
+    let configs: Vec<(String, u32, u64)> = match sweep.as_str() {
+        "bins" => vec![4u32, 6, 8, 10]
+            .into_iter()
+            .map(|shift| (format!("bins=2^{shift}"), shift, base.domain))
+            .collect(),
+        "domain" => vec![19u32, 20, 21, 22]
+            .into_iter()
+            .map(|log| (format!("keys=2^{log}"), base.bin_shift, 1u64 << log))
+            .collect(),
+        "proportional" => vec![(6u32, 19u32), (7, 20), (8, 21), (9, 22)]
+            .into_iter()
+            .map(|(shift, log)| (format!("bins=2^{shift},keys=2^{log}"), shift, 1u64 << log))
+            .collect(),
+        other => panic!("unknown sweep {other}; use bins, domain or proportional"),
+    };
+    println!("# Migration latency vs duration sweep: {sweep}");
+    println!("# rate={}/s workers={} (key-count variant)", base.rate, base.workers);
+    let mut rows = Vec::new();
+    for (label, bin_shift, domain) in configs {
+        for strategy in [
+            MigrationStrategy::AllAtOnce,
+            MigrationStrategy::Fluid,
+            MigrationStrategy::Batched(16),
+        ] {
+            let result = run(Params { bin_shift, domain, strategy: Some(strategy), ..base });
+            if let Some((duration, max_latency)) = result.migration {
+                rows.push(MigrationSummary {
+                    strategy: strategy.name().to_string(),
+                    label: label.clone(),
+                    duration_nanos: duration,
+                    max_latency_nanos: max_latency,
+                });
+            }
+        }
+    }
+    println!("{}", migration_rows(&rows));
+}

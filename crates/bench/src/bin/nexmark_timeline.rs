@@ -1,0 +1,40 @@
+//! Figures 5–12: NEXMark query latency timelines with a re-balancing migration,
+//! comparing the all-at-once and batched strategies (and optionally the native
+//! implementation, as in Figure 7b).
+
+use megaphone::prelude::MigrationStrategy;
+use mp_bench::args::Args;
+use mp_bench::nexmark_run::{run, Params};
+use mp_harness::timeline_rows;
+
+fn main() {
+    let args = Args::from_env();
+    let query: &'static str =
+        Box::leak(args.get_str("query").unwrap_or("q3").to_string().into_boxed_str());
+    let base = Params {
+        query,
+        native: args.has("native"),
+        workers: args.get("workers", 4),
+        bin_shift: args.get("bin-shift", 8),
+        rate: args.get("rate", 100_000),
+        runtime_ms: args.get("runtime-ms", 6_000),
+        migrate_at_ms: args.get("migrate-at-ms", 3_000),
+        epoch_ms: args.get("epoch-ms", 50),
+        strategy: None,
+    };
+    println!("# NEXMark {} latency timeline (migration at {} ms)", query, base.migrate_at_ms);
+    println!("# rate={}/s workers={} bins=2^{} native={}", base.rate, base.workers, base.bin_shift, base.native);
+    if base.native {
+        let result = run(base);
+        println!("\n## native implementation");
+        println!("{}", timeline_rows(&result.points));
+        println!("output rows (worker 0): {}", result.output_rows);
+        return;
+    }
+    for strategy in [MigrationStrategy::AllAtOnce, MigrationStrategy::Batched(16)] {
+        let result = run(Params { strategy: Some(strategy), ..base });
+        println!("\n## {} migration", strategy.name());
+        println!("{}", timeline_rows(&result.points));
+        println!("output rows (worker 0): {}", result.output_rows);
+    }
+}

@@ -1,0 +1,42 @@
+//! Figures 13–15: steady-state overhead of the migrateable interface as the
+//! number of bins grows, reported as per-record latency CCDFs and percentile
+//! tables, for the hash-count and key-count variants.
+
+use mp_bench::args::Args;
+use mp_bench::keycount::{run, Params};
+use mp_harness::{ccdf_rows, percentile_table};
+
+fn main() {
+    let args = Args::from_env();
+    let variant = args.get_str("variant").unwrap_or("key").to_string();
+    let large = args.has("large-domain");
+    let domain = if large { args.get("domain", 1u64 << 23) } else { args.get("domain", 1u64 << 21) };
+    let shifts: Vec<u32> = args
+        .get_str("bin-shifts")
+        .map(|list| list.split(',').filter_map(|value| value.parse().ok()).collect())
+        .unwrap_or_else(|| vec![4, 6, 8, 10, 12]);
+    let base = Params {
+        workers: args.get("workers", 4),
+        domain,
+        rate: args.get("rate", 200_000),
+        runtime_ms: args.get("runtime-ms", 3_000),
+        migrate_at_ms: u64::MAX,
+        strategy: None,
+        hash_state: variant == "hash",
+        epoch_ms: args.get("epoch-ms", 50),
+        bin_shift: 8,
+    };
+    println!(
+        "# {}-count overhead experiment: {} keys, {} records/s (no migration)",
+        variant, domain, base.rate
+    );
+    let mut table = Vec::new();
+    for shift in shifts {
+        let result = run(Params { bin_shift: shift, ..base });
+        println!("\n## bins = 2^{shift} — CCDF (latency_ms, fraction above)");
+        println!("{}", ccdf_rows(&result.overall));
+        table.push((format!("{shift}"), result.overall));
+    }
+    println!("\n## Selected percentiles [ms] (rows are log2 bin counts)");
+    println!("{}", percentile_table(&table));
+}

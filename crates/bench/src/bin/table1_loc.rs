@@ -1,0 +1,34 @@
+//! Table 1: lines of code of the NEXMark query implementations, native versus
+//! Megaphone, counted from this repository's sources.
+
+use std::path::Path;
+
+fn count_lines(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|contents| {
+            contents
+                .lines()
+                .filter(|line| {
+                    let trimmed = line.trim();
+                    !trimmed.is_empty() && !trimmed.starts_with("//")
+                })
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../nexmark/src/queries");
+    println!("# Table 1: NEXMark query implementations, lines of code (excluding comments/blank)");
+    println!("{:<12} {:>10} {:>10}", "Query", "Native", "Megaphone");
+    let mut native_total = 0;
+    let mut megaphone_total = 0;
+    for query in 1..=8 {
+        let native = count_lines(&root.join(format!("native/q{query}.rs")));
+        let megaphone = count_lines(&root.join(format!("q{query}.rs")));
+        native_total += native;
+        megaphone_total += megaphone;
+        println!("{:<12} {:>10} {:>10}", format!("Q{query}"), native, megaphone);
+    }
+    println!("{:<12} {:>10} {:>10}", "Total", native_total, megaphone_total);
+}

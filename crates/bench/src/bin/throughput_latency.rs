@@ -1,0 +1,45 @@
+//! Figure 19: offered load versus maximum latency for each migration strategy
+//! (and the non-migrating baseline).
+
+use megaphone::prelude::MigrationStrategy;
+use mp_bench::args::Args;
+use mp_bench::keycount::{run, Params};
+use mp_harness::nanos_to_millis;
+
+fn main() {
+    let args = Args::from_env();
+    let base = Params {
+        workers: args.get("workers", 4),
+        bin_shift: args.get("bin-shift", 8),
+        domain: args.get("domain", 1u64 << 21),
+        rate: 0,
+        runtime_ms: args.get("runtime-ms", 3_000),
+        migrate_at_ms: args.get("migrate-at-ms", 1_000),
+        strategy: None,
+        hash_state: false,
+        epoch_ms: args.get("epoch-ms", 50),
+    };
+    let rates: Vec<u64> = args
+        .get_str("rates")
+        .map(|list| list.split(',').filter_map(|value| value.parse().ok()).collect())
+        .unwrap_or_else(|| vec![50_000, 100_000, 200_000, 400_000, 800_000]);
+    println!("# Offered load vs max latency (key-count, migration at {} ms)", base.migrate_at_ms);
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>16}",
+        "rate[r/s]", "all-at-once", "batched", "fluid", "non-migrating"
+    );
+    for rate in rates {
+        let mut row = vec![format!("{rate:>12}")];
+        for strategy in
+            [Some(MigrationStrategy::AllAtOnce), Some(MigrationStrategy::Batched(16)), Some(MigrationStrategy::Fluid), None]
+        {
+            let result = run(Params { rate, strategy, ..base });
+            let max = match (strategy, result.migration) {
+                (Some(_), Some((_, max_latency))) => max_latency,
+                _ => result.steady_max,
+            };
+            row.push(format!("{:>14.1}", nanos_to_millis(max)));
+        }
+        println!("{}", row.join(" "));
+    }
+}

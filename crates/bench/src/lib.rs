@@ -1,0 +1,469 @@
+//! Shared experiment runners for the Megaphone reproduction.
+//!
+//! The binaries in `src/bin/` (one per table/figure of the paper's evaluation)
+//! parse parameters and delegate to the two workhorse functions in this crate:
+//!
+//! * [`keycount::run`] — the counting micro-benchmark of Sections 5.2 and 5.3
+//!   (Figures 1 and 13–20): an open-loop stream of random 64-bit keys whose
+//!   per-key counts are maintained in a migrateable operator, with an optional
+//!   migration driven mid-run.
+//! * [`nexmark_run::run`] — the NEXMark experiments of Section 5.1 (Figures
+//!   5–12): one of the eight queries under open-loop load, with a rebalancing
+//!   migration at a configurable time, in either the Megaphone or the native
+//!   implementation.
+
+pub mod keycount {
+    //! The counting micro-benchmark (hash-count and key-count variants).
+
+    use megaphone::prelude::*;
+    use mp_harness::{Clock, EpochDriver, LatencyHistogram, LatencyTimeline, MemorySeries, TimelinePoint};
+    use timelite::hashing::{hash_code, FxHashMap};
+    use timelite::prelude::*;
+
+    /// Parameters of one key-count run.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// Number of worker threads.
+        pub workers: usize,
+        /// Base-2 logarithm of the bin count.
+        pub bin_shift: u32,
+        /// Number of distinct keys.
+        pub domain: u64,
+        /// Offered load in records per second (across all workers).
+        pub rate: u64,
+        /// Total run time in milliseconds.
+        pub runtime_ms: u64,
+        /// Time at which the migration (if any) starts, in milliseconds.
+        pub migrate_at_ms: u64,
+        /// Migration strategy, or `None` to never migrate.
+        pub strategy: Option<MigrationStrategy>,
+        /// Use hash-map bins ("hash count") instead of dense vectors ("key count").
+        pub hash_state: bool,
+        /// Epoch (logical timestamp) granularity in milliseconds.
+        pub epoch_ms: u64,
+    }
+
+    impl Default for Params {
+        fn default() -> Self {
+            Params {
+                workers: 4,
+                bin_shift: 8,
+                domain: 1 << 20,
+                rate: 200_000,
+                runtime_ms: 4_000,
+                migrate_at_ms: 2_000,
+                strategy: None,
+                hash_state: false,
+                epoch_ms: 50,
+            }
+        }
+    }
+
+    /// The measurements of one key-count run.
+    #[derive(Clone, Debug)]
+    pub struct RunResult {
+        /// Per-interval latency timeline.
+        pub points: Vec<TimelinePoint>,
+        /// Histogram over all epoch latencies.
+        pub overall: LatencyHistogram,
+        /// `(duration, max latency)` of the migration, in nanoseconds, if one ran.
+        pub migration: Option<(u64, u64)>,
+        /// Maximum latency outside the migration window (steady state).
+        pub steady_max: u64,
+        /// Memory samples over the run (worker 0's process RSS).
+        pub memory: MemorySeries,
+        /// Total records sent by worker 0.
+        pub records: u64,
+    }
+
+    /// Runs the key-count micro-benchmark with `params`.
+    pub fn run(params: Params) -> RunResult {
+        let results = timelite::execute(Config::process(params.workers), move |worker| {
+            let index = worker.index();
+            let peers = worker.peers();
+            let config = MegaphoneConfig::new(params.bin_shift);
+
+            let (mut control, mut input, output) = worker.dataflow::<u64, _, _>(|scope| {
+                let (control_input, control) = scope.new_input::<ControlInst>();
+                let (data_input, data) = scope.new_input::<u64>();
+                let output = if params.hash_state {
+                    stateful_unary::<_, u64, FxHashMap<u64, u64>, u64, _, _>(
+                        config,
+                        &control,
+                        &data,
+                        "HashCount",
+                        |key| hash_code(key),
+                        |_time, records, state, _notificator| {
+                            let mut outputs = Vec::with_capacity(records.len());
+                            for key in records {
+                                let count = state.entry(key).or_insert(0);
+                                *count += 1;
+                                outputs.push(*count);
+                            }
+                            outputs
+                        },
+                    )
+                } else {
+                    let shift = params.bin_shift;
+                    stateful_unary::<_, u64, Vec<u64>, u64, _, _>(
+                        config,
+                        &control,
+                        &data,
+                        "KeyCount",
+                        // Bin by the low bits of the key (reversed into the top
+                        // bits) so that each bin holds a dense, contiguous slice
+                        // of the key space.
+                        |key| key.reverse_bits(),
+                        move |_time, records, state, _notificator| {
+                            let mut outputs = Vec::with_capacity(records.len());
+                            for key in records {
+                                let offset = (key >> shift) as usize;
+                                if state.len() <= offset {
+                                    state.resize(offset + 1, 0);
+                                }
+                                state[offset] += 1;
+                                outputs.push(state[offset]);
+                            }
+                            outputs
+                        },
+                    )
+                };
+                (control_input, data_input, output)
+            });
+
+            // Migration plan: balanced -> imbalanced (a quarter of the bins move).
+            let plan = params.strategy.map(|strategy| {
+                plan_migration(
+                    strategy,
+                    &balanced_assignment(config.bins(), peers),
+                    &imbalanced_assignment(config.bins(), peers),
+                )
+            });
+            let mut controller = plan.map(|plan| MigrationController::<u64>::new(plan, false));
+
+            let clock = Clock::start();
+            let epoch_nanos = params.epoch_ms * 1_000_000;
+            let mut driver = EpochDriver::new(params.rate, epoch_nanos);
+            let mut timeline = LatencyTimeline::new();
+            let mut memory = MemorySeries::new();
+            let total_epochs = params.runtime_ms / params.epoch_ms;
+            let migrate_epoch = params.migrate_at_ms / params.epoch_ms;
+            let mut rng = 0x2545_f491_4f6c_dd1du64 ^ ((index as u64) << 32);
+            let mut current_epoch = 0u64;
+            let mut completed_epoch = 0u64;
+            let mut records_sent = 0u64;
+            let mut migration_started: Option<u64> = None;
+            let mut migration_finished: Option<u64> = None;
+
+            while current_epoch < total_epochs || completed_epoch < current_epoch {
+                let elapsed = clock.elapsed_nanos();
+                for epoch in driver.due_epochs(elapsed) {
+                    if epoch >= total_epochs {
+                        continue;
+                    }
+                    if index == 0 && epoch >= migrate_epoch {
+                        if let Some(controller) = controller.as_mut() {
+                            if !controller.is_complete() {
+                                let _ = controller.advance(&output.probe, &mut control);
+                                if controller.issued_steps() > 0 && migration_started.is_none() {
+                                    migration_started = Some(elapsed);
+                                }
+                            } else if migration_started.is_some() && migration_finished.is_none() {
+                                migration_finished = Some(elapsed);
+                            }
+                        }
+                    }
+                    let quota = driver.records_for(epoch, index, peers);
+                    for _ in 0..quota {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        input.send(rng % params.domain);
+                        records_sent += 1;
+                    }
+                    // Keep the control epoch ahead of the data epoch so that
+                    // records are never buffered waiting for configuration.
+                    control.advance_to(epoch + 2);
+                    input.advance_to(epoch + 1);
+                    current_epoch = epoch + 1;
+                }
+                if !worker.step() {
+                    std::thread::yield_now();
+                }
+                let now = clock.elapsed_nanos();
+                while completed_epoch < current_epoch
+                    && !output.probe.less_than(&(completed_epoch + 1))
+                {
+                    let latency = driver.epoch_latency(completed_epoch, now);
+                    timeline.record(now, latency);
+                    completed_epoch += 1;
+                }
+                if index == 0
+                    && memory
+                        .samples()
+                        .last()
+                        .map_or(true, |sample| now - sample.at_nanos > 100_000_000)
+                {
+                    memory.sample(now, 0);
+                }
+            }
+
+            drop(control);
+            drop(input);
+            worker.step_until_complete();
+
+            if index == 0 {
+                let (points, overall) = timeline.finish();
+                let migration_window = match (migration_started, migration_finished) {
+                    (Some(start), Some(end)) => Some((start, end)),
+                    (Some(start), None) => Some((start, clock.elapsed_nanos())),
+                    _ => None,
+                };
+                let migration = migration_window.map(|(start, end)| {
+                    let max = points
+                        .iter()
+                        .filter(|p| p.at_nanos + 250_000_000 > start && p.at_nanos < end + epoch_nanos)
+                        .map(|p| p.max)
+                        .max()
+                        .unwrap_or(0);
+                    (end - start, max)
+                });
+                let steady_max = points
+                    .iter()
+                    .filter(|p| match migration_window {
+                        Some((start, end)) => {
+                            p.at_nanos + 250_000_000 <= start || p.at_nanos >= end + epoch_nanos
+                        }
+                        None => true,
+                    })
+                    .map(|p| p.max)
+                    .max()
+                    .unwrap_or(0);
+                Some(RunResult {
+                    points,
+                    overall,
+                    migration,
+                    steady_max,
+                    memory,
+                    records: records_sent,
+                })
+            } else {
+                None
+            }
+        });
+        results
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("worker 0 must report a result")
+    }
+}
+
+pub mod nexmark_run {
+    //! NEXMark queries under open-loop load with a mid-run rebalancing migration.
+
+    use megaphone::prelude::*;
+    use mp_harness::{Clock, EpochDriver, LatencyHistogram, LatencyTimeline, TimelinePoint};
+    use nexmark::{build_native_query, build_query, NexmarkConfig, NexmarkGenerator};
+    use timelite::prelude::*;
+
+    /// Parameters of one NEXMark run.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// The query to run ("q1" … "q8").
+        pub query: &'static str,
+        /// Run the native (non-migrateable) implementation instead of Megaphone's.
+        pub native: bool,
+        /// Number of worker threads.
+        pub workers: usize,
+        /// Base-2 logarithm of the bin count (the paper uses 12).
+        pub bin_shift: u32,
+        /// Offered load in events per second.
+        pub rate: u64,
+        /// Total run time in milliseconds.
+        pub runtime_ms: u64,
+        /// Time of the (re-balancing) migration, in milliseconds.
+        pub migrate_at_ms: u64,
+        /// Migration strategy (ignored for native runs).
+        pub strategy: Option<MigrationStrategy>,
+        /// Epoch granularity in milliseconds.
+        pub epoch_ms: u64,
+    }
+
+    impl Default for Params {
+        fn default() -> Self {
+            Params {
+                query: "q3",
+                native: false,
+                workers: 4,
+                bin_shift: 8,
+                rate: 100_000,
+                runtime_ms: 4_000,
+                migrate_at_ms: 2_000,
+                strategy: Some(MigrationStrategy::Batched(16)),
+                epoch_ms: 50,
+            }
+        }
+    }
+
+    /// The measurements of one NEXMark run.
+    #[derive(Clone, Debug)]
+    pub struct RunResult {
+        /// Per-interval latency timeline.
+        pub points: Vec<TimelinePoint>,
+        /// Histogram over all epoch latencies.
+        pub overall: LatencyHistogram,
+        /// Result rows observed by worker 0.
+        pub output_rows: u64,
+    }
+
+    /// Runs the configured NEXMark experiment.
+    pub fn run(params: Params) -> RunResult {
+        let results = timelite::execute(Config::process(params.workers), move |worker| {
+            let index = worker.index();
+            let peers = worker.peers();
+            let config = MegaphoneConfig::new(params.bin_shift);
+
+            let (mut control, mut input, output, rows) = worker.dataflow::<u64, _, _>(|scope| {
+                let (control_input, control) = scope.new_input::<ControlInst>();
+                let (event_input, events) = scope.new_input::<nexmark::Event>();
+                let rows = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+                let rows_inner = rows.clone();
+                let output = if params.native {
+                    build_native_query(params.query, &events)
+                } else {
+                    build_query(params.query, config, &control, &events)
+                };
+                output.stream.inspect(move |_t, _row| *rows_inner.borrow_mut() += 1);
+                (control_input, event_input, output, rows)
+            });
+
+            let plan = (!params.native)
+                .then_some(params.strategy)
+                .flatten()
+                .map(|strategy| {
+                    plan_migration(
+                        strategy,
+                        &balanced_assignment(config.bins(), peers),
+                        &imbalanced_assignment(config.bins(), peers),
+                    )
+                });
+            let mut controller = plan.map(|plan| MigrationController::<u64>::new(plan, false));
+
+            let generator = NexmarkGenerator::new(NexmarkConfig::with_rate(params.rate));
+            let clock = Clock::start();
+            let epoch_nanos = params.epoch_ms * 1_000_000;
+            let mut driver = EpochDriver::new(params.rate, epoch_nanos);
+            let mut timeline = LatencyTimeline::new();
+            let total_epochs = params.runtime_ms / params.epoch_ms;
+            let migrate_epoch = params.migrate_at_ms / params.epoch_ms;
+            let mut current_epoch = 0u64;
+            let mut completed_epoch = 0u64;
+
+            while current_epoch < total_epochs || completed_epoch < current_epoch {
+                let elapsed = clock.elapsed_nanos();
+                for epoch in driver.due_epochs(elapsed) {
+                    if epoch >= total_epochs {
+                        continue;
+                    }
+                    if index == 0 && epoch >= migrate_epoch {
+                        if let Some(controller) = controller.as_mut() {
+                            let _ = controller.advance(&output.probe, &mut control);
+                        }
+                    }
+                    // The event stream is partitioned round-robin across workers.
+                    let per_epoch = params.rate * params.epoch_ms / 1_000;
+                    let start = epoch * per_epoch;
+                    let end = start + per_epoch;
+                    let mut event_index = start + index as u64;
+                    while event_index < end {
+                        input.send(generator.event(event_index));
+                        event_index += peers as u64;
+                    }
+                    // Logical time is event time in milliseconds.
+                    let next_ms = (epoch + 1) * params.epoch_ms;
+                    control.advance_to(next_ms + params.epoch_ms);
+                    input.advance_to(next_ms);
+                    current_epoch = epoch + 1;
+                }
+                if !worker.step() {
+                    std::thread::yield_now();
+                }
+                let now = clock.elapsed_nanos();
+                while completed_epoch < current_epoch
+                    && !output.probe.less_than(&((completed_epoch + 1) * params.epoch_ms))
+                {
+                    let latency = driver.epoch_latency(completed_epoch, now);
+                    timeline.record(now, latency);
+                    completed_epoch += 1;
+                }
+            }
+
+            drop(control);
+            drop(input);
+            worker.step_until_complete();
+
+            if index == 0 {
+                let (points, overall) = timeline.finish();
+                let count = *rows.borrow();
+                Some(RunResult { points, overall, output_rows: count })
+            } else {
+                None
+            }
+        });
+        results
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("worker 0 must report a result")
+    }
+}
+
+/// Minimal command-line flag parsing for the experiment drivers:
+/// `--flag value` pairs plus boolean `--flag` switches.
+pub mod args {
+    use std::collections::HashMap;
+
+    /// Parsed command-line arguments.
+    #[derive(Clone, Debug, Default)]
+    pub struct Args {
+        values: HashMap<String, String>,
+        switches: Vec<String>,
+    }
+
+    impl Args {
+        /// Parses the process arguments.
+        pub fn from_env() -> Self {
+            let mut values = HashMap::new();
+            let mut switches = Vec::new();
+            let raw: Vec<String> = std::env::args().skip(1).collect();
+            let mut index = 0;
+            while index < raw.len() {
+                let flag = raw[index].trim_start_matches("--").to_string();
+                if index + 1 < raw.len() && !raw[index + 1].starts_with("--") {
+                    values.insert(flag, raw[index + 1].clone());
+                    index += 2;
+                } else {
+                    switches.push(flag);
+                    index += 1;
+                }
+            }
+            Args { values, switches }
+        }
+
+        /// The value of `flag` parsed as `T`, or `default`.
+        pub fn get<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+            self.values.get(flag).and_then(|value| value.parse().ok()).unwrap_or(default)
+        }
+
+        /// The string value of `flag`, if present.
+        pub fn get_str(&self, flag: &str) -> Option<&str> {
+            self.values.get(flag).map(String::as_str)
+        }
+
+        /// Whether the boolean switch `flag` was passed.
+        pub fn has(&self, flag: &str) -> bool {
+            self.switches.iter().any(|switch| switch == flag)
+        }
+    }
+}

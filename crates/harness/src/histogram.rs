@@ -1,0 +1,298 @@
+//! Logarithmically-binned latency histograms, percentiles and CCDFs.
+//!
+//! The paper records observed latencies "in a histogram of logarithmically-sized
+//! bins" (Section 5) and reports selected percentiles (p25/p50/p99/max in the
+//! timelines, 90/99/99.99/max in the overhead tables) as well as complementary
+//! cumulative distribution functions (Figures 13–15).
+
+/// A histogram of non-negative values (nanoseconds in our usage) with
+/// logarithmically-sized bins: each power of two is subdivided into a fixed
+/// number of linear sub-bins, bounding the relative quantile error.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    /// Sub-bins per power of two.
+    grid: u64,
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    min: u64,
+    sum: u128,
+}
+
+const DEFAULT_GRID: u64 = 16;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram with the default resolution.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            grid: DEFAULT_GRID,
+            counts: Vec::new(),
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    /// The bin index for `value`.
+    fn bin_of(&self, value: u64) -> usize {
+        if value < self.grid {
+            value as usize
+        } else {
+            let exponent = 63 - value.leading_zeros() as u64;
+            let base = self.grid.trailing_zeros() as u64;
+            let offset = (value >> (exponent - base)) - self.grid;
+            ((exponent - base) * self.grid + self.grid + offset as u64) as usize
+        }
+    }
+
+    /// The lower bound of bin `index` (the value reported for quantiles in it).
+    fn bin_lower(&self, index: usize) -> u64 {
+        let index = index as u64;
+        if index < self.grid {
+            index
+        } else {
+            let base = self.grid.trailing_zeros() as u64;
+            let exponent = (index - self.grid) / self.grid + base;
+            let offset = (index - self.grid) % self.grid;
+            (self.grid + offset) << (exponent - base)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let bin = self.bin_of(value);
+        if bin >= self.counts.len() {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+        self.sum += value as u128;
+    }
+
+    /// Records `count` identical observations.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let bin = self.bin_of(value);
+        if bin >= self.counts.len() {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += count;
+        self.total += count;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+        self.sum += value as u128 * count as u128;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.grid, other.grid, "histograms with different resolutions");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (index, count) in other.counts.iter().enumerate() {
+            self.counts[index] += count;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The largest recorded value.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// The smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The mean of the recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (lower bound of the containing bin;
+    /// the exact maximum for `q == 1`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (index, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return self.bin_lower(index);
+            }
+        }
+        self.max
+    }
+
+    /// The complementary cumulative distribution function: for each distinct
+    /// latency bound, the fraction of observations strictly greater than it.
+    pub fn ccdf(&self) -> Vec<(u64, f64)> {
+        let mut points = Vec::new();
+        if self.total == 0 {
+            return points;
+        }
+        let mut above = self.total;
+        for (index, count) in self.counts.iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            above -= count;
+            points.push((self.bin_lower(index), above as f64 / self.total as f64));
+        }
+        points
+    }
+
+    /// Resets the histogram.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+        self.sum = 0;
+    }
+}
+
+/// Formats a nanosecond value as fractional milliseconds (the unit the paper
+/// reports).
+pub fn nanos_to_millis(nanos: u64) -> f64 {
+    nanos as f64 / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let histogram = LatencyHistogram::new();
+        assert!(histogram.is_empty());
+        assert_eq!(histogram.max(), 0);
+        assert_eq!(histogram.quantile(0.99), 0);
+        assert!(histogram.ccdf().is_empty());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut histogram = LatencyHistogram::new();
+        for value in 0..16u64 {
+            histogram.record(value);
+        }
+        assert_eq!(histogram.count(), 16);
+        assert_eq!(histogram.min(), 0);
+        assert_eq!(histogram.max(), 15);
+        assert_eq!(histogram.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut histogram = LatencyHistogram::new();
+        for value in 1..=10_000u64 {
+            histogram.record(value * 1_000);
+        }
+        let mut previous = 0;
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let value = histogram.quantile(q);
+            assert!(value >= previous, "quantiles must be monotone");
+            assert!(value <= histogram.max());
+            previous = value;
+        }
+        // The median of 1..10000 ms-ish values should be around 5000 * 1000 ns,
+        // within the relative error of the log-binning (1/16).
+        let median = histogram.quantile(0.5) as f64;
+        assert!((median - 5_000_000.0).abs() / 5_000_000.0 < 0.1, "median {median} too far off");
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut histogram = LatencyHistogram::new();
+        let value = 123_456_789u64;
+        histogram.record(value);
+        let reported = histogram.quantile(0.5);
+        let error = (value as f64 - reported as f64).abs() / value as f64;
+        assert!(error < 1.0 / 16.0, "relative error {error} exceeds bin width");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        b.record_n(500, 3);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.min(), 10);
+    }
+
+    #[test]
+    fn ccdf_is_decreasing_and_starts_below_one() {
+        let mut histogram = LatencyHistogram::new();
+        for value in 0..1000u64 {
+            histogram.record(value * 7);
+        }
+        let ccdf = histogram.ccdf();
+        assert!(!ccdf.is_empty());
+        let mut previous = 1.0;
+        for (_, fraction) in &ccdf {
+            assert!(*fraction <= previous);
+            previous = *fraction;
+        }
+        assert_eq!(ccdf.last().expect("non-empty").1, 0.0);
+    }
+
+    #[test]
+    fn mean_matches_inputs() {
+        let mut histogram = LatencyHistogram::new();
+        histogram.record(100);
+        histogram.record(300);
+        assert!((histogram.mean() - 200.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn nanos_conversion() {
+        assert!((nanos_to_millis(1_500_000) - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! `mp-harness` — the measurement harness of the Megaphone reproduction.
+//!
+//! This crate contains everything the experiment drivers need to reproduce the
+//! paper's measurement methodology (Section 5):
+//!
+//! * [`openloop`]: open-loop load generation at a fixed offered rate, with
+//!   latency measured against each record's *scheduled* arrival time, so that a
+//!   slow or migrating system accumulates latency rather than slowing the load.
+//! * [`histogram`]: logarithmically-binned latency histograms, percentiles and
+//!   CCDFs (Figures 13–15).
+//! * [`timeline`]: 250 ms-bucketed latency timelines reporting max/p99/p50/p25
+//!   (Figures 1 and 5–12).
+//! * [`memory`]: RSS and tracked-state sampling over time (Figure 20).
+//! * [`report`]: text and CSV rendering of the tables and series.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod memory;
+pub mod openloop;
+pub mod report;
+pub mod timeline;
+
+pub use histogram::{nanos_to_millis, LatencyHistogram};
+pub use memory::{current_rss_bytes, format_bytes, MemorySample, MemorySeries};
+pub use openloop::{Clock, EpochDriver, OpenLoopSchedule};
+pub use report::{ccdf_rows, migration_rows, percentile_table, timeline_rows, write_csv, MigrationSummary};
+pub use timeline::{LatencyTimeline, TimelinePoint};

@@ -1,0 +1,122 @@
+//! Process memory tracking for the memory-consumption experiment (Figure 20).
+//!
+//! The paper records the resident set size (RSS) of each process over time. In
+//! this single-process reproduction we read `/proc/self/statm` (falling back to
+//! `None` on platforms without procfs) and additionally allow experiments to
+//! track logical state sizes explicitly.
+
+/// The resident set size of the current process in bytes, if available.
+pub fn current_rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    let page_size = 4096u64;
+    Some(resident_pages * page_size)
+}
+
+/// One sample of a memory timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemorySample {
+    /// Nanoseconds since the start of the experiment.
+    pub at_nanos: u64,
+    /// Resident set size in bytes (0 if unavailable).
+    pub rss_bytes: u64,
+    /// Logical bytes of state tracked by the experiment (serialized state in
+    /// flight plus resident bins), when the experiment reports it.
+    pub tracked_bytes: u64,
+}
+
+/// A periodically sampled memory timeline.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySeries {
+    samples: Vec<MemorySample>,
+}
+
+impl MemorySeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample at `at_nanos`, reading the process RSS.
+    pub fn sample(&mut self, at_nanos: u64, tracked_bytes: u64) {
+        self.samples.push(MemorySample {
+            at_nanos,
+            rss_bytes: current_rss_bytes().unwrap_or(0),
+            tracked_bytes,
+        });
+    }
+
+    /// Records a sample with an explicitly provided RSS (for tests).
+    pub fn sample_with_rss(&mut self, at_nanos: u64, rss_bytes: u64, tracked_bytes: u64) {
+        self.samples.push(MemorySample { at_nanos, rss_bytes, tracked_bytes });
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[MemorySample] {
+        &self.samples
+    }
+
+    /// The peak RSS over the series.
+    pub fn peak_rss(&self) -> u64 {
+        self.samples.iter().map(|sample| sample.rss_bytes).max().unwrap_or(0)
+    }
+
+    /// The peak tracked state size over the series.
+    pub fn peak_tracked(&self) -> u64 {
+        self.samples.iter().map(|sample| sample.tracked_bytes).max().unwrap_or(0)
+    }
+
+    /// The peak tracked state within `[from_nanos, to_nanos)`.
+    pub fn peak_tracked_in_window(&self, from_nanos: u64, to_nanos: u64) -> u64 {
+        self.samples
+            .iter()
+            .filter(|sample| sample.at_nanos >= from_nanos && sample.at_nanos < to_nanos)
+            .map(|sample| sample.tracked_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Formats a byte count with binary units, as in the paper's Figure 20 axis.
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{:.1} {}", value, UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_available_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = current_rss_bytes().expect("procfs should be available on Linux");
+            assert!(rss > 0);
+        }
+    }
+
+    #[test]
+    fn series_tracks_peaks() {
+        let mut series = MemorySeries::new();
+        series.sample_with_rss(0, 100, 10);
+        series.sample_with_rss(10, 300, 50);
+        series.sample_with_rss(20, 200, 20);
+        assert_eq!(series.peak_rss(), 300);
+        assert_eq!(series.peak_tracked(), 50);
+        assert_eq!(series.peak_tracked_in_window(15, 25), 20);
+        assert_eq!(series.samples().len(), 3);
+    }
+
+    #[test]
+    fn byte_formatting_uses_binary_units() {
+        assert_eq!(format_bytes(512), "512.0 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+}

@@ -1,0 +1,176 @@
+//! Open-loop load generation.
+//!
+//! The paper's test harness "supplies the input at a specified rate, even if
+//! the system itself becomes less responsive (e.g., during a migration)"
+//! (Section 5). The latency of a record is therefore measured against the time
+//! at which the record *should* have entered the system, not the time the
+//! (possibly backlogged) driver actually managed to push it.
+
+use std::time::Instant;
+
+/// A wall-clock measuring nanoseconds since the start of an experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    start: Instant,
+}
+
+impl Clock {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Clock { start: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since the clock started.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+/// An open-loop schedule: `rate` records per second, evenly spaced, starting at
+/// time zero.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopSchedule {
+    /// Offered load in records per second.
+    pub rate_per_sec: u64,
+}
+
+impl OpenLoopSchedule {
+    /// Creates a schedule with the given offered load.
+    pub fn new(rate_per_sec: u64) -> Self {
+        assert!(rate_per_sec > 0, "offered load must be positive");
+        OpenLoopSchedule { rate_per_sec }
+    }
+
+    /// The total number of records due by `elapsed_nanos`.
+    pub fn due_by(&self, elapsed_nanos: u64) -> u64 {
+        ((elapsed_nanos as u128 * self.rate_per_sec as u128) / 1_000_000_000) as u64
+    }
+
+    /// The scheduled arrival time (nanoseconds) of record `index`.
+    pub fn scheduled_nanos(&self, index: u64) -> u64 {
+        ((index as u128 * 1_000_000_000) / self.rate_per_sec as u128) as u64
+    }
+
+    /// The latency of a record scheduled at `scheduled_nanos` that completed at
+    /// `completed_nanos` (saturating at zero if completion is measured early).
+    pub fn latency(&self, scheduled_nanos: u64, completed_nanos: u64) -> u64 {
+        completed_nanos.saturating_sub(scheduled_nanos)
+    }
+}
+
+/// Tracks how far an experiment has progressed through an open-loop schedule,
+/// batching records into fixed-length epochs (the logical timestamps of the
+/// dataflow).
+#[derive(Clone, Copy, Debug)]
+pub struct EpochDriver {
+    schedule: OpenLoopSchedule,
+    /// Length of one logical epoch in nanoseconds.
+    pub epoch_nanos: u64,
+    /// The next epoch to be emitted.
+    pub next_epoch: u64,
+}
+
+impl EpochDriver {
+    /// Creates a driver emitting `rate_per_sec` records grouped into epochs of
+    /// `epoch_nanos` nanoseconds.
+    pub fn new(rate_per_sec: u64, epoch_nanos: u64) -> Self {
+        assert!(epoch_nanos > 0, "epoch length must be positive");
+        EpochDriver { schedule: OpenLoopSchedule::new(rate_per_sec), epoch_nanos, next_epoch: 0 }
+    }
+
+    /// The schedule underlying this driver.
+    pub fn schedule(&self) -> OpenLoopSchedule {
+        self.schedule
+    }
+
+    /// The number of records each worker of `peers` should emit for `epoch`
+    /// (the global per-epoch quota divided evenly, remainder to low workers).
+    pub fn records_for(&self, epoch: u64, worker: usize, peers: usize) -> u64 {
+        let start = self.schedule.due_by(epoch * self.epoch_nanos);
+        let end = self.schedule.due_by((epoch + 1) * self.epoch_nanos);
+        let total = end - start;
+        let base = total / peers as u64;
+        let remainder = total % peers as u64;
+        base + u64::from((worker as u64) < remainder)
+    }
+
+    /// The epochs (if any) that are due to be emitted by `elapsed_nanos`,
+    /// advancing the driver past them.
+    pub fn due_epochs(&mut self, elapsed_nanos: u64) -> std::ops::Range<u64> {
+        let target = elapsed_nanos / self.epoch_nanos;
+        let range = self.next_epoch..target.max(self.next_epoch);
+        self.next_epoch = range.end;
+        range
+    }
+
+    /// The scheduled start time of `epoch` in nanoseconds.
+    pub fn epoch_start_nanos(&self, epoch: u64) -> u64 {
+        epoch * self.epoch_nanos
+    }
+
+    /// The latency of the records of `epoch` if the epoch completed (its
+    /// frontier passed) at `completed_nanos`: measured from the epoch's *end*,
+    /// the moment its last record was scheduled to arrive.
+    pub fn epoch_latency(&self, epoch: u64, completed_nanos: u64) -> u64 {
+        completed_nanos.saturating_sub((epoch + 1) * self.epoch_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_spaces_records_evenly() {
+        let schedule = OpenLoopSchedule::new(1_000_000);
+        assert_eq!(schedule.due_by(0), 0);
+        assert_eq!(schedule.due_by(1_000_000_000), 1_000_000);
+        assert_eq!(schedule.due_by(500_000_000), 500_000);
+        assert_eq!(schedule.scheduled_nanos(1_000_000), 1_000_000_000);
+    }
+
+    #[test]
+    fn latency_saturates_at_zero() {
+        let schedule = OpenLoopSchedule::new(1_000);
+        assert_eq!(schedule.latency(100, 50), 0);
+        assert_eq!(schedule.latency(100, 250), 150);
+    }
+
+    #[test]
+    fn epoch_driver_divides_records_across_workers() {
+        let driver = EpochDriver::new(1_000_000, 1_000_000); // 1000 records per 1 ms epoch
+        let total: u64 = (0..4).map(|worker| driver.records_for(7, worker, 4)).sum();
+        assert_eq!(total, 1_000);
+        // Shares differ by at most one.
+        let shares: Vec<u64> = (0..4).map(|worker| driver.records_for(7, worker, 4)).collect();
+        assert!(shares.iter().max().unwrap() - shares.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn due_epochs_advance_monotonically() {
+        let mut driver = EpochDriver::new(1_000, 1_000_000);
+        assert_eq!(driver.due_epochs(2_500_000), 0..2);
+        assert_eq!(driver.due_epochs(2_500_000), 2..2);
+        assert_eq!(driver.due_epochs(5_000_000), 2..5);
+    }
+
+    #[test]
+    fn epoch_latency_measured_from_epoch_end() {
+        let driver = EpochDriver::new(1_000, 1_000_000);
+        assert_eq!(driver.epoch_latency(3, 4_000_000), 0);
+        assert_eq!(driver.epoch_latency(3, 6_500_000), 2_500_000);
+    }
+
+    #[test]
+    fn clock_elapses() {
+        let clock = Clock::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(clock.elapsed_nanos() >= 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = OpenLoopSchedule::new(0);
+    }
+}

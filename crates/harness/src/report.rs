@@ -1,0 +1,163 @@
+//! Text rendering of experiment results: the percentile tables, CCDF dumps,
+//! timeline series and latency-vs-duration rows the paper reports, plus a
+//! minimal CSV writer for machine-readable output.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::histogram::{nanos_to_millis, LatencyHistogram};
+use crate::timeline::TimelinePoint;
+
+/// Renders the percentile table of the overhead experiments (Figures 13–15):
+/// `90% / 99% / 99.99% / max` in milliseconds for each labelled configuration.
+pub fn percentile_table(rows: &[(String, LatencyHistogram)]) -> String {
+    let mut output = String::new();
+    output.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}\n",
+        "Experiment", "90%", "99%", "99.99%", "max"
+    ));
+    for (label, histogram) in rows {
+        output.push_str(&format!(
+            "{:<12} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
+            label,
+            nanos_to_millis(histogram.quantile(0.90)),
+            nanos_to_millis(histogram.quantile(0.99)),
+            nanos_to_millis(histogram.quantile(0.9999)),
+            nanos_to_millis(histogram.max()),
+        ));
+    }
+    output
+}
+
+/// Renders a CCDF as `latency_ms fraction` rows (Figures 13–15, left panels).
+pub fn ccdf_rows(histogram: &LatencyHistogram) -> String {
+    let mut output = String::new();
+    for (latency, fraction) in histogram.ccdf() {
+        if fraction > 0.0 {
+            output.push_str(&format!("{:12.4} {:.6}\n", nanos_to_millis(latency), fraction));
+        }
+    }
+    output
+}
+
+/// Renders a latency timeline as the rows used by the timeline figures
+/// (Figures 1 and 5–12): `time_s max p99 p50 p25` in milliseconds.
+pub fn timeline_rows(points: &[TimelinePoint]) -> String {
+    let mut output = String::new();
+    output.push_str(&format!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}\n",
+        "time[s]", "max[ms]", "p99[ms]", "p50[ms]", "p25[ms]"
+    ));
+    for point in points {
+        output.push_str(&point.row());
+        output.push('\n');
+    }
+    output
+}
+
+/// One point of the migration micro-benchmarks (Figures 16–18): a strategy and
+/// configuration label, the migration duration, and the maximum latency during
+/// the migration.
+#[derive(Clone, Debug)]
+pub struct MigrationSummary {
+    /// Strategy name ("all-at-once", "fluid", "batched", "optimized").
+    pub strategy: String,
+    /// Configuration label (e.g. bin or domain count).
+    pub label: String,
+    /// Migration duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// Maximum latency observed during the migration, in nanoseconds.
+    pub max_latency_nanos: u64,
+}
+
+/// Renders migration summaries as `strategy label duration_s max_latency_s` rows.
+pub fn migration_rows(rows: &[MigrationSummary]) -> String {
+    let mut output = String::new();
+    output.push_str(&format!(
+        "{:<12} {:>12} {:>14} {:>16}\n",
+        "strategy", "config", "duration[s]", "max latency[s]"
+    ));
+    for row in rows {
+        output.push_str(&format!(
+            "{:<12} {:>12} {:>14.3} {:>16.3}\n",
+            row.strategy,
+            row.label,
+            row.duration_nanos as f64 / 1e9,
+            row.max_latency_nanos as f64 / 1e9,
+        ));
+    }
+    output
+}
+
+/// Writes rows of comma-separated values to `path`, creating parent directories.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram_with(values: &[u64]) -> LatencyHistogram {
+        let mut histogram = LatencyHistogram::new();
+        for value in values {
+            histogram.record(*value);
+        }
+        histogram
+    }
+
+    #[test]
+    fn percentile_table_lists_all_rows() {
+        let rows = vec![
+            ("4".to_string(), histogram_with(&[1_000_000, 2_000_000])),
+            ("Native".to_string(), histogram_with(&[500_000])),
+        ];
+        let table = percentile_table(&rows);
+        assert!(table.contains("Native"));
+        assert!(table.lines().count() == 3);
+    }
+
+    #[test]
+    fn ccdf_rows_are_nonempty_for_data() {
+        let histogram = histogram_with(&[1_000_000, 2_000_000, 4_000_000]);
+        let rows = ccdf_rows(&histogram);
+        assert!(rows.lines().count() >= 2);
+    }
+
+    #[test]
+    fn migration_rows_render_seconds() {
+        let rows = vec![MigrationSummary {
+            strategy: "fluid".to_string(),
+            label: "4096".to_string(),
+            duration_nanos: 2_500_000_000,
+            max_latency_nanos: 100_000_000,
+        }];
+        let rendered = migration_rows(&rows);
+        assert!(rendered.contains("fluid"));
+        assert!(rendered.contains("2.500"));
+        assert!(rendered.contains("0.100"));
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let dir = std::env::temp_dir().join("megaphone-harness-test");
+        let path = dir.join("out.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".to_string(), "2".to_string()]])
+            .expect("csv write failed");
+        let contents = std::fs::read_to_string(&path).expect("csv read failed");
+        assert_eq!(contents, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

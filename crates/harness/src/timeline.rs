@@ -1,0 +1,197 @@
+//! Latency timelines: per-interval latency summaries over the runtime of an
+//! experiment, matching the paper's timeline figures (observed latency every
+//! 250 ms, plotted as max / p0.99 / p0.5 / p0.25).
+
+use crate::histogram::{nanos_to_millis, LatencyHistogram};
+
+/// One reported point of a latency timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelinePoint {
+    /// Start of the reporting interval, in nanoseconds since the experiment began.
+    pub at_nanos: u64,
+    /// Maximum latency in the interval (nanoseconds).
+    pub max: u64,
+    /// 99th percentile latency (nanoseconds).
+    pub p99: u64,
+    /// Median latency (nanoseconds).
+    pub p50: u64,
+    /// 25th percentile latency (nanoseconds).
+    pub p25: u64,
+    /// Number of observations in the interval.
+    pub samples: u64,
+}
+
+impl TimelinePoint {
+    /// Renders the point as the row format used by the experiment drivers:
+    /// `time_s max_ms p99_ms p50_ms p25_ms`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:10.3} {:12.3} {:12.3} {:12.3} {:12.3}",
+            self.at_nanos as f64 / 1e9,
+            nanos_to_millis(self.max),
+            nanos_to_millis(self.p99),
+            nanos_to_millis(self.p50),
+            nanos_to_millis(self.p25),
+        )
+    }
+}
+
+/// Accumulates latency observations into fixed-width reporting intervals.
+#[derive(Clone, Debug)]
+pub struct LatencyTimeline {
+    interval_nanos: u64,
+    current_start: u64,
+    current: LatencyHistogram,
+    /// Overall histogram across the whole run.
+    overall: LatencyHistogram,
+    points: Vec<TimelinePoint>,
+}
+
+impl LatencyTimeline {
+    /// Creates a timeline with the paper's default 250 ms reporting interval.
+    pub fn new() -> Self {
+        Self::with_interval(250_000_000)
+    }
+
+    /// Creates a timeline with a custom reporting interval (nanoseconds).
+    pub fn with_interval(interval_nanos: u64) -> Self {
+        assert!(interval_nanos > 0, "reporting interval must be positive");
+        LatencyTimeline {
+            interval_nanos,
+            current_start: 0,
+            current: LatencyHistogram::new(),
+            overall: LatencyHistogram::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Records an observation: `latency_nanos` observed at `elapsed_nanos` since
+    /// the start of the experiment. Observations must arrive in non-decreasing
+    /// `elapsed_nanos` order.
+    pub fn record(&mut self, elapsed_nanos: u64, latency_nanos: u64) {
+        self.roll_to(elapsed_nanos);
+        self.current.record(latency_nanos);
+        self.overall.record(latency_nanos);
+    }
+
+    /// Closes reporting intervals up to (but not including) the one containing
+    /// `elapsed_nanos`.
+    pub fn roll_to(&mut self, elapsed_nanos: u64) {
+        while elapsed_nanos >= self.current_start + self.interval_nanos {
+            self.flush_interval();
+        }
+    }
+
+    fn flush_interval(&mut self) {
+        if !self.current.is_empty() {
+            self.points.push(TimelinePoint {
+                at_nanos: self.current_start,
+                max: self.current.max(),
+                p99: self.current.quantile(0.99),
+                p50: self.current.quantile(0.5),
+                p25: self.current.quantile(0.25),
+                samples: self.current.count(),
+            });
+        }
+        self.current.clear();
+        self.current_start += self.interval_nanos;
+    }
+
+    /// Finishes the timeline, flushing the current interval, and returns the points.
+    pub fn finish(mut self) -> (Vec<TimelinePoint>, LatencyHistogram) {
+        self.flush_interval();
+        (self.points, self.overall)
+    }
+
+    /// The points reported so far (not including the open interval).
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// The histogram over every observation recorded so far.
+    pub fn overall(&self) -> &LatencyHistogram {
+        &self.overall
+    }
+
+    /// Maximum latency observed in intervals overlapping `[from_nanos, to_nanos)`.
+    pub fn max_in_window(&self, from_nanos: u64, to_nanos: u64) -> u64 {
+        self.points
+            .iter()
+            .filter(|point| {
+                point.at_nanos + self.interval_nanos > from_nanos && point.at_nanos < to_nanos
+            })
+            .map(|point| point.max)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Default for LatencyTimeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_fall_into_intervals() {
+        let mut timeline = LatencyTimeline::with_interval(1_000);
+        timeline.record(100, 10);
+        timeline.record(900, 30);
+        timeline.record(1_100, 500);
+        let (points, overall) = timeline.finish();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].at_nanos, 0);
+        assert_eq!(points[0].max, 30);
+        assert_eq!(points[0].samples, 2);
+        assert_eq!(points[1].at_nanos, 1_000);
+        assert_eq!(points[1].max, 500);
+        assert_eq!(overall.count(), 3);
+    }
+
+    #[test]
+    fn empty_intervals_are_skipped() {
+        let mut timeline = LatencyTimeline::with_interval(1_000);
+        timeline.record(100, 10);
+        timeline.record(5_500, 20);
+        let (points, _) = timeline.finish();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].at_nanos, 5_000);
+    }
+
+    #[test]
+    fn window_max_considers_overlapping_intervals() {
+        let mut timeline = LatencyTimeline::with_interval(1_000);
+        timeline.record(500, 10);
+        timeline.record(1_500, 99);
+        timeline.record(2_500, 5);
+        timeline.roll_to(10_000);
+        assert_eq!(timeline.max_in_window(1_000, 2_000), 99);
+        assert_eq!(timeline.max_in_window(0, 10_000), 99);
+        assert_eq!(timeline.max_in_window(2_000, 3_000), 5);
+    }
+
+    #[test]
+    fn rows_render_in_milliseconds() {
+        let point = TimelinePoint {
+            at_nanos: 1_500_000_000,
+            max: 2_000_000,
+            p99: 1_000_000,
+            p50: 500_000,
+            p25: 250_000,
+            samples: 10,
+        };
+        let row = point.row();
+        assert!(row.contains("1.500"));
+        assert!(row.contains("2.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = LatencyTimeline::with_interval(0);
+    }
+}

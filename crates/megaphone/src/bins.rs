@@ -1,0 +1,283 @@
+//! Key binning and the per-worker bin store shared between the F and S operators.
+//!
+//! Megaphone does not track each key individually: keys are statically assigned
+//! to *bins* by the most significant bits of their hash, and the configuration
+//! function maps bins (rather than keys) to workers (Section 4.2). The number of
+//! bins is a power of two fixed when the operator is constructed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::codec::Codec;
+
+/// The identifier of one bin (an equivalence class of keys).
+pub type BinId = usize;
+
+/// Static configuration of a Megaphone stateful operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MegaphoneConfig {
+    /// Base-2 logarithm of the number of bins.
+    pub bin_shift: u32,
+}
+
+impl MegaphoneConfig {
+    /// Creates a configuration with `2^bin_shift` bins.
+    ///
+    /// The paper's evaluation uses `2^12` bins as its default (Section 5.1).
+    pub fn new(bin_shift: u32) -> Self {
+        assert!(bin_shift < 64, "bin_shift must be smaller than 64");
+        MegaphoneConfig { bin_shift }
+    }
+
+    /// The number of bins.
+    pub fn bins(&self) -> usize {
+        1usize << self.bin_shift
+    }
+
+    /// Maps a 64-bit key hash to its bin using the most significant bits.
+    ///
+    /// Using the top bits (rather than the low bits consumed by hash maps)
+    /// avoids correlating bin choice with hash-map bucket choice, per the
+    /// paper's footnote on `HashMap` collisions.
+    #[inline]
+    pub fn key_to_bin(&self, key_hash: u64) -> BinId {
+        if self.bin_shift == 0 {
+            0
+        } else {
+            (key_hash >> (64 - self.bin_shift)) as usize
+        }
+    }
+
+    /// The initial bin-to-worker assignment: bins distributed round-robin.
+    pub fn initial_assignment(&self, peers: usize) -> Vec<usize> {
+        (0..self.bins()).map(|bin| bin % peers).collect()
+    }
+}
+
+impl Default for MegaphoneConfig {
+    fn default() -> Self {
+        // 2^12 bins, the paper's default.
+        MegaphoneConfig::new(12)
+    }
+}
+
+/// The state hosted for one bin: the user's state object plus post-dated records
+/// scheduled by the operator for future times.
+///
+/// Both components migrate together: the paper is explicit that migrated state
+/// "includes both the state for `operator`, as well as the list of pending
+/// `(val, time)` records produced by `operator` for future times" (Section 3.4).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Bin<T, S, D> {
+    /// The user-defined state for this bin's keys.
+    pub state: S,
+    /// Post-dated records: `(time, record)` pairs to be replayed once the
+    /// frontier reaches `time`.
+    pub pending: Vec<(T, D)>,
+}
+
+impl<T: Codec, S: Codec, D: Codec> Codec for Bin<T, S, D> {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.state.encode(bytes);
+        self.pending.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        Bin { state: S::decode(bytes), pending: Vec::<(T, D)>::decode(bytes) }
+    }
+}
+
+/// The per-worker store of bins for one stateful operator, shared between the
+/// routing operator `F` (which extracts bins for migration) and the hosting
+/// operator `S` (which reads and updates them), exactly as in Section 4.2 of
+/// the paper ("F can obtain a reference to bins by means of a shared pointer").
+#[derive(Debug)]
+pub struct BinStore<T, S, D> {
+    bins: Vec<Option<Bin<T, S, D>>>,
+}
+
+impl<T, S: Default, D> BinStore<T, S, D> {
+    /// Creates a store with `config.bins()` slots, hosting the bins initially
+    /// assigned to `worker` under the round-robin initial configuration.
+    pub fn new(config: &MegaphoneConfig, worker: usize, peers: usize) -> Self {
+        let bins = (0..config.bins())
+            .map(|bin| if bin % peers == worker { Some(Bin { state: S::default(), pending: Vec::new() }) } else { None })
+            .collect();
+        BinStore { bins }
+    }
+
+    /// Creates a store with `bins` empty slots and no hosted bins.
+    pub fn empty(bins: usize) -> Self {
+        BinStore { bins: (0..bins).map(|_| None).collect() }
+    }
+
+    /// The number of bin slots.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Returns `true` iff the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Returns `true` iff `bin` is currently hosted on this worker.
+    pub fn is_hosted(&self, bin: BinId) -> bool {
+        self.bins[bin].is_some()
+    }
+
+    /// The number of bins currently hosted on this worker.
+    pub fn hosted_count(&self) -> usize {
+        self.bins.iter().filter(|bin| bin.is_some()).count()
+    }
+
+    /// Mutable access to a hosted bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin is not hosted on this worker: that indicates a routing
+    /// error (a record was delivered to a worker that does not own its bin).
+    pub fn bin_mut(&mut self, bin: BinId) -> &mut Bin<T, S, D> {
+        self.bins[bin]
+            .as_mut()
+            .unwrap_or_else(|| panic!("bin {} is not hosted on this worker", bin))
+    }
+
+    /// Mutable access to a hosted bin, if present.
+    pub fn try_bin_mut(&mut self, bin: BinId) -> Option<&mut Bin<T, S, D>> {
+        self.bins[bin].as_mut()
+    }
+
+    /// Read access to a hosted bin, if present.
+    pub fn try_bin(&self, bin: BinId) -> Option<&Bin<T, S, D>> {
+        self.bins[bin].as_ref()
+    }
+
+    /// Removes and returns `bin` for migration.
+    pub fn extract(&mut self, bin: BinId) -> Option<Bin<T, S, D>> {
+        self.bins[bin].take()
+    }
+
+    /// Installs `bin` received through a migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin is already hosted (double installation indicates a
+    /// planning error: two workers believed they owned the bin).
+    pub fn install(&mut self, bin: BinId, contents: Bin<T, S, D>) {
+        assert!(self.bins[bin].is_none(), "bin {} installed twice", bin);
+        self.bins[bin] = Some(contents);
+    }
+
+    /// Iterates over the hosted bins.
+    pub fn hosted(&self) -> impl Iterator<Item = (BinId, &Bin<T, S, D>)> {
+        self.bins.iter().enumerate().filter_map(|(id, bin)| bin.as_ref().map(|b| (id, b)))
+    }
+}
+
+/// A bin store shared between the F and S operator instances of one worker.
+pub type SharedBinStore<T, S, D> = Rc<RefCell<BinStore<T, S, D>>>;
+
+/// Creates a shared bin store for `worker` of `peers` under `config`.
+pub fn shared_bin_store<T, S: Default, D>(
+    config: &MegaphoneConfig,
+    worker: usize,
+    peers: usize,
+) -> SharedBinStore<T, S, D> {
+    Rc::new(RefCell::new(BinStore::new(config, worker, peers)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timelite::hashing::hash_code;
+
+    #[test]
+    fn bin_count_is_power_of_two() {
+        assert_eq!(MegaphoneConfig::new(0).bins(), 1);
+        assert_eq!(MegaphoneConfig::new(4).bins(), 16);
+        assert_eq!(MegaphoneConfig::default().bins(), 4096);
+    }
+
+    #[test]
+    fn key_to_bin_uses_most_significant_bits() {
+        let config = MegaphoneConfig::new(8);
+        assert_eq!(config.key_to_bin(0), 0);
+        assert_eq!(config.key_to_bin(u64::MAX), 255);
+        assert_eq!(config.key_to_bin(1u64 << 56), 1);
+    }
+
+    #[test]
+    fn zero_shift_maps_everything_to_bin_zero() {
+        let config = MegaphoneConfig::new(0);
+        assert_eq!(config.key_to_bin(u64::MAX), 0);
+        assert_eq!(config.key_to_bin(12345), 0);
+    }
+
+    #[test]
+    fn hashed_keys_spread_over_bins() {
+        let config = MegaphoneConfig::new(6);
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..10_000u64 {
+            let bin = config.key_to_bin(hash_code(&key));
+            assert!(bin < config.bins());
+            seen.insert(bin);
+        }
+        assert_eq!(seen.len(), config.bins(), "all bins should receive keys");
+    }
+
+    #[test]
+    fn initial_assignment_is_round_robin() {
+        let config = MegaphoneConfig::new(3);
+        assert_eq!(config.initial_assignment(4), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn store_hosts_initially_assigned_bins() {
+        let config = MegaphoneConfig::new(3);
+        let store: BinStore<u64, u64, ()> = BinStore::new(&config, 1, 4);
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.hosted_count(), 2);
+        assert!(store.is_hosted(1));
+        assert!(store.is_hosted(5));
+        assert!(!store.is_hosted(0));
+    }
+
+    #[test]
+    fn extract_and_install_move_bins() {
+        let config = MegaphoneConfig::new(2);
+        let mut source: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 2);
+        let mut target: BinStore<u64, u64, ()> = BinStore::new(&config, 1, 2);
+        source.bin_mut(0).state = 42;
+        let bin = source.extract(0).expect("bin 0 hosted at worker 0");
+        assert!(!source.is_hosted(0));
+        target.install(0, bin);
+        assert_eq!(target.bin_mut(0).state, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "installed twice")]
+    fn double_install_panics() {
+        let config = MegaphoneConfig::new(1);
+        let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+        store.install(0, Bin::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "not hosted")]
+    fn accessing_missing_bin_panics() {
+        let config = MegaphoneConfig::new(1);
+        let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 2);
+        let _ = store.bin_mut(1);
+    }
+
+    #[test]
+    fn bins_roundtrip_through_codec() {
+        let bin: Bin<u64, Vec<(String, u64)>, (String, i64)> = Bin {
+            state: vec![("word".to_string(), 3)],
+            pending: vec![(10, ("later".to_string(), 1))],
+        };
+        let bytes = bin.encode_to_vec();
+        let decoded = Bin::<u64, Vec<(String, u64)>, (String, i64)>::decode_from_slice(&bytes);
+        assert_eq!(bin, decoded);
+    }
+}

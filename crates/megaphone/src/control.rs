@@ -1,0 +1,142 @@
+//! Configuration updates: the control stream driving migrations.
+//!
+//! Reconfiguration in Megaphone is *data*: updates of the form
+//! `(time, bin, worker)` flow along an ordinary dataflow stream, bearing the
+//! logical timestamp at which they take effect (Section 3.3). An external
+//! controller — or one of the [`strategies`](crate::strategies) planners —
+//! introduces these records; the `F` operators react to them once the control
+//! frontier guarantees the configuration at a time can no longer change.
+
+use crate::bins::BinId;
+use crate::codec::Codec;
+
+/// One configuration update carried on the control stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlInst {
+    /// Assign `bin` to `worker` from the record's time onward.
+    Move(BinId, usize),
+    /// Install a complete bin-to-worker map from the record's time onward.
+    Map(Vec<usize>),
+    /// No configuration change; useful to delimit command batches explicitly.
+    None,
+}
+
+impl ControlInst {
+    /// The bins affected by this instruction, given the total number of bins.
+    pub fn bins(&self, total_bins: usize) -> Vec<BinId> {
+        match self {
+            ControlInst::Move(bin, _) => vec![*bin],
+            ControlInst::Map(map) => (0..map.len().min(total_bins)).collect(),
+            ControlInst::None => Vec::new(),
+        }
+    }
+}
+
+impl Codec for ControlInst {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        match self {
+            ControlInst::Move(bin, worker) => {
+                0u8.encode(bytes);
+                bin.encode(bytes);
+                worker.encode(bytes);
+            }
+            ControlInst::Map(map) => {
+                1u8.encode(bytes);
+                map.encode(bytes);
+            }
+            ControlInst::None => 2u8.encode(bytes),
+        }
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        match u8::decode(bytes) {
+            0 => ControlInst::Move(usize::decode(bytes), usize::decode(bytes)),
+            1 => ControlInst::Map(Vec::<usize>::decode(bytes)),
+            2 => ControlInst::None,
+            other => panic!("invalid ControlInst discriminant {}", other),
+        }
+    }
+}
+
+/// A command: a group of configuration updates sharing one logical time.
+///
+/// This mirrors the batching the paper's controller performs: an all-at-once
+/// migration is a single command containing every changed bin, a fluid
+/// migration is a sequence of single-instruction commands, and a batched
+/// migration lies in between.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Command {
+    /// The instructions to apply atomically at one time.
+    pub instructions: Vec<ControlInst>,
+}
+
+impl Command {
+    /// Creates a command from a set of bin movements.
+    pub fn moves(moves: impl IntoIterator<Item = (BinId, usize)>) -> Self {
+        Command {
+            instructions: moves.into_iter().map(|(bin, worker)| ControlInst::Move(bin, worker)).collect(),
+        }
+    }
+
+    /// Creates a command installing a complete map.
+    pub fn map(map: Vec<usize>) -> Self {
+        Command { instructions: vec![ControlInst::Map(map)] }
+    }
+
+    /// Returns `true` iff the command changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.iter().all(|inst| matches!(inst, ControlInst::None))
+    }
+
+    /// The number of bins moved by this command, given the total bin count.
+    pub fn moved_bins(&self, total_bins: usize) -> usize {
+        let mut bins = std::collections::HashSet::new();
+        for inst in &self.instructions {
+            bins.extend(inst.bins(total_bins));
+        }
+        bins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_inst_roundtrips_through_codec() {
+        for inst in [
+            ControlInst::Move(17, 3),
+            ControlInst::Map(vec![0, 1, 2, 3]),
+            ControlInst::None,
+        ] {
+            let bytes = inst.encode_to_vec();
+            assert_eq!(ControlInst::decode_from_slice(&bytes), inst);
+        }
+    }
+
+    #[test]
+    fn moves_build_commands() {
+        let command = Command::moves(vec![(0, 1), (5, 2)]);
+        assert_eq!(command.instructions.len(), 2);
+        assert_eq!(command.moved_bins(16), 2);
+        assert!(!command.is_empty());
+    }
+
+    #[test]
+    fn map_command_touches_all_bins() {
+        let command = Command::map(vec![0, 0, 1, 1]);
+        assert_eq!(command.moved_bins(4), 4);
+    }
+
+    #[test]
+    fn empty_command_detected() {
+        assert!(Command::default().is_empty());
+        assert!(Command { instructions: vec![ControlInst::None] }.is_empty());
+    }
+
+    #[test]
+    fn bins_of_move_and_map() {
+        assert_eq!(ControlInst::Move(3, 0).bins(8), vec![3]);
+        assert_eq!(ControlInst::Map(vec![0, 1]).bins(8), vec![0, 1]);
+        assert!(ControlInst::None.bins(8).is_empty());
+    }
+}

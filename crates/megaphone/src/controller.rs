@@ -1,0 +1,138 @@
+//! Driving migrations against a live dataflow.
+//!
+//! Megaphone itself only consumes configuration updates from its control input;
+//! *who* produces them is left to an external controller (DS2, Chi, or — as
+//! here — the measurement harness). [`MigrationController`] issues the steps of
+//! a [`MigrationPlan`] one at a time, waiting for the previous step to complete
+//! (observed through the operator's output probe) before issuing the next, and
+//! optionally leaving a draining gap between steps so that enqueued records are
+//! processed before the next migration begins (Section 4.4).
+
+use std::collections::VecDeque;
+
+use timelite::dataflow::{InputHandle, ProbeHandle};
+use timelite::order::{Timestamp, TotalOrder};
+
+use crate::bins::BinId;
+use crate::control::ControlInst;
+use crate::strategies::MigrationPlan;
+
+/// The status of a controller after a call to [`MigrationController::advance`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControllerStatus {
+    /// No migration is in progress and none remains to be issued.
+    Idle,
+    /// A migration step was issued during this call.
+    Issued,
+    /// A previously issued step has not completed yet.
+    Waiting,
+    /// The previous step completed; the controller is draining before the next.
+    Draining,
+}
+
+/// Issues the steps of a migration plan against a control input, one at a time.
+pub struct MigrationController<T: Timestamp + TotalOrder> {
+    steps: VecDeque<Vec<(BinId, usize)>>,
+    /// The time at which the currently outstanding step was issued.
+    outstanding: Option<T>,
+    /// Whether to leave one round of draining between completed and next step.
+    gap: bool,
+    draining: bool,
+    issued_steps: usize,
+}
+
+impl<T: Timestamp + TotalOrder> MigrationController<T> {
+    /// Creates a controller for `plan`.
+    ///
+    /// With `gap` set, the controller waits one extra call between the
+    /// completion of a step and the issue of the next, allowing the system to
+    /// drain enqueued records (reducing the maximum latency from two migration
+    /// durations to one, per Section 4.4).
+    pub fn new(plan: MigrationPlan, gap: bool) -> Self {
+        MigrationController {
+            steps: plan.steps.into(),
+            outstanding: None,
+            gap,
+            draining: false,
+            issued_steps: 0,
+        }
+    }
+
+    /// Returns `true` iff every step has been issued and completed.
+    pub fn is_complete(&self) -> bool {
+        self.steps.is_empty() && self.outstanding.is_none()
+    }
+
+    /// The number of steps issued so far.
+    pub fn issued_steps(&self) -> usize {
+        self.issued_steps
+    }
+
+    /// The number of steps not yet issued.
+    pub fn remaining_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Advances the controller: issues the next step at the control input's
+    /// current epoch if the previous step has completed.
+    ///
+    /// `probe` must observe the output of the operator being migrated. The
+    /// caller is responsible for advancing (and eventually closing) the control
+    /// input; the controller only sends records at its current epoch.
+    pub fn advance(
+        &mut self,
+        probe: &ProbeHandle<T>,
+        control: &mut InputHandle<T, ControlInst>,
+    ) -> ControllerStatus {
+        // Check whether the outstanding step has completed: the output frontier
+        // has moved strictly beyond the step's time.
+        if let Some(time) = &self.outstanding {
+            if probe.less_equal(time) {
+                return ControllerStatus::Waiting;
+            }
+            self.outstanding = None;
+            if self.gap && !self.steps.is_empty() {
+                self.draining = true;
+                return ControllerStatus::Draining;
+            }
+        }
+        if self.draining {
+            self.draining = false;
+            return ControllerStatus::Draining;
+        }
+        if let Some(step) = self.steps.pop_front() {
+            let time = control.time().clone();
+            for (bin, worker) in step {
+                control.send(ControlInst::Move(bin, worker));
+            }
+            control.flush();
+            self.outstanding = Some(time);
+            self.issued_steps += 1;
+            ControllerStatus::Issued
+        } else {
+            ControllerStatus::Idle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{plan_migration, MigrationStrategy};
+
+    #[test]
+    fn controller_tracks_plan_exhaustion() {
+        let plan = plan_migration(MigrationStrategy::Fluid, &[0, 0], &[1, 1]);
+        let controller: MigrationController<u64> = MigrationController::new(plan, false);
+        assert!(!controller.is_complete());
+        assert_eq!(controller.remaining_steps(), 2);
+        assert_eq!(controller.issued_steps(), 0);
+    }
+
+    #[test]
+    fn empty_plan_is_immediately_complete() {
+        let plan = MigrationPlan::default();
+        let controller: MigrationController<u64> = MigrationController::new(plan, true);
+        assert!(controller.is_complete());
+    }
+}

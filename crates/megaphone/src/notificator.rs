@@ -1,0 +1,282 @@
+//! Time-ordered pending work, and the notificator surfaced to operator logic.
+//!
+//! Megaphone extends timely dataflow's `Notificator` idiom: operators can
+//! schedule post-dated records for future times, and the library keeps the
+//! records (inside the owning bin, so that they migrate with it) together with
+//! the capabilities needed to eventually produce output (Section 4.3).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use timelite::dataflow::Capability;
+use timelite::order::{Timestamp, TotalOrder};
+use timelite::progress::Antichain;
+
+use crate::bins::BinId;
+
+/// An entry of a [`PendingQueue`], ordered by time.
+struct Pending<T: Timestamp, P> {
+    time: T,
+    capability: Capability<T>,
+    payload: P,
+}
+
+impl<T: Timestamp, P> PartialEq for Pending<T, P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+    }
+}
+impl<T: Timestamp, P> Eq for Pending<T, P> {}
+impl<T: Timestamp, P> PartialOrd for Pending<T, P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Timestamp, P> Ord for Pending<T, P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time)
+    }
+}
+
+/// A priority queue of `(time, capability, payload)` entries that releases
+/// entries in timestamp order once the frontier has passed their time.
+///
+/// Internally a binary heap, as described in Section 4.3 ("the triples are
+/// managed in a priority queue"), so very large numbers of pending entries can
+/// be maintained efficiently.
+pub struct PendingQueue<T: Timestamp, P> {
+    heap: BinaryHeap<Reverse<Pending<T, P>>>,
+}
+
+impl<T: Timestamp + TotalOrder, P> Default for PendingQueue<T, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Timestamp + TotalOrder, P> PendingQueue<T, P> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PendingQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` iff no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Enqueues `payload` at the capability's time.
+    pub fn push(&mut self, capability: Capability<T>, payload: P) {
+        let time = capability.time().clone();
+        self.heap.push(Reverse(Pending { time, capability, payload }));
+    }
+
+    /// Enqueues `payload` at `time`, delaying `capability` to that time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not in advance of the capability's time.
+    pub fn push_at(&mut self, time: T, capability: &Capability<T>, payload: P) {
+        let capability = capability.delayed(&time);
+        self.heap.push(Reverse(Pending { time, capability, payload }));
+    }
+
+    /// The earliest pending time, if any.
+    pub fn next_time(&self) -> Option<&T> {
+        self.heap.peek().map(|Reverse(entry)| &entry.time)
+    }
+
+    /// Removes and returns, in timestamp order, all entries whose time is no
+    /// longer in advance of `frontier` (i.e. entries whose time can no longer
+    /// receive new records).
+    pub fn drain_ready(&mut self, frontier: &Antichain<T>) -> Vec<(T, Capability<T>, P)> {
+        let mut ready = Vec::new();
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if frontier.less_equal(&entry.time) {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry must exist");
+            ready.push((entry.time, entry.capability, entry.payload));
+        }
+        ready
+    }
+
+    /// Like [`drain_ready`](Self::drain_ready) but requires the time to have
+    /// been passed by *both* frontiers (used by `S`, which must wait for both
+    /// its data and its state input).
+    pub fn drain_ready2(
+        &mut self,
+        frontier1: &Antichain<T>,
+        frontier2: &Antichain<T>,
+    ) -> Vec<(T, Capability<T>, P)> {
+        let mut ready = Vec::new();
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if frontier1.less_equal(&entry.time) || frontier2.less_equal(&entry.time) {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry must exist");
+            ready.push((entry.time, entry.capability, entry.payload));
+        }
+        ready
+    }
+}
+
+/// The handle through which operator logic schedules post-dated records for the
+/// bin currently being processed.
+///
+/// Post-dated records are appended to the bin's pending list — so a migration
+/// carries them to the bin's new owner — and a wake-up with an appropriate
+/// capability is registered with the hosting `S` operator.
+pub struct Notificator<'a, T: Timestamp + TotalOrder, D> {
+    time: &'a T,
+    bin: BinId,
+    bin_pending: &'a mut Vec<(T, D)>,
+    wakeups: &'a mut PendingQueue<T, BinId>,
+    capability: &'a Capability<T>,
+}
+
+impl<'a, T: Timestamp + TotalOrder, D> Notificator<'a, T, D> {
+    /// Creates a notificator scoped to one bin at one processing time.
+    pub(crate) fn new(
+        time: &'a T,
+        bin: BinId,
+        bin_pending: &'a mut Vec<(T, D)>,
+        wakeups: &'a mut PendingQueue<T, BinId>,
+        capability: &'a Capability<T>,
+    ) -> Self {
+        Notificator { time, bin, bin_pending, wakeups, capability }
+    }
+
+    /// The time currently being processed.
+    pub fn time(&self) -> &T {
+        self.time
+    }
+
+    /// The bin currently being processed.
+    pub fn bin(&self) -> BinId {
+        self.bin
+    }
+
+    /// Schedules `record` to be re-presented to the operator at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not in advance of the time currently being processed.
+    pub fn notify_at(&mut self, time: T, record: D) {
+        assert!(
+            self.time.less_equal(&time),
+            "cannot schedule a record at {:?}, before the current time {:?}",
+            time,
+            self.time
+        );
+        self.bin_pending.push((time.clone(), record));
+        self.wakeups.push_at(time, self.capability, self.bin);
+    }
+
+    /// The number of records currently pending for this bin.
+    pub fn pending_len(&self) -> usize {
+        self.bin_pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use timelite::communication::shared_changes;
+    use timelite::dataflow::Capability;
+
+    /// Builds a capability backed by a scratch change batch (sufficient for tests).
+    fn test_capability(time: u64) -> Capability<u64> {
+        let internals = Rc::new(RefCell::new(vec![shared_changes::<u64>()]));
+        Capability::mint(time, internals)
+    }
+
+    #[test]
+    fn entries_release_in_time_order() {
+        let mut queue = PendingQueue::new();
+        queue.push(test_capability(5), "five");
+        queue.push(test_capability(1), "one");
+        queue.push(test_capability(3), "three");
+        let ready = queue.drain_ready(&Antichain::from_elem(4));
+        let times: Vec<u64> = ready.iter().map(|(t, _, _)| *t).collect();
+        assert_eq!(times, vec![1, 3]);
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn frontier_boundary_is_exclusive() {
+        let mut queue = PendingQueue::new();
+        queue.push(test_capability(4), ());
+        assert!(queue.drain_ready(&Antichain::from_elem(4)).is_empty());
+        assert_eq!(queue.drain_ready(&Antichain::from_elem(5)).len(), 1);
+    }
+
+    #[test]
+    fn empty_frontier_releases_everything() {
+        let mut queue = PendingQueue::new();
+        for time in 0..10u64 {
+            queue.push(test_capability(time), time);
+        }
+        let ready = queue.drain_ready(&Antichain::new());
+        assert_eq!(ready.len(), 10);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn drain_ready2_requires_both_frontiers() {
+        let mut queue = PendingQueue::new();
+        queue.push(test_capability(3), ());
+        assert!(queue
+            .drain_ready2(&Antichain::from_elem(10), &Antichain::from_elem(2))
+            .is_empty());
+        assert_eq!(
+            queue.drain_ready2(&Antichain::from_elem(10), &Antichain::from_elem(7)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn push_at_delays_capability() {
+        let mut queue = PendingQueue::new();
+        let cap = test_capability(2);
+        queue.push_at(9, &cap, "later");
+        assert_eq!(queue.next_time(), Some(&9));
+        let ready = queue.drain_ready(&Antichain::from_elem(10));
+        assert_eq!(ready[0].1.time(), &9);
+    }
+
+    #[test]
+    fn notificator_records_pending_and_wakeups() {
+        let mut pending = Vec::new();
+        let mut wakeups = PendingQueue::new();
+        let cap = test_capability(5);
+        {
+            let mut notificator = Notificator::new(&5, 7, &mut pending, &mut wakeups, &cap);
+            assert_eq!(notificator.time(), &5);
+            assert_eq!(notificator.bin(), 7);
+            notificator.notify_at(8, "future".to_string());
+            assert_eq!(notificator.pending_len(), 1);
+        }
+        assert_eq!(pending, vec![(8, "future".to_string())]);
+        let ready = wakeups.drain_ready(&Antichain::from_elem(9));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].2, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn notifying_in_the_past_panics() {
+        let mut pending: Vec<(u64, ())> = Vec::new();
+        let mut wakeups = PendingQueue::new();
+        let cap = test_capability(5);
+        let mut notificator = Notificator::new(&5, 0, &mut pending, &mut wakeups, &cap);
+        notificator.notify_at(3, ());
+    }
+}

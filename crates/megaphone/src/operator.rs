@@ -1,0 +1,366 @@
+//! The F/S operator pair: Megaphone's migration mechanism (Sections 3.4 and 4).
+//!
+//! A migrateable stateful operator is constructed from two cooperating timely
+//! operators:
+//!
+//! * **F** receives the data stream and the control (configuration update)
+//!   stream. It routes `(key, val)` pairs according to the configuration at
+//!   their time, buffering records whose configuration is not yet certain, and
+//!   initiates migrations: once the downstream output frontier shows that all
+//!   records before a configuration time have been absorbed, F extracts the
+//!   affected bins from the worker-local store, serializes them, and ships them
+//!   to their new owner over a regular dataflow channel.
+//! * **S** hosts the bins. It installs migrated state immediately and applies
+//!   data records in timestamp order once their time has been passed by both
+//!   its data and its state input frontier, invoking the user's fold logic with
+//!   the bin's state and a [`Notificator`] for post-dated records.
+//!
+//! F and S instances on the same worker share the bin store through a shared
+//! pointer, exactly as described in Section 4.2 of the paper.
+
+use std::collections::BTreeMap;
+
+use timelite::communication::Pact;
+use timelite::dataflow::{Capability, OperatorBuilder, ProbeHandle, Stream};
+use timelite::order::{Timestamp, TotalOrder};
+use timelite::Data;
+
+use crate::bins::{shared_bin_store, Bin, BinId, MegaphoneConfig};
+use crate::codec::Codec;
+use crate::control::ControlInst;
+use crate::notificator::{Notificator, PendingQueue};
+use crate::routing::RoutingTable;
+
+/// Requirements on timestamps used by Megaphone operators: totally ordered (the
+/// epochs of a streaming computation) and serializable (pending records carry
+/// their timestamp through migrations).
+pub trait MegaphoneTime: Timestamp + TotalOrder + Codec {}
+impl<T: Timestamp + TotalOrder + Codec> MegaphoneTime for T {}
+
+/// Requirements on records flowing into a migrateable operator.
+pub trait MegaphoneData: Data + Codec {}
+impl<D: Data + Codec> MegaphoneData for D {}
+
+/// Requirements on per-bin state.
+pub trait MegaphoneState: Default + Codec + 'static {}
+impl<S: Default + Codec + 'static> MegaphoneState for S {}
+
+/// A record produced by F for S: `(destination worker, key hash, record)`.
+type Routed<D> = (u64, u64, D);
+/// A migrated bin produced by F for S: `(destination worker, bin id, encoded bin)`.
+type Migrated = (u64, u64, Vec<u8>);
+
+/// A handle bundling the output stream of a migrateable operator with the probe
+/// that observes its output frontier (the same probe F uses internally).
+pub struct StatefulOutput<T: Timestamp, O: Data> {
+    /// The operator's output stream.
+    pub stream: Stream<T, O>,
+    /// A probe on the output stream; `!probe.less_than(&t)` indicates every
+    /// record with time earlier than `t` has been fully processed.
+    pub probe: ProbeHandle<T>,
+}
+
+/// Constructs a migrateable stateful unary operator (Listing 1's `unary`).
+///
+/// * `control` carries [`ControlInst`] configuration updates, timestamped with
+///   the time at which they take effect.
+/// * `key` extracts the 64-bit routing key from each record (as in timely
+///   dataflow's exchange functions); keys are assigned to bins by the most
+///   significant `config.bin_shift` bits.
+/// * `fold` is invoked once per `(time, bin)` with the records of that bin at
+///   that time (including any post-dated records that came due), the bin's
+///   state, and a [`Notificator`] for scheduling post-dated records. It returns
+///   the outputs to emit at that time.
+///
+/// Migration is transparent to `fold`: the same bin state appears at the new
+/// worker, with pending records intact.
+pub fn stateful_unary<T, D, S, O, H, F>(
+    config: MegaphoneConfig,
+    control: &Stream<T, ControlInst>,
+    data: &Stream<T, D>,
+    name: &str,
+    key: H,
+    fold: F,
+) -> StatefulOutput<T, O>
+where
+    T: MegaphoneTime,
+    D: MegaphoneData,
+    S: MegaphoneState,
+    O: Data,
+    H: Fn(&D) -> u64 + 'static,
+    F: FnMut(&T, Vec<D>, &mut S, &mut Notificator<T, D>) -> Vec<O> + 'static,
+{
+    let scope = data.scope();
+    let worker_index = scope.index();
+    let peers = scope.peers();
+
+    // The bin store shared by the F and S instances of this worker.
+    let store = shared_bin_store::<T, S, D>(&config, worker_index, peers);
+
+    // Probe on the S output frontier, monitored by F to time migrations.
+    let mut probe = ProbeHandle::new();
+
+    // ------------------------------------------------------------------ F ---
+    let mut f_builder = OperatorBuilder::new(&format!("{name}::F"), scope.clone());
+    let mut f_data_in = f_builder.new_input(data, Pact::Pipeline);
+    let mut f_control_in = f_builder.new_input(control, Pact::Broadcast);
+    let (mut f_data_out, routed_stream) = f_builder.new_output::<Routed<D>>();
+    let (mut f_state_out, migrated_stream) = f_builder.new_output::<Migrated>();
+
+    let f_store = store.clone();
+    let f_probe = probe.clone();
+    f_builder.build(move |_initial_capability| {
+        let mut routing = RoutingTable::<T>::new(config.initial_assignment(peers));
+        // Data whose time is in advance of the control frontier: configuration
+        // not yet certain, so the records cannot be routed.
+        let mut data_stash: PendingQueue<T, Vec<D>> = PendingQueue::new();
+        // Configuration updates received but not yet acted upon, with the
+        // capability of their control record (holding the output frontier at
+        // their time until the migration has been performed).
+        let mut pending_configs: BTreeMap<T, (Capability<T>, Vec<ControlInst>)> = BTreeMap::new();
+
+        move |frontiers| {
+            let data_frontier = &frontiers[0];
+            let control_frontier = &frontiers[1];
+
+            // 1. Receive configuration updates; record them in the routing
+            //    table (lookups only consult finalized times) and remember the
+            //    capability so the migration can be performed later.
+            f_control_in.for_each(|capability, instructions| {
+                let time = capability.time().clone();
+                for instruction in &instructions {
+                    routing.insert(time.clone(), instruction);
+                }
+                let entry =
+                    pending_configs.entry(time).or_insert_with(|| (capability, Vec::new()));
+                entry.1.extend(instructions);
+            });
+
+            // 2. Receive data records: route those whose configuration is
+            //    certain, stash the rest until the control frontier catches up.
+            f_data_in.for_each(|capability, records| {
+                if control_frontier.less_equal(capability.time()) {
+                    data_stash.push(capability, records);
+                } else {
+                    let time = capability.time().clone();
+                    let mut session = f_data_out.session(&capability);
+                    for record in records {
+                        let hash = key(&record);
+                        let bin = config.key_to_bin(hash);
+                        let target = routing.lookup(&time, bin) as u64;
+                        session.give((target, hash, record));
+                    }
+                }
+            });
+
+            // 3. Route stashed records whose configuration has become certain.
+            for (time, capability, records) in data_stash.drain_ready(control_frontier) {
+                let mut session = f_data_out.session(&capability);
+                for record in records {
+                    let hash = key(&record);
+                    let bin = config.key_to_bin(hash);
+                    let target = routing.lookup(&time, bin) as u64;
+                    session.give((target, hash, record));
+                }
+            }
+
+            // 4. Perform migrations in time order. A configuration update at
+            //    time `t` is acted upon once (a) the control frontier has
+            //    passed `t` (the configuration at `t` is final) and (b) the S
+            //    output frontier contains no time earlier than `t` (all earlier
+            //    updates have been absorbed into the state).
+            let mut executable = Vec::new();
+            for time in pending_configs.keys() {
+                if control_frontier.less_equal(time) || f_probe.less_than(time) {
+                    break;
+                }
+                executable.push(time.clone());
+            }
+            for time in executable {
+                let (capability, instructions) =
+                    pending_configs.remove(&time).expect("executable time must be pending");
+                let mut moves: Vec<(BinId, usize)> = Vec::new();
+                for instruction in instructions {
+                    match instruction {
+                        ControlInst::Move(bin, worker) => moves.push((bin, worker)),
+                        ControlInst::Map(map) => {
+                            moves.extend(map.into_iter().enumerate());
+                        }
+                        ControlInst::None => {}
+                    }
+                }
+                let mut session = f_state_out.session(&capability);
+                for (bin, target) in moves {
+                    // Only the worker currently hosting the bin extracts and
+                    // ships it; everyone else only updates its routing table
+                    // (already done in step 1).
+                    let extracted = f_store.borrow_mut().extract(bin);
+                    if let Some(contents) = extracted {
+                        if target == worker_index {
+                            f_store.borrow_mut().install(bin, contents);
+                        } else {
+                            let bytes = contents.encode_to_vec();
+                            session.give((target as u64, bin as u64, bytes));
+                        }
+                    }
+                }
+                // Dropping the capability (end of scope) releases the operator's
+                // hold on `time`, allowing downstream frontiers to advance.
+            }
+
+            // 5. Retire configuration updates that can no longer be looked up.
+            routing.compact(data_frontier);
+        }
+    });
+
+    // ------------------------------------------------------------------ S ---
+    let mut s_builder = OperatorBuilder::new(&format!("{name}::S"), scope);
+    let mut s_data_in = s_builder.new_input(&routed_stream, Pact::exchange(|r: &Routed<D>| r.0));
+    let mut s_state_in =
+        s_builder.new_input(&migrated_stream, Pact::exchange(|m: &Migrated| m.0));
+    let (mut s_output, output_stream) = s_builder.new_output::<O>();
+
+    let s_store = store;
+    let mut fold = fold;
+    s_builder.build(move |_initial_capability| {
+        // Received data bundles, released in timestamp order once both input
+        // frontiers have passed their time.
+        let mut data_stash: PendingQueue<T, Vec<(u64, D)>> = PendingQueue::new();
+        // Wake-ups for bins with post-dated records.
+        let mut wakeups: PendingQueue<T, BinId> = PendingQueue::new();
+
+        move |frontiers| {
+            let data_frontier = &frontiers[0];
+            let state_frontier = &frontiers[1];
+
+            // Install migrated bins immediately, registering wake-ups for any
+            // pending records they carry.
+            s_state_in.for_each(|capability, migrations| {
+                for (_target, bin, bytes) in migrations {
+                    let bin = bin as BinId;
+                    let contents = Bin::<T, S, D>::decode_from_slice(&bytes);
+                    for (time, _record) in &contents.pending {
+                        wakeups.push_at(time.clone(), &capability, bin);
+                    }
+                    s_store.borrow_mut().install(bin, contents);
+                }
+            });
+
+            // Stash data until its time can no longer receive state or records.
+            s_data_in.for_each(|capability, records| {
+                let records: Vec<(u64, D)> =
+                    records.into_iter().map(|(_target, hash, record)| (hash, record)).collect();
+                data_stash.push(capability, records);
+            });
+
+            // Release ready work (data batches and wake-ups) in timestamp order.
+            let ready_data = data_stash.drain_ready2(data_frontier, state_frontier);
+            let ready_wakeups = wakeups.drain_ready2(data_frontier, state_frontier);
+
+            enum Work<D> {
+                Data(Vec<(u64, D)>),
+                Wakeup(BinId),
+            }
+            let mut work: Vec<(T, Capability<T>, Work<D>)> = Vec::new();
+            work.extend(ready_data.into_iter().map(|(t, c, d)| (t, c, Work::Data(d))));
+            work.extend(ready_wakeups.into_iter().map(|(t, c, b)| (t, c, Work::Wakeup(b))));
+            work.sort_by(|a, b| a.0.cmp(&b.0));
+
+            for (time, capability, item) in work {
+                match item {
+                    Work::Data(records) => {
+                        // Group records by bin, preserving arrival order.
+                        let mut by_bin: BTreeMap<BinId, Vec<D>> = BTreeMap::new();
+                        for (hash, record) in records {
+                            by_bin.entry(config.key_to_bin(hash)).or_default().push(record);
+                        }
+                        for (bin, records) in by_bin {
+                            process_bin(
+                                &mut fold,
+                                &s_store,
+                                &mut wakeups,
+                                &mut s_output,
+                                &time,
+                                &capability,
+                                bin,
+                                records,
+                                true,
+                            );
+                        }
+                    }
+                    Work::Wakeup(bin) => {
+                        process_bin(
+                            &mut fold,
+                            &s_store,
+                            &mut wakeups,
+                            &mut s_output,
+                            &time,
+                            &capability,
+                            bin,
+                            Vec::new(),
+                            false,
+                        );
+                    }
+                }
+            }
+        }
+    });
+
+    let stream = output_stream.probe_with(&mut probe);
+    StatefulOutput { stream, probe }
+}
+
+/// Applies `fold` to one bin at one time: due post-dated records first, then the
+/// freshly arrived records.
+#[allow(clippy::too_many_arguments)]
+fn process_bin<T, D, S, O, F>(
+    fold: &mut F,
+    store: &crate::bins::SharedBinStore<T, S, D>,
+    wakeups: &mut PendingQueue<T, BinId>,
+    output: &mut timelite::dataflow::OutputPort<T, O>,
+    time: &T,
+    capability: &Capability<T>,
+    bin: BinId,
+    records: Vec<D>,
+    require_hosted: bool,
+) where
+    T: MegaphoneTime,
+    D: MegaphoneData,
+    S: MegaphoneState,
+    O: Data,
+    F: FnMut(&T, Vec<D>, &mut S, &mut Notificator<T, D>) -> Vec<O>,
+{
+    let mut store = store.borrow_mut();
+    let contents = match store.try_bin_mut(bin) {
+        Some(contents) => contents,
+        None if require_hosted => {
+            panic!("worker received data for bin {bin} which it does not host: routing error")
+        }
+        // A stale wake-up for a bin that has since migrated away; the new owner
+        // received the pending records with the bin and will process them.
+        None => return,
+    };
+
+    // Collect post-dated records that have come due, preserving their order.
+    let mut due = Vec::new();
+    let mut index = 0;
+    while index < contents.pending.len() {
+        if contents.pending[index].0.less_equal(time) {
+            due.push(contents.pending.remove(index).1);
+        } else {
+            index += 1;
+        }
+    }
+    let mut all_records = due;
+    all_records.extend(records);
+    if all_records.is_empty() && contents.pending.is_empty() && !require_hosted {
+        return;
+    }
+
+    let Bin { state, pending } = contents;
+    let mut notificator = Notificator::new(time, bin, pending, wakeups, capability);
+    let outputs = fold(time, all_records, state, &mut notificator);
+    if !outputs.is_empty() {
+        output.session(capability).give_iterator(outputs);
+    }
+}

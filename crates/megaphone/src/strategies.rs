@@ -1,0 +1,267 @@
+//! Migration planning: turning a desired configuration change into a sequence
+//! of timed command batches (Section 3.3).
+//!
+//! A migration from configuration `C1` to `C2` can be revealed to the system in
+//! different ways: all at once (one command containing every changed bin, the
+//! equivalent of partial pause-and-resume), fluidly (one bin at a time, awaiting
+//! completion between steps), batched (groups of bins), or *optimized* (groups
+//! chosen by bipartite matching so that no two migrations in a group share a
+//! source or a destination worker, plus an optional draining gap between
+//! groups). The planner is pure: it produces the step sequence; the
+//! [`controller`](crate::controller) issues the steps against a live dataflow.
+
+use crate::bins::BinId;
+use crate::control::Command;
+
+/// The migration strategies evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationStrategy {
+    /// Move every changed bin in a single step (prior work's behaviour).
+    AllAtOnce,
+    /// Move one bin per step, awaiting completion between steps.
+    Fluid,
+    /// Move `batch` bins per step, awaiting completion between steps.
+    Batched(usize),
+    /// Group moves by bipartite matching on (source, destination) pairs so that
+    /// each step moves at most one bin between any pair of workers.
+    Optimized,
+}
+
+impl MigrationStrategy {
+    /// A human-readable name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MigrationStrategy::AllAtOnce => "all-at-once",
+            MigrationStrategy::Fluid => "fluid",
+            MigrationStrategy::Batched(_) => "batched",
+            MigrationStrategy::Optimized => "optimized",
+        }
+    }
+}
+
+/// A planned migration: a sequence of steps, each a set of bin movements to be
+/// issued at one logical time and completed before the next step is issued.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The steps, in issue order.
+    pub steps: Vec<Vec<(BinId, usize)>>,
+}
+
+impl MigrationPlan {
+    /// The total number of bins moved by the plan.
+    pub fn moved_bins(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// The number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` iff the plan moves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Renders each step as a [`Command`].
+    pub fn commands(&self) -> Vec<Command> {
+        self.steps.iter().map(|step| Command::moves(step.iter().copied())).collect()
+    }
+}
+
+/// Plans a migration from `current` to `target` (bin-to-worker assignments of
+/// equal length) under `strategy`.
+pub fn plan_migration(
+    strategy: MigrationStrategy,
+    current: &[usize],
+    target: &[usize],
+) -> MigrationPlan {
+    assert_eq!(current.len(), target.len(), "assignments must cover the same bins");
+    let moves: Vec<(BinId, usize, usize)> = current
+        .iter()
+        .zip(target.iter())
+        .enumerate()
+        .filter(|(_, (from, to))| from != to)
+        .map(|(bin, (from, to))| (bin, *from, *to))
+        .collect();
+
+    let steps = match strategy {
+        MigrationStrategy::AllAtOnce => {
+            if moves.is_empty() {
+                Vec::new()
+            } else {
+                vec![moves.iter().map(|&(bin, _, to)| (bin, to)).collect()]
+            }
+        }
+        MigrationStrategy::Fluid => {
+            moves.iter().map(|&(bin, _, to)| vec![(bin, to)]).collect()
+        }
+        MigrationStrategy::Batched(batch) => {
+            assert!(batch > 0, "batch size must be positive");
+            moves
+                .chunks(batch)
+                .map(|chunk| chunk.iter().map(|&(bin, _, to)| (bin, to)).collect())
+                .collect()
+        }
+        MigrationStrategy::Optimized => bipartite_steps(&moves),
+    };
+    MigrationPlan { steps }
+}
+
+/// Groups moves so that within one step no two moves share a source worker or a
+/// destination worker (a matching in the bipartite source/destination graph),
+/// greedily filling each step with as many non-interfering moves as possible.
+fn bipartite_steps(moves: &[(BinId, usize, usize)]) -> Vec<Vec<(BinId, usize)>> {
+    let mut remaining: Vec<(BinId, usize, usize)> = moves.to_vec();
+    let mut steps = Vec::new();
+    while !remaining.is_empty() {
+        let mut sources = std::collections::HashSet::new();
+        let mut destinations = std::collections::HashSet::new();
+        let mut step = Vec::new();
+        let mut rest = Vec::new();
+        for (bin, from, to) in remaining {
+            if !sources.contains(&from) && !destinations.contains(&to) {
+                sources.insert(from);
+                destinations.insert(to);
+                step.push((bin, to));
+            } else {
+                rest.push((bin, from, to));
+            }
+        }
+        steps.push(step);
+        remaining = rest;
+    }
+    steps
+}
+
+/// The paper's default evaluation scenario (Section 5): starting from the
+/// balanced round-robin assignment, move half of the bins of the first half of
+/// the workers to the corresponding worker of the second half, producing an
+/// imbalanced assignment holding 25% of the state on the "wrong" workers.
+pub fn imbalanced_assignment(bins: usize, peers: usize) -> Vec<usize> {
+    let balanced = balanced_assignment(bins, peers);
+    if peers < 2 {
+        return balanced;
+    }
+    let half = peers / 2;
+    balanced
+        .into_iter()
+        .enumerate()
+        .map(|(bin, worker)| {
+            // Move every second bin of the first half of the workers across.
+            if worker < half && (bin / peers) % 2 == 0 {
+                worker + half
+            } else {
+                worker
+            }
+        })
+        .collect()
+}
+
+/// The balanced round-robin assignment of `bins` bins to `peers` workers.
+pub fn balanced_assignment(bins: usize, peers: usize) -> Vec<usize> {
+    (0..bins).map(|bin| bin % peers).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_at_once_is_a_single_step() {
+        let current = vec![0, 1, 0, 1];
+        let target = vec![1, 1, 1, 1];
+        let plan = plan_migration(MigrationStrategy::AllAtOnce, &current, &target);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.steps[0], vec![(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn fluid_moves_one_bin_per_step() {
+        let current = vec![0, 0, 0, 0];
+        let target = vec![1, 1, 1, 0];
+        let plan = plan_migration(MigrationStrategy::Fluid, &current, &target);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.steps.iter().all(|step| step.len() == 1));
+        assert_eq!(plan.moved_bins(), 3);
+    }
+
+    #[test]
+    fn batched_chunks_moves() {
+        let current = vec![0; 10];
+        let target = vec![1; 10];
+        let plan = plan_migration(MigrationStrategy::Batched(4), &current, &target);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.steps[0].len(), 4);
+        assert_eq!(plan.steps[2].len(), 2);
+    }
+
+    #[test]
+    fn unchanged_assignments_produce_empty_plans() {
+        let assignment = vec![0, 1, 2, 3];
+        for strategy in [
+            MigrationStrategy::AllAtOnce,
+            MigrationStrategy::Fluid,
+            MigrationStrategy::Batched(2),
+            MigrationStrategy::Optimized,
+        ] {
+            assert!(plan_migration(strategy, &assignment, &assignment).is_empty());
+        }
+    }
+
+    #[test]
+    fn optimized_steps_do_not_share_sources_or_destinations() {
+        // Bins on workers 0 and 1 all move to workers 2 and 3.
+        let current = vec![0, 0, 1, 1, 0, 1];
+        let target = vec![2, 3, 2, 3, 2, 2];
+        let plan = plan_migration(MigrationStrategy::Optimized, &current, &target);
+        assert_eq!(plan.moved_bins(), 6);
+        for (index, step) in plan.steps.iter().enumerate() {
+            let mut sources = std::collections::HashSet::new();
+            let mut destinations = std::collections::HashSet::new();
+            for &(bin, to) in step {
+                assert!(sources.insert(current[bin]), "step {index} reuses a source worker");
+                assert!(destinations.insert(to), "step {index} reuses a destination worker");
+            }
+        }
+        // With 2 sources and 2 destinations, each step can carry at most 2 moves.
+        assert!(plan.len() >= 3);
+    }
+
+    #[test]
+    fn commands_mirror_steps() {
+        let plan = plan_migration(MigrationStrategy::Batched(2), &[0, 0, 0], &[1, 1, 1]);
+        let commands = plan.commands();
+        assert_eq!(commands.len(), plan.len());
+        assert_eq!(commands[0].moved_bins(3), 2);
+    }
+
+    #[test]
+    fn imbalanced_assignment_moves_a_quarter_of_state() {
+        let bins = 1024;
+        let peers = 4;
+        let balanced = balanced_assignment(bins, peers);
+        let imbalanced = imbalanced_assignment(bins, peers);
+        let moved = balanced.iter().zip(imbalanced.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(moved, bins / 4, "a quarter of the bins change owner");
+        // All moved bins come from the first half of the workers and land on the
+        // second half.
+        for (bin, (&from, &to)) in balanced.iter().zip(imbalanced.iter()).enumerate() {
+            if from != to {
+                assert!(from < peers / 2, "bin {bin} moved from an unexpected worker");
+                assert_eq!(to, from + peers / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn imbalanced_assignment_with_one_worker_is_identity() {
+        assert_eq!(imbalanced_assignment(8, 1), balanced_assignment(8, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the same bins")]
+    fn mismatched_assignments_rejected() {
+        let _ = plan_migration(MigrationStrategy::Fluid, &[0, 1], &[0]);
+    }
+}

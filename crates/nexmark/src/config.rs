@@ -1,0 +1,87 @@
+//! NEXMark generator configuration.
+
+/// Configuration of the NEXMark event generator.
+///
+/// The proportions follow the original NEXMark specification: out of every 50
+/// events, 1 is a person, 3 are auctions and 46 are bids. Because the number of
+/// in-flight auctions is intrinsically bounded, playing the generator faster
+/// shortens auction durations; queries with long windows (Q5, Q8) therefore use
+/// a time-dilation factor, as in Section 5.1 of the Megaphone paper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NexmarkConfig {
+    /// Events generated per second of event time.
+    pub events_per_second: u64,
+    /// Out of `proportion_denominator` events, how many are people.
+    pub person_proportion: u64,
+    /// Out of `proportion_denominator` events, how many are auctions.
+    pub auction_proportion: u64,
+    /// The denominator of the proportions (people + auctions + bids).
+    pub proportion_denominator: u64,
+    /// Number of auctions kept active for bid generation.
+    pub in_flight_auctions: u64,
+    /// Number of distinct categories.
+    pub num_categories: u64,
+    /// Average auction duration in milliseconds of event time.
+    pub auction_duration_ms: u64,
+    /// Hot-auction ratio: 1 in `hot_auction_ratio` bids goes to a recent auction.
+    pub hot_auction_ratio: u64,
+    /// Factor by which windowed queries dilate event time (Q5, Q8).
+    pub time_dilation: u64,
+    /// Random seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for NexmarkConfig {
+    fn default() -> Self {
+        NexmarkConfig {
+            events_per_second: 100_000,
+            person_proportion: 1,
+            auction_proportion: 3,
+            proportion_denominator: 50,
+            in_flight_auctions: 100,
+            num_categories: 5,
+            auction_duration_ms: 10_000,
+            hot_auction_ratio: 2,
+            time_dilation: 1,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl NexmarkConfig {
+    /// A configuration producing `events_per_second` events per second.
+    pub fn with_rate(events_per_second: u64) -> Self {
+        NexmarkConfig { events_per_second, ..Default::default() }
+    }
+
+    /// The event time (milliseconds) of event `index`.
+    pub fn event_time(&self, index: u64) -> u64 {
+        index * 1_000 / self.events_per_second.max(1)
+    }
+
+    /// Number of bids out of each `proportion_denominator` events.
+    pub fn bid_proportion(&self) -> u64 {
+        self.proportion_denominator - self.person_proportion - self.auction_proportion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_proportions_match_nexmark() {
+        let config = NexmarkConfig::default();
+        assert_eq!(config.person_proportion, 1);
+        assert_eq!(config.auction_proportion, 3);
+        assert_eq!(config.bid_proportion(), 46);
+    }
+
+    #[test]
+    fn event_times_follow_rate() {
+        let config = NexmarkConfig::with_rate(1_000);
+        assert_eq!(config.event_time(0), 0);
+        assert_eq!(config.event_time(1_000), 1_000);
+        assert_eq!(config.event_time(500), 500);
+    }
+}

@@ -1,0 +1,197 @@
+//! A deterministic NEXMark event generator.
+//!
+//! The generator is a pure function of `(config, event index)`, so that every
+//! worker can generate its own disjoint partition of the stream without
+//! coordination and experiments are reproducible across runs.
+
+use crate::config::NexmarkConfig;
+use crate::event::{Auction, Bid, Event, Person};
+
+const FIRST_PERSON_ID: u64 = 1_000;
+const FIRST_AUCTION_ID: u64 = 10_000;
+const FIRST_CATEGORY_ID: u64 = 10;
+
+const NAMES: [&str; 10] =
+    ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy"];
+const CITIES: [&str; 8] =
+    ["zurich", "geneva", "basel", "bern", "lausanne", "lugano", "lucerne", "st-gallen"];
+const STATES: [&str; 6] = ["OR", "ID", "CA", "WA", "NV", "AZ"];
+
+/// A deterministic pseudo-random permutation used to pick sellers, bidders and
+/// auctions without shared state (splitmix64).
+fn mix(seed: u64, value: u64) -> u64 {
+    let mut z = seed.wrapping_add(value).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic NEXMark event generator.
+#[derive(Clone, Copy, Debug)]
+pub struct NexmarkGenerator {
+    config: NexmarkConfig,
+}
+
+impl NexmarkGenerator {
+    /// Creates a generator for `config`.
+    pub fn new(config: NexmarkConfig) -> Self {
+        NexmarkGenerator { config }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &NexmarkConfig {
+        &self.config
+    }
+
+    /// The number of people among the first `index` events.
+    fn people_before(&self, index: u64) -> u64 {
+        let config = &self.config;
+        let whole = index / config.proportion_denominator;
+        let rest = index % config.proportion_denominator;
+        whole * config.person_proportion + rest.min(config.person_proportion)
+    }
+
+    /// The number of auctions among the first `index` events.
+    fn auctions_before(&self, index: u64) -> u64 {
+        let config = &self.config;
+        let whole = index / config.proportion_denominator;
+        let rest = index % config.proportion_denominator;
+        let in_rest = rest
+            .saturating_sub(config.person_proportion)
+            .min(config.auction_proportion);
+        whole * config.auction_proportion + in_rest
+    }
+
+    /// Generates event number `index`.
+    pub fn event(&self, index: u64) -> Event {
+        let config = &self.config;
+        let position = index % config.proportion_denominator;
+        let time = config.event_time(index);
+        let seed = config.seed;
+        if position < config.person_proportion {
+            let id = FIRST_PERSON_ID + self.people_before(index);
+            let pick = mix(seed, index);
+            Event::Person(Person {
+                id,
+                name: format!("{}-{}", NAMES[(pick % NAMES.len() as u64) as usize], id),
+                city: CITIES[((pick >> 8) % CITIES.len() as u64) as usize].to_string(),
+                state: STATES[((pick >> 16) % STATES.len() as u64) as usize].to_string(),
+                date_time: time,
+            })
+        } else if position < config.person_proportion + config.auction_proportion {
+            let id = FIRST_AUCTION_ID + self.auctions_before(index);
+            let people = self.people_before(index).max(1);
+            let pick = mix(seed, index);
+            let seller = FIRST_PERSON_ID + pick % people;
+            Event::Auction(Auction {
+                id,
+                seller,
+                category: FIRST_CATEGORY_ID + (pick >> 20) % config.num_categories,
+                initial_bid: 100 + (pick >> 8) % 900,
+                reserve: 1_000 + (pick >> 12) % 9_000,
+                date_time: time,
+                expires: time + config.auction_duration_ms,
+            })
+        } else {
+            let auctions = self.auctions_before(index).max(1);
+            let people = self.people_before(index).max(1);
+            let pick = mix(seed, index);
+            // Bids favour recent ("hot") auctions, like the reference generator.
+            let auction = if pick % config.hot_auction_ratio == 0 {
+                FIRST_AUCTION_ID + auctions - 1 - (pick >> 4) % auctions.min(config.in_flight_auctions)
+            } else {
+                FIRST_AUCTION_ID + (pick >> 4) % auctions
+            };
+            Event::Bid(Bid {
+                auction,
+                bidder: FIRST_PERSON_ID + (pick >> 24) % people,
+                price: 100 + (pick >> 32) % 10_000,
+                date_time: time,
+            })
+        }
+    }
+
+    /// Generates the events with indices in `range`.
+    pub fn events(&self, range: std::ops::Range<u64>) -> impl Iterator<Item = Event> + '_ {
+        range.map(move |index| self.event(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let generator = NexmarkGenerator::new(NexmarkConfig::default());
+        let a: Vec<Event> = generator.events(0..1_000).collect();
+        let b: Vec<Event> = generator.events(0..1_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn proportions_are_respected() {
+        let generator = NexmarkGenerator::new(NexmarkConfig::default());
+        let events: Vec<Event> = generator.events(0..5_000).collect();
+        let people = events.iter().filter(|e| matches!(e, Event::Person(_))).count();
+        let auctions = events.iter().filter(|e| matches!(e, Event::Auction(_))).count();
+        let bids = events.iter().filter(|e| matches!(e, Event::Bid(_))).count();
+        assert_eq!(people, 100);
+        assert_eq!(auctions, 300);
+        assert_eq!(bids, 4_600);
+    }
+
+    #[test]
+    fn event_times_are_nondecreasing() {
+        let generator = NexmarkGenerator::new(NexmarkConfig::with_rate(10_000));
+        let mut previous = 0;
+        for event in generator.events(0..10_000) {
+            assert!(event.time() >= previous);
+            previous = event.time();
+        }
+    }
+
+    #[test]
+    fn bids_reference_existing_auctions_and_people() {
+        let generator = NexmarkGenerator::new(NexmarkConfig::default());
+        let events: Vec<Event> = generator.events(0..10_000).collect();
+        let max_person = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Person(p) => Some(p.id),
+                _ => None,
+            })
+            .max()
+            .expect("people generated");
+        let max_auction = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Auction(a) => Some(a.id),
+                _ => None,
+            })
+            .max()
+            .expect("auctions generated");
+        for event in &events {
+            if let Event::Bid(bid) = event {
+                assert!(bid.auction <= max_auction);
+                assert!(bid.bidder <= max_person);
+            }
+            if let Event::Auction(auction) = event {
+                assert!(auction.seller <= max_person);
+                assert!(auction.expires > auction.date_time);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_increasing() {
+        let generator = NexmarkGenerator::new(NexmarkConfig::default());
+        let person_ids: Vec<u64> = generator
+            .events(0..5_000)
+            .filter_map(|e| e.person().map(|p| p.id))
+            .collect();
+        for window in person_ids.windows(2) {
+            assert_eq!(window[1], window[0] + 1);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The NEXMark benchmark suite for the Megaphone reproduction.
+//!
+//! NEXMark models an online auction site: a single stream of person, auction
+//! and bid events, over which eight standing queries are maintained (Section
+//! 5.1 of the Megaphone paper). This crate provides:
+//!
+//! * a deterministic, rate-controlled [event generator](generator),
+//! * the eight queries implemented with Megaphone's migrateable operators
+//!   ([`queries`]), and
+//! * hand-tuned "native" implementations on plain `timelite` operators
+//!   ([`queries::native`]) used as the overhead baseline and for the
+//!   lines-of-code comparison (Table 1).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod event;
+pub mod generator;
+pub mod queries;
+
+pub use config::NexmarkConfig;
+pub use event::{Auction, Bid, Event, Person};
+pub use generator::NexmarkGenerator;
+pub use queries::{build_native_query, build_query, QueryOutput, Time, QUERIES};

@@ -1,0 +1,105 @@
+//! NEXMark queries Q1–Q8, implemented with Megaphone's migrateable operators.
+//!
+//! Each query takes the event stream, the control stream and a
+//! [`MegaphoneConfig`] and returns a [`QueryOutput`]: a stream of rendered
+//! result rows plus the probe of its final operator. Hand-tuned implementations
+//! on plain `timelite` operators (no migration support) live in [`native`] and
+//! are used for the overhead comparison and the lines-of-code table (Table 1).
+
+pub mod native;
+pub mod q1;
+pub mod q2;
+pub mod q3;
+pub mod q4;
+pub mod q5;
+pub mod q6;
+pub mod q7;
+pub mod q8;
+
+use megaphone::prelude::*;
+use timelite::prelude::*;
+
+use crate::event::{Auction, Bid, Event, Person};
+
+/// The logical time of the NEXMark dataflows: milliseconds of event time.
+pub type Time = u64;
+
+/// A query's output: rendered result rows plus the probe of its final operator.
+pub struct QueryOutput {
+    /// Rendered result rows.
+    pub stream: Stream<Time, String>,
+    /// Probe on the final operator's output.
+    pub probe: ProbeHandle<Time>,
+}
+
+impl QueryOutput {
+    /// Wraps a plain stream, attaching a fresh probe.
+    pub fn from_stream(stream: Stream<Time, String>) -> Self {
+        let mut probe = ProbeHandle::new();
+        let stream = stream.probe_with(&mut probe);
+        QueryOutput { stream, probe }
+    }
+
+    /// Wraps a Megaphone stateful output.
+    pub fn from_stateful(output: StatefulOutput<Time, String>) -> Self {
+        QueryOutput { stream: output.stream, probe: output.probe }
+    }
+}
+
+/// Splits the event stream into its person, auction and bid components.
+pub fn split(
+    events: &Stream<Time, Event>,
+) -> (Stream<Time, Person>, Stream<Time, Auction>, Stream<Time, Bid>) {
+    let persons = events.flat_map(|event: Event| event.person());
+    let auctions = events.flat_map(|event: Event| event.auction());
+    let bids = events.flat_map(|event: Event| event.bid());
+    (persons, auctions, bids)
+}
+
+/// The set of queries, by name, for experiment drivers.
+pub const QUERIES: [&str; 8] = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"];
+
+/// Builds the named query with Megaphone operators.
+pub fn build_query(
+    name: &str,
+    config: MegaphoneConfig,
+    control: &Stream<Time, ControlInst>,
+    events: &Stream<Time, Event>,
+) -> QueryOutput {
+    match name {
+        "q1" => q1::q1(events),
+        "q2" => q2::q2(events),
+        "q3" => q3::q3(config, control, events),
+        "q4" => q4::q4(config, control, events),
+        "q5" => q5::q5(config, control, events),
+        "q6" => q6::q6(config, control, events),
+        "q7" => q7::q7(config, control, events),
+        "q8" => q8::q8(config, control, events),
+        other => panic!("unknown query {other}"),
+    }
+}
+
+/// Builds the named query with native (non-migrateable) operators.
+pub fn build_native_query(name: &str, events: &Stream<Time, Event>) -> QueryOutput {
+    match name {
+        "q1" => native::q1::q1(events),
+        "q2" => native::q2::q2(events),
+        "q3" => native::q3::q3(events),
+        "q4" => native::q4::q4(events),
+        "q5" => native::q5::q5(events),
+        "q6" => native::q6::q6(events),
+        "q7" => native::q7::q7(events),
+        "q8" => native::q8::q8(events),
+        other => panic!("unknown query {other}"),
+    }
+}
+
+/// Window length (event-time milliseconds) used by the sliding-window query Q5,
+/// time-dilated as in the paper.
+pub const Q5_WINDOW_MS: u64 = 10_000;
+/// Slide of Q5's window.
+pub const Q5_SLIDE_MS: u64 = 1_000;
+/// Window length used by the tumbling-window queries Q7 (per "minute", dilated).
+pub const Q7_WINDOW_MS: u64 = 1_000;
+/// Window length used by the 12-hour windowed join Q8, dilated by 79x.
+pub const Q8_WINDOW_MS: u64 = 60_000;

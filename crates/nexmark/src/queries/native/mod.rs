@@ -1,0 +1,18 @@
+//! Hand-tuned native implementations of the NEXMark queries on plain `timelite`
+//! operators, without migration support.
+//!
+//! These are the "Native" baselines of the paper's evaluation: they manage
+//! their own per-worker hash maps and pending-work queues inside
+//! `unary_frontier`/`binary_frontier` operators, which is why the stateful
+//! queries are *longer* than their Megaphone counterparts (Table 1) — the
+//! binning, state surfacing and notification bookkeeping that Megaphone's
+//! interface provides must be re-implemented by hand in each operator.
+
+pub mod q1;
+pub mod q2;
+pub mod q3;
+pub mod q4;
+pub mod q5;
+pub mod q6;
+pub mod q7;
+pub mod q8;

@@ -1,0 +1,82 @@
+//! Native Q5: hot items over a sliding window, with hand-managed per-auction
+//! window counts and explicit slide-close notifications.
+
+use std::collections::HashMap;
+
+use timelite::communication::Pact;
+use timelite::hashing::hash_code;
+use timelite::prelude::*;
+
+use crate::event::Event;
+use crate::queries::{split, QueryOutput, Time, Q5_SLIDE_MS, Q5_WINDOW_MS};
+
+/// Builds Q5 on plain timelite operators.
+pub fn q5(events: &Stream<Time, Event>) -> QueryOutput {
+    let (_persons, _auctions, bids) = split(events);
+    let keyed = bids.map(|bid| (bid.auction, bid.date_time));
+
+    let counts = keyed.unary_frontier(
+        Pact::exchange(|record: &(u64, u64)| hash_code(&record.0)),
+        "NativeQ5Counts",
+        move |_capability| {
+            let mut per_auction: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+            let mut pending: Vec<(Capability<Time>, u64, u64)> = Vec::new();
+            move |input, output, frontier| {
+                input.for_each(|cap, records| {
+                    for (auction, date_time) in records {
+                        let slide = date_time / Q5_SLIDE_MS;
+                        let counts = per_auction.entry(auction).or_default();
+                        match counts.iter_mut().find(|(s, _)| *s == slide) {
+                            Some((_, count)) => *count += 1,
+                            None => counts.push((slide, 1)),
+                        }
+                        let close = ((slide + 1) * Q5_SLIDE_MS).max(*cap.time());
+                        pending.push((cap.delayed(&close), auction, slide));
+                    }
+                });
+                let mut index = 0;
+                while index < pending.len() {
+                    if !frontier.less_equal(pending[index].0.time()) {
+                        let (cap, auction, slide) = pending.swap_remove(index);
+                        if let Some(counts) = per_auction.get_mut(&auction) {
+                            let from = slide.saturating_sub(Q5_WINDOW_MS / Q5_SLIDE_MS);
+                            let total: u64 = counts
+                                .iter()
+                                .filter(|(s, _)| *s > from && *s <= slide)
+                                .map(|(_, c)| *c)
+                                .sum();
+                            if total > 0 {
+                                output.session(&cap).give((slide, auction, total));
+                            }
+                            counts.retain(|(s, _)| *s > from);
+                        }
+                    } else {
+                        index += 1;
+                    }
+                }
+            }
+        },
+    );
+
+    let hot = counts.unary(
+        Pact::exchange(|record: &(u64, u64, u64)| hash_code(&record.0)),
+        "NativeQ5Hot",
+        {
+            let mut best: HashMap<u64, (u64, u64)> = HashMap::new();
+            move |cap, records, output| {
+                let mut session = output.session(&cap);
+                for (window, auction, count) in records {
+                    let entry = best.entry(window).or_insert((0, 0));
+                    if count > entry.1 {
+                        *entry = (auction, count);
+                        session.give(format!(
+                            "window={} hot_auction={} bids={}",
+                            window, auction, count
+                        ));
+                    }
+                }
+            }
+        },
+    );
+    QueryOutput::from_stream(hot)
+}

@@ -1,0 +1,36 @@
+//! Native Q6: average selling price of the last ten auctions of each seller.
+
+use std::collections::HashMap;
+
+use timelite::communication::Pact;
+use timelite::hashing::hash_code;
+use timelite::prelude::*;
+
+use crate::event::Event;
+use crate::queries::native::q4::native_closed_auctions;
+use crate::queries::{QueryOutput, Time};
+
+/// Builds Q6 on plain timelite operators.
+pub fn q6(events: &Stream<Time, Event>) -> QueryOutput {
+    let closed = native_closed_auctions(events, true);
+    let averaged = closed.unary(
+        Pact::exchange(|record: &(u64, u64)| hash_code(&record.0)),
+        "NativeQ6Average",
+        {
+            let mut last_ten: HashMap<u64, Vec<u64>> = HashMap::new();
+            move |cap, records, output| {
+                let mut session = output.session(&cap);
+                for (seller, price) in records {
+                    let prices = last_ten.entry(seller).or_default();
+                    prices.push(price);
+                    if prices.len() > 10 {
+                        prices.remove(0);
+                    }
+                    let avg = prices.iter().sum::<u64>() / prices.len() as u64;
+                    session.give(format!("seller={} avg_last10={}", seller, avg));
+                }
+            }
+        },
+    );
+    QueryOutput::from_stream(averaged)
+}

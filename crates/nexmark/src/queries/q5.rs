@@ -1,0 +1,83 @@
+//! Query 5: hot items — the auctions with the most bids over a sliding window.
+//!
+//! The first operator, keyed by auction, counts bids per slide and reports
+//! `(window, auction, count)` when each slide closes, retracting counts that
+//! fall out of the window. The second operator, keyed by window, reports the
+//! auction with the highest count. Windows are time-dilated (Section 5.1).
+
+use megaphone::prelude::*;
+use timelite::hashing::{hash_code, FxHashMap};
+use timelite::prelude::*;
+
+use super::{split, QueryOutput, Time, Q5_SLIDE_MS, Q5_WINDOW_MS};
+use crate::event::Event;
+
+/// Per-bin state, keyed by auction id: bid counts per slide index.
+type SlideCounts = FxHashMap<u64, Vec<(u64, u64)>>;
+
+/// Builds Q5 with Megaphone operators.
+pub fn q5(
+    config: MegaphoneConfig,
+    control: &Stream<Time, ControlInst>,
+    events: &Stream<Time, Event>,
+) -> QueryOutput {
+    let (_persons, _auctions, bids) = split(events);
+    let bid_records = bids.map(|bid| (bid.auction, bid.date_time));
+
+    // Stage 1: per-auction sliding-window counts.
+    let counts = stateful_unary::<_, (u64, u64), SlideCounts, (u64, u64, u64), _, _>(
+        config,
+        control,
+        &bid_records,
+        "Q5-Counts",
+        |record| hash_code(&record.0),
+        move |time, records, state, notificator| {
+            let mut outputs = Vec::new();
+            for (auction, date_time) in records {
+                if date_time == u64::MAX {
+                    // Slide-close reminder for this auction: report the windowed count.
+                    let slide = *time / Q5_SLIDE_MS;
+                    let from = slide.saturating_sub(Q5_WINDOW_MS / Q5_SLIDE_MS);
+                    let counts = state.entry(auction).or_default();
+                    let count: u64 = counts
+                        .iter()
+                        .filter(|(s, _)| *s > from && *s <= slide)
+                        .map(|(_, c)| *c)
+                        .sum();
+                    if count > 0 {
+                        outputs.push((slide, auction, count));
+                    }
+                    counts.retain(|(s, _)| *s > from);
+                } else {
+                    let slide = date_time / Q5_SLIDE_MS;
+                    let counts = state.entry(auction).or_default();
+                    match counts.iter_mut().find(|(s, _)| *s == slide) {
+                        Some((_, count)) => *count += 1,
+                        None => counts.push((slide, 1)),
+                    }
+                    // Ask to be woken when this slide closes.
+                    let close = (slide + 1) * Q5_SLIDE_MS;
+                    notificator.notify_at(close.max(*time), (auction, u64::MAX));
+                }
+            }
+            outputs
+        },
+    );
+
+    // Stage 2: per-window maximum.
+    let hot = state_machine::<_, u64, (u64, u64), (u64, u64), String, _>(
+        config,
+        control,
+        &counts.stream.map(|(window, auction, count)| (window, (auction, count))),
+        "Q5-Hot",
+        |window, (auction, count), best| {
+            if count > best.1 {
+                *best = (auction, count);
+                (false, vec![format!("window={} hot_auction={} bids={}", window, auction, count)])
+            } else {
+                (false, Vec::new())
+            }
+        },
+    );
+    QueryOutput::from_stateful(hot)
+}

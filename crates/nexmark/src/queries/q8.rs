@@ -1,0 +1,59 @@
+//! Query 8: monitor new users — people who registered and opened an auction
+//! within the same (12-hour, time-dilated) tumbling window.
+
+use megaphone::prelude::*;
+use timelite::hashing::{hash_code, FxHashMap};
+use timelite::prelude::*;
+
+use super::{split, QueryOutput, Time, Q8_WINDOW_MS};
+use crate::event::{Auction, Event, Person};
+
+/// Per-bin state, keyed by person (seller) id: `(registration window, name)` if
+/// the person has registered, and the windows of auctions seen before the
+/// registration arrived.
+type Q8State = FxHashMap<u64, (Option<(u64, String)>, Vec<u64>)>;
+
+/// Builds Q8 with Megaphone operators.
+pub fn q8(
+    config: MegaphoneConfig,
+    control: &Stream<Time, ControlInst>,
+    events: &Stream<Time, Event>,
+) -> QueryOutput {
+    let (persons, auctions, _bids) = split(events);
+
+    let output = stateful_binary::<_, Person, Auction, Q8State, String, _, _, _>(
+        config,
+        control,
+        &persons,
+        &auctions,
+        "Q8-NewSellers",
+        |person| hash_code(&person.id),
+        |auction| hash_code(&auction.seller),
+        |_time, persons, auctions, state, _notificator| {
+            let mut outputs = Vec::new();
+            for person in persons {
+                let window = person.date_time / Q8_WINDOW_MS;
+                let entry = state.entry(person.id).or_default();
+                entry.0 = Some((window, person.name.clone()));
+                for auction_window in entry.1.drain(..) {
+                    if auction_window == window {
+                        outputs.push(format!("new_seller={} window={}", person.name, window));
+                    }
+                }
+            }
+            for auction in auctions {
+                let window = auction.date_time / Q8_WINDOW_MS;
+                let entry = state.entry(auction.seller).or_default();
+                match &entry.0 {
+                    Some((registered, name)) if *registered == window => {
+                        outputs.push(format!("new_seller={} window={}", name, window));
+                    }
+                    Some(_) => {}
+                    None => entry.1.push(window),
+                }
+            }
+            outputs
+        },
+    );
+    QueryOutput::from_stateful(output)
+}

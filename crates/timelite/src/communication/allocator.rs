@@ -1,0 +1,164 @@
+//! Worker-to-worker communication fabric.
+//!
+//! Workers follow a shared-nothing design: each worker owns a single mailbox
+//! (a multi-producer channel) and a sender handle to every peer's mailbox.
+//! All traffic — data messages and progress updates — travels as type-erased
+//! [`Envelope`]s tagged with the dataflow and channel they belong to; the
+//! receiving worker demultiplexes them into typed per-channel queues.
+
+use std::any::Any;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// The payload of an envelope: either a typed data message or a progress update.
+pub enum Payload {
+    /// A boxed `(T, Vec<D>)` data message for a specific channel.
+    Data(Box<dyn Any + Send>),
+    /// A boxed `ProgressUpdates<T>` batch for a dataflow.
+    Progress(Box<dyn Any + Send>),
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Data(_) => write!(f, "Payload::Data(..)"),
+            Payload::Progress(_) => write!(f, "Payload::Progress(..)"),
+        }
+    }
+}
+
+/// A message in flight between two workers.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Index of the dataflow this envelope belongs to.
+    pub dataflow: usize,
+    /// Channel index within the dataflow (ignored for progress payloads).
+    pub channel: usize,
+    /// Index of the sending worker.
+    pub from: usize,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// A worker's endpoint of the communication fabric.
+pub struct Allocator {
+    index: usize,
+    peers: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+}
+
+impl Allocator {
+    /// This worker's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The total number of workers.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// Clones the sender handles (one per worker, including this one).
+    pub fn senders(&self) -> Vec<Sender<Envelope>> {
+        self.senders.clone()
+    }
+
+    /// Receives the next pending envelope, if any.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Builds the all-to-all communication fabric for `peers` workers.
+///
+/// Returns one [`Allocator`] per worker; each holds its own receiving mailbox and
+/// sender handles to every mailbox (including its own).
+pub fn allocate(peers: usize) -> Vec<Allocator> {
+    assert!(peers > 0, "at least one worker is required");
+    let mut senders = Vec::with_capacity(peers);
+    let mut receivers = Vec::with_capacity(peers);
+    for _ in 0..peers {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(index, receiver)| Allocator { index, peers, senders: senders.clone(), receiver })
+        .collect()
+}
+
+/// Sends an envelope to `target`, ignoring failures caused by the target having
+/// already shut down (its dataflows were complete, so the message is irrelevant).
+pub fn send_to(senders: &[Sender<Envelope>], target: usize, envelope: Envelope) {
+    let _ = senders[target].send(envelope);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_builds_full_mesh() {
+        let allocs = allocate(3);
+        assert_eq!(allocs.len(), 3);
+        for (i, alloc) in allocs.iter().enumerate() {
+            assert_eq!(alloc.index(), i);
+            assert_eq!(alloc.peers(), 3);
+            assert_eq!(alloc.senders().len(), 3);
+        }
+    }
+
+    #[test]
+    fn envelopes_are_routed_to_target() {
+        let allocs = allocate(2);
+        let senders = allocs[0].senders();
+        send_to(
+            &senders,
+            1,
+            Envelope { dataflow: 0, channel: 7, from: 0, payload: Payload::Data(Box::new((3u64, vec![1, 2, 3]))) },
+        );
+        let received = allocs[1].try_recv().expect("envelope expected");
+        assert_eq!(received.channel, 7);
+        assert_eq!(received.from, 0);
+        assert!(allocs[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn per_sender_order_is_preserved() {
+        let allocs = allocate(2);
+        let senders = allocs[0].senders();
+        for i in 0..100usize {
+            send_to(
+                &senders,
+                1,
+                Envelope { dataflow: 0, channel: i, from: 0, payload: Payload::Progress(Box::new(i)) },
+            );
+        }
+        for i in 0..100usize {
+            let received = allocs[1].try_recv().expect("envelope expected");
+            assert_eq!(received.channel, i);
+        }
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_is_ignored() {
+        let allocs = allocate(2);
+        let senders = allocs[0].senders();
+        drop(allocs.into_iter().nth(1));
+        // Should not panic.
+        send_to(
+            &senders,
+            1,
+            Envelope { dataflow: 0, channel: 0, from: 0, payload: Payload::Progress(Box::new(0usize)) },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = allocate(0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Data parallelization contracts ("pacts"), channel pushers and tees.
+//!
+//! When an operator output is connected to an operator input, the connection is
+//! given a [`Pact`] describing how records move between workers: stay on the same
+//! worker ([`Pact::Pipeline`]), be routed by a hash of the record
+//! ([`Pact::Exchange`]), or be replicated to all workers ([`Pact::Broadcast`]).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::communication::allocator::{send_to, Envelope, Payload};
+use crate::order::Timestamp;
+use crate::progress::ChangeBatch;
+use crate::Data;
+use crossbeam_channel::Sender;
+
+/// The queue of received `(time, data)` bundles for one channel at one worker.
+pub type SharedQueue<T, D> = Rc<RefCell<VecDeque<(T, Vec<D>)>>>;
+
+/// A shared change batch used to report progress information.
+pub type SharedChanges<T> = Rc<RefCell<ChangeBatch<T>>>;
+
+/// Creates an empty shared queue.
+pub fn shared_queue<T, D>() -> SharedQueue<T, D> {
+    Rc::new(RefCell::new(VecDeque::new()))
+}
+
+/// Creates an empty shared change batch.
+pub fn shared_changes<T: Ord + Clone>() -> SharedChanges<T> {
+    Rc::new(RefCell::new(ChangeBatch::new()))
+}
+
+/// A data parallelization contract for one channel.
+pub enum Pact<D> {
+    /// Records stay on the producing worker.
+    Pipeline,
+    /// Each record is routed to worker `route(record) % peers`.
+    Exchange(Rc<dyn Fn(&D) -> u64>),
+    /// Every record is delivered to every worker.
+    Broadcast,
+}
+
+impl<D> Pact<D> {
+    /// Convenience constructor for an exchange pact from a routing closure.
+    pub fn exchange<F: Fn(&D) -> u64 + 'static>(route: F) -> Self {
+        Pact::Exchange(Rc::new(route))
+    }
+}
+
+impl<D> Clone for Pact<D> {
+    fn clone(&self) -> Self {
+        match self {
+            Pact::Pipeline => Pact::Pipeline,
+            Pact::Exchange(route) => Pact::Exchange(Rc::clone(route)),
+            Pact::Broadcast => Pact::Broadcast,
+        }
+    }
+}
+
+impl<D> std::fmt::Debug for Pact<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pact::Pipeline => write!(f, "Pipeline"),
+            Pact::Exchange(_) => write!(f, "Exchange"),
+            Pact::Broadcast => write!(f, "Broadcast"),
+        }
+    }
+}
+
+/// The sending endpoint of one channel at one worker.
+///
+/// A pusher routes record batches to the appropriate workers according to its
+/// pact, delivering locally destined records directly into the local shared
+/// queue and remote records through the communication fabric. Every pushed
+/// record is accounted in the channel's `produced` change batch so that progress
+/// tracking observes the message before any worker could consume it.
+pub struct Pusher<T: Timestamp, D> {
+    pact: Pact<D>,
+    dataflow: usize,
+    channel: usize,
+    index: usize,
+    peers: usize,
+    local: SharedQueue<T, D>,
+    senders: Vec<Sender<Envelope>>,
+    produced: SharedChanges<T>,
+    /// Scratch per-worker buffers for exchange routing.
+    buffers: Vec<Vec<D>>,
+}
+
+impl<T: Timestamp, D: Data> Pusher<T, D> {
+    /// Creates a pusher for a channel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pact: Pact<D>,
+        dataflow: usize,
+        channel: usize,
+        index: usize,
+        peers: usize,
+        local: SharedQueue<T, D>,
+        senders: Vec<Sender<Envelope>>,
+        produced: SharedChanges<T>,
+    ) -> Self {
+        Pusher {
+            pact,
+            dataflow,
+            channel,
+            index,
+            peers,
+            local,
+            senders,
+            produced,
+            buffers: (0..peers).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// The channel this pusher feeds.
+    pub fn channel(&self) -> usize {
+        self.channel
+    }
+
+    /// Pushes a batch of records at `time`, consuming the batch.
+    pub fn push(&mut self, time: &T, data: Vec<D>) {
+        if data.is_empty() {
+            return;
+        }
+        match &self.pact {
+            Pact::Pipeline => {
+                self.produced.borrow_mut().update(time.clone(), data.len() as i64);
+                self.local.borrow_mut().push_back((time.clone(), data));
+            }
+            Pact::Broadcast => {
+                self.produced
+                    .borrow_mut()
+                    .update(time.clone(), (data.len() * self.peers) as i64);
+                for target in 0..self.peers {
+                    if target == self.index {
+                        self.local.borrow_mut().push_back((time.clone(), data.clone()));
+                    } else {
+                        let message: Box<(T, Vec<D>)> = Box::new((time.clone(), data.clone()));
+                        send_to(
+                            &self.senders,
+                            target,
+                            Envelope {
+                                dataflow: self.dataflow,
+                                channel: self.channel,
+                                from: self.index,
+                                payload: Payload::Data(message),
+                            },
+                        );
+                    }
+                }
+            }
+            Pact::Exchange(route) => {
+                self.produced.borrow_mut().update(time.clone(), data.len() as i64);
+                if self.peers == 1 {
+                    self.local.borrow_mut().push_back((time.clone(), data));
+                    return;
+                }
+                for record in data {
+                    let target = (route(&record) % self.peers as u64) as usize;
+                    self.buffers[target].push(record);
+                }
+                for target in 0..self.peers {
+                    if self.buffers[target].is_empty() {
+                        continue;
+                    }
+                    let batch = std::mem::take(&mut self.buffers[target]);
+                    if target == self.index {
+                        self.local.borrow_mut().push_back((time.clone(), batch));
+                    } else {
+                        let message: Box<(T, Vec<D>)> = Box::new((time.clone(), batch));
+                        send_to(
+                            &self.senders,
+                            target,
+                            Envelope {
+                                dataflow: self.dataflow,
+                                channel: self.channel,
+                                from: self.index,
+                                payload: Payload::Data(message),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fan-out of one operator output port: a list of channel pushers.
+///
+/// A stream may be consumed by any number of downstream operators; each
+/// consumer's channel registers a pusher here. Pushing a batch delivers it to
+/// every registered channel (cloning for all but the last).
+pub struct Tee<T: Timestamp, D> {
+    pushers: Vec<Pusher<T, D>>,
+}
+
+impl<T: Timestamp, D: Data> Tee<T, D> {
+    /// Creates an empty tee.
+    pub fn new() -> Self {
+        Tee { pushers: Vec::new() }
+    }
+
+    /// Registers a new channel pusher.
+    pub fn add_pusher(&mut self, pusher: Pusher<T, D>) {
+        self.pushers.push(pusher);
+    }
+
+    /// Number of attached channels.
+    pub fn len(&self) -> usize {
+        self.pushers.len()
+    }
+
+    /// Returns `true` iff no channel is attached.
+    pub fn is_empty(&self) -> bool {
+        self.pushers.is_empty()
+    }
+
+    /// Pushes a batch at `time` to every attached channel.
+    pub fn push(&mut self, time: &T, data: Vec<D>) {
+        if data.is_empty() || self.pushers.is_empty() {
+            return;
+        }
+        let last = self.pushers.len() - 1;
+        for pusher in &mut self.pushers[..last] {
+            pusher.push(time, data.clone());
+        }
+        self.pushers[last].push(time, data);
+    }
+}
+
+impl<T: Timestamp, D: Data> Default for Tee<T, D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A shared handle to a tee, held by output handles and by streams (to attach
+/// further channels after the operator was built).
+pub type SharedTee<T, D> = Rc<RefCell<Tee<T, D>>>;
+
+/// Creates an empty shared tee.
+pub fn shared_tee<T: Timestamp, D: Data>() -> SharedTee<T, D> {
+    Rc::new(RefCell::new(Tee::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communication::allocator::allocate;
+
+    fn pusher_with(
+        pact: Pact<u64>,
+        peers: usize,
+    ) -> (Pusher<u64, u64>, SharedQueue<u64, u64>, SharedChanges<u64>, Vec<crate::communication::Allocator>) {
+        let allocs = allocate(peers);
+        let local = shared_queue();
+        let produced = shared_changes();
+        let pusher = Pusher::new(
+            pact,
+            0,
+            0,
+            0,
+            peers,
+            Rc::clone(&local),
+            allocs[0].senders(),
+            Rc::clone(&produced),
+        );
+        (pusher, local, produced, allocs)
+    }
+
+    #[test]
+    fn pipeline_stays_local() {
+        let (mut pusher, local, produced, _allocs) = pusher_with(Pact::Pipeline, 2);
+        pusher.push(&3, vec![1, 2, 3]);
+        assert_eq!(local.borrow().len(), 1);
+        assert_eq!(produced.borrow_mut().clone_inner(), vec![(3, 3)]);
+    }
+
+    #[test]
+    fn exchange_routes_by_hash() {
+        let (mut pusher, local, produced, allocs) = pusher_with(Pact::exchange(|x: &u64| *x), 2);
+        pusher.push(&5, vec![0, 1, 2, 3]);
+        // Evens stay at worker 0, odds go to worker 1.
+        let local_records: Vec<u64> =
+            local.borrow().iter().flat_map(|(_, d)| d.clone()).collect();
+        assert_eq!(local_records, vec![0, 2]);
+        let envelope = allocs[1].try_recv().expect("worker 1 should receive data");
+        let (time, data) = *envelope.payload_into::<(u64, Vec<u64>)>();
+        assert_eq!(time, 5);
+        assert_eq!(data, vec![1, 3]);
+        // Produced counts the total number of records once.
+        assert_eq!(produced.borrow_mut().clone_inner(), vec![(5, 4)]);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_workers() {
+        let (mut pusher, local, produced, allocs) = pusher_with(Pact::Broadcast, 3);
+        pusher.push(&1, vec![9, 9]);
+        assert_eq!(local.borrow().len(), 1);
+        assert!(allocs[1].try_recv().is_some());
+        assert!(allocs[2].try_recv().is_some());
+        // Produced counts one copy per worker.
+        assert_eq!(produced.borrow_mut().clone_inner(), vec![(1, 6)]);
+    }
+
+    #[test]
+    fn empty_batches_are_dropped() {
+        let (mut pusher, local, produced, _allocs) = pusher_with(Pact::Pipeline, 1);
+        pusher.push(&1, vec![]);
+        assert!(local.borrow().is_empty());
+        assert!(produced.borrow_mut().is_empty());
+    }
+
+    #[test]
+    fn tee_duplicates_to_all_channels() {
+        let allocs = allocate(1);
+        let q1 = shared_queue();
+        let q2 = shared_queue();
+        let p1 = shared_changes();
+        let p2 = shared_changes();
+        let mut tee = Tee::<u64, u64>::new();
+        tee.add_pusher(Pusher::new(Pact::Pipeline, 0, 0, 0, 1, Rc::clone(&q1), allocs[0].senders(), p1));
+        tee.add_pusher(Pusher::new(Pact::Pipeline, 0, 1, 0, 1, Rc::clone(&q2), allocs[0].senders(), p2));
+        tee.push(&7, vec![1, 2]);
+        assert_eq!(q1.borrow().len(), 1);
+        assert_eq!(q2.borrow().len(), 1);
+    }
+
+    impl Envelope {
+        fn payload_into<M: 'static>(self) -> Box<M> {
+            match self.payload {
+                Payload::Data(boxed) => boxed.downcast::<M>().expect("wrong message type"),
+                Payload::Progress(_) => panic!("expected data payload"),
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Worker-to-worker communication: mailboxes, envelopes, pacts and pushers.
+
+pub mod allocator;
+pub mod exchange;
+
+pub use allocator::{allocate, send_to, Allocator, Envelope, Payload};
+pub use exchange::{
+    shared_changes, shared_queue, shared_tee, Pact, Pusher, SharedChanges, SharedQueue, SharedTee,
+    Tee,
+};

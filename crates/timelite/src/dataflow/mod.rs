@@ -1,0 +1,13 @@
+//! Dataflow construction: scopes, streams, capabilities and operators.
+
+pub mod capability;
+pub mod operator;
+pub mod operators;
+pub mod scope;
+pub mod stream;
+
+pub use capability::Capability;
+pub use operator::{InputPort, OperatorBuilder, OutputPort, Session};
+pub use operators::{InputHandle, ProbeHandle};
+pub use scope::Scope;
+pub use stream::Stream;

@@ -1,0 +1,10 @@
+//! Pre-built operators: inputs, probes, generic unary/binary operators and
+//! record-at-a-time conveniences.
+
+pub mod basic;
+pub mod generic;
+pub mod input;
+pub mod probe;
+
+pub use input::InputHandle;
+pub use probe::ProbeHandle;

@@ -1,0 +1,49 @@
+//! Streams: handles to an operator output within a dataflow under construction.
+
+use crate::communication::{Pact, SharedChanges, SharedQueue, SharedTee};
+use crate::dataflow::scope::Scope;
+use crate::order::Timestamp;
+use crate::progress::Port;
+use crate::Data;
+
+/// A handle to a stream of `(time, data)` records produced by an operator output.
+///
+/// Streams are cheap to clone; consuming operators attach new channels to the
+/// producing output's tee when they connect.
+pub struct Stream<T: Timestamp, D: Data> {
+    source: Port,
+    tee: SharedTee<T, D>,
+    scope: Scope<T>,
+}
+
+impl<T: Timestamp, D: Data> Clone for Stream<T, D> {
+    fn clone(&self) -> Self {
+        Stream { source: self.source, tee: self.tee.clone(), scope: self.scope.clone() }
+    }
+}
+
+impl<T: Timestamp, D: Data> Stream<T, D> {
+    /// Creates a stream handle for the output `source` whose pushers live in `tee`.
+    pub fn new(source: Port, tee: SharedTee<T, D>, scope: Scope<T>) -> Self {
+        Stream { source, tee, scope }
+    }
+
+    /// The output port producing this stream.
+    pub fn source(&self) -> Port {
+        self.source
+    }
+
+    /// The scope this stream belongs to.
+    pub fn scope(&self) -> Scope<T> {
+        self.scope.clone()
+    }
+
+    /// Connects this stream to input `target` using `pact`.
+    ///
+    /// Returns the local receive queue and the consumed-count change batch that
+    /// the consuming operator's input handle must update.
+    pub fn connect_to(&self, target: Port, pact: Pact<D>) -> (SharedQueue<T, D>, SharedChanges<T>) {
+        self.scope
+            .with_builder(|builder| builder.add_channel(self.source, target, pact, &self.tee))
+    }
+}

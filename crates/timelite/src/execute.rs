@@ -1,0 +1,101 @@
+//! Spawning multi-worker computations.
+
+use std::sync::Arc;
+use std::thread;
+
+use crate::communication::allocate;
+use crate::worker::Worker;
+
+/// Configuration of a `timelite` computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// The number of worker threads to spawn.
+    pub workers: usize,
+}
+
+impl Config {
+    /// A configuration with `workers` worker threads in this process.
+    pub fn process(workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        Config { workers }
+    }
+
+    /// A single-threaded configuration.
+    pub fn thread() -> Self {
+        Config { workers: 1 }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::thread()
+    }
+}
+
+/// Executes `func` on `config.workers` worker threads and returns their results
+/// in worker-index order.
+///
+/// Each worker runs `func` to construct (identical) dataflows and drive its
+/// inputs; when `func` returns, the worker continues stepping until all of its
+/// dataflows have completed (all inputs closed, all messages drained).
+pub fn execute<F, R>(config: Config, func: F) -> Vec<R>
+where
+    F: Fn(&mut Worker) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let func = Arc::new(func);
+    let allocators = allocate(config.workers);
+    let handles: Vec<_> = allocators
+        .into_iter()
+        .map(|alloc| {
+            let func = Arc::clone(&func);
+            thread::Builder::new()
+                .name(format!("timelite-worker-{}", alloc.index()))
+                .spawn(move || {
+                    let mut worker = Worker::new(alloc);
+                    let result = func(&mut worker);
+                    worker.step_until_complete();
+                    result
+                })
+                .expect("failed to spawn worker thread")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|handle| handle.join().expect("worker thread panicked"))
+        .collect()
+}
+
+/// Executes `func` on a single worker thread (useful for examples and tests).
+pub fn execute_single<F, R>(func: F) -> R
+where
+    F: Fn(&mut Worker) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    execute(Config::thread(), func)
+        .pop()
+        .expect("single worker execution must return one result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_are_indexed() {
+        let mut indices = execute(Config::process(3), |worker| (worker.index(), worker.peers()));
+        indices.sort();
+        assert_eq!(indices, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn single_execution_returns_value() {
+        assert_eq!(execute_single(|worker| worker.peers()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Config::process(0);
+    }
+}

@@ -1,0 +1,137 @@
+//! A fast, deterministic 64-bit hasher for exchange routing and key binning.
+//!
+//! The default `std` hasher is randomly seeded per process, which would make
+//! worker-to-worker routing (and Megaphone's key-to-bin assignment) depend on the
+//! process. This module provides an FxHash-style multiply-xor hasher with a fixed
+//! seed, so that exchange routing is deterministic across runs and workers.
+
+use std::hash::{Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A deterministic 64-bit hasher in the style of FxHash.
+#[derive(Clone, Copy, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        FxHasher { hash: 0 }
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let remainder = chunks.remainder();
+        if !remainder.is_empty() {
+            let mut word = [0u8; 8];
+            word[..remainder.len()].copy_from_slice(remainder);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+}
+
+/// Hashes a value with the deterministic [`FxHasher`].
+#[inline]
+pub fn hash_code<H: Hash + ?Sized>(value: &H) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    // A final mix spreads entropy into the high bits, which Megaphone uses for
+    // bin selection (see the paper's footnote on hash collisions).
+    let mut hash = hasher.finish();
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash
+}
+
+/// A `BuildHasher` for [`FxHasher`], usable with `HashMap`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed with the deterministic hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_code(&42u64), hash_code(&42u64));
+        assert_eq!(hash_code("megaphone"), hash_code("megaphone"));
+    }
+
+    #[test]
+    fn hashing_differs_across_values() {
+        assert_ne!(hash_code(&1u64), hash_code(&2u64));
+        assert_ne!(hash_code("a"), hash_code("b"));
+    }
+
+    #[test]
+    fn high_bits_vary_for_sequential_keys() {
+        // Megaphone selects bins by the most significant bits; sequential keys
+        // must not all land in the same bin.
+        let bins = 1 << 8;
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..1000u64 {
+            seen.insert(hash_code(&key) >> (64 - 8));
+        }
+        assert!(seen.len() > bins / 2, "only {} of {} bins hit", seen.len(), bins);
+    }
+
+    #[test]
+    fn fx_hash_map_works() {
+        let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+        map.insert(1, 10);
+        map.insert(2, 20);
+        assert_eq!(map.get(&1), Some(&10));
+    }
+}

@@ -1,0 +1,375 @@
+//! Antichains and multiplicity-tracking frontiers.
+//!
+//! A *frontier* (Definition 1 of the Megaphone paper) is a set of mutually
+//! incomparable timestamps such that every timestamp that may still be observed
+//! is greater than or equal to some element of the set. [`Antichain`] stores such
+//! a set; [`MutableAntichain`] additionally tracks *multiplicities* of timestamps
+//! (how many capabilities or in-flight messages exist at each time) and exposes
+//! the frontier of the currently present timestamps.
+
+use crate::order::PartialOrder;
+use crate::progress::ChangeBatch;
+
+/// A set of mutually incomparable elements: the minimal elements of some set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Antichain<T> {
+    elements: Vec<T>,
+}
+
+impl<T: PartialOrder + Clone> Antichain<T> {
+    /// Creates an empty antichain (the frontier of "nothing will ever arrive").
+    pub fn new() -> Self {
+        Antichain { elements: Vec::new() }
+    }
+
+    /// Creates an antichain containing a single element.
+    pub fn from_elem(element: T) -> Self {
+        Antichain { elements: vec![element] }
+    }
+
+    /// Attempts to insert `element`; returns `true` iff it was inserted.
+    ///
+    /// The element is inserted only if it is not in advance of (greater than or
+    /// equal to) an existing element; inserting removes any existing elements
+    /// that are in advance of it.
+    pub fn insert(&mut self, element: T) -> bool {
+        if !self.elements.iter().any(|x| x.less_equal(&element)) {
+            self.elements.retain(|x| !element.less_equal(x));
+            self.elements.push(element);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` iff some element of the antichain is `less_equal` to `time`,
+    /// i.e. `time` is *in advance of* this frontier (Definition 2).
+    #[inline]
+    pub fn less_equal(&self, time: &T) -> bool {
+        self.elements.iter().any(|x| x.less_equal(time))
+    }
+
+    /// Returns `true` iff some element of the antichain is strictly less than `time`.
+    #[inline]
+    pub fn less_than(&self, time: &T) -> bool {
+        self.elements.iter().any(|x| x.less_than(time))
+    }
+
+    /// Returns `true` iff the antichain contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The number of elements in the antichain.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The elements of the antichain.
+    pub fn elements(&self) -> &[T] {
+        &self.elements
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.elements.clear();
+    }
+
+    /// Returns a borrowing wrapper over the elements.
+    pub fn borrow(&self) -> AntichainRef<'_, T> {
+        AntichainRef { frontier: &self.elements }
+    }
+
+    /// Sorts the elements (by the `Ord` linear extension) for canonical comparison.
+    pub fn sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.elements.sort();
+    }
+}
+
+impl<T: PartialOrder + Clone> Default for Antichain<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: PartialOrder + Clone> FromIterator<T> for Antichain<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut result = Antichain::new();
+        for element in iter {
+            result.insert(element);
+        }
+        result
+    }
+}
+
+/// A borrowed antichain, used to hand frontiers to operator logic without cloning.
+#[derive(Clone, Copy, Debug)]
+pub struct AntichainRef<'a, T> {
+    frontier: &'a [T],
+}
+
+impl<'a, T: PartialOrder> AntichainRef<'a, T> {
+    /// Creates an `AntichainRef` from a slice of mutually incomparable elements.
+    pub fn new(frontier: &'a [T]) -> Self {
+        AntichainRef { frontier }
+    }
+
+    /// Returns `true` iff some element is `less_equal` to `time`.
+    #[inline]
+    pub fn less_equal(&self, time: &T) -> bool {
+        self.frontier.iter().any(|x| x.less_equal(time))
+    }
+
+    /// Returns `true` iff some element is strictly less than `time`.
+    #[inline]
+    pub fn less_than(&self, time: &T) -> bool {
+        self.frontier.iter().any(|x| x.less_than(time))
+    }
+
+    /// Returns `true` iff the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// The number of elements.
+    pub fn len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// The elements of the frontier.
+    pub fn elements(&self) -> &'a [T] {
+        self.frontier
+    }
+
+    /// Clones the elements into an owned [`Antichain`].
+    pub fn to_owned(&self) -> Antichain<T>
+    where
+        T: Clone,
+    {
+        Antichain { elements: self.frontier.to_vec() }
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'a, T> {
+        self.frontier.iter()
+    }
+}
+
+/// A multiset of timestamps whose minimal elements form a frontier.
+///
+/// Timestamps are tracked with signed multiplicities (from capability changes and
+/// message counts); the *frontier* is the antichain of minimal timestamps with
+/// positive net count. `update_iter` applies a batch of changes and reports the
+/// resulting changes to the frontier itself as `(time, ±1)` pairs, which is how
+/// frontier progress propagates through the dataflow graph.
+#[derive(Clone, Debug)]
+pub struct MutableAntichain<T> {
+    updates: Vec<(T, i64)>,
+    frontier: Vec<T>,
+    changes: ChangeBatch<T>,
+}
+
+impl<T: PartialOrder + Ord + Clone> MutableAntichain<T> {
+    /// Creates an empty `MutableAntichain`.
+    pub fn new() -> Self {
+        MutableAntichain { updates: Vec::new(), frontier: Vec::new(), changes: ChangeBatch::new() }
+    }
+
+    /// Creates a `MutableAntichain` containing `element` with multiplicity one.
+    pub fn new_bottom(element: T) -> Self {
+        MutableAntichain {
+            updates: vec![(element.clone(), 1)],
+            frontier: vec![element],
+            changes: ChangeBatch::new(),
+        }
+    }
+
+    /// The current frontier: minimal elements with positive count.
+    pub fn frontier(&self) -> AntichainRef<'_, T> {
+        AntichainRef { frontier: &self.frontier }
+    }
+
+    /// Returns `true` iff the frontier contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Returns `true` iff some frontier element is `less_equal` to `time`.
+    #[inline]
+    pub fn less_equal(&self, time: &T) -> bool {
+        self.frontier().less_equal(time)
+    }
+
+    /// Returns `true` iff some frontier element is strictly less than `time`.
+    #[inline]
+    pub fn less_than(&self, time: &T) -> bool {
+        self.frontier().less_than(time)
+    }
+
+    /// Applies updates and returns the implied changes to the frontier.
+    ///
+    /// The returned iterator yields `(time, diff)` pairs describing elements that
+    /// joined (`+1`) or left (`-1`) the frontier as a consequence of the updates.
+    pub fn update_iter<I>(&mut self, updates: I) -> std::vec::Drain<'_, (T, i64)>
+    where
+        I: IntoIterator<Item = (T, i64)>,
+    {
+        let old_frontier = self.frontier.clone();
+
+        for (time, delta) in updates {
+            if delta == 0 {
+                continue;
+            }
+            if let Some(position) = self.updates.iter().position(|(t, _)| t == &time) {
+                self.updates[position].1 += delta;
+                if self.updates[position].1 == 0 {
+                    self.updates.swap_remove(position);
+                }
+            } else {
+                self.updates.push((time, delta));
+            }
+        }
+
+        // Counts may be transiently negative: progress batches from different
+        // workers can arrive interleaved, so a consumption report may be applied
+        // before the corresponding production report. Safety is preserved because
+        // the producer's capability (reported in the same or an earlier batch as
+        // the production) still holds the frontier; only elements with a positive
+        // net count participate in the frontier below.
+
+        // Rebuild the frontier as the minimal elements with positive count.
+        self.frontier.clear();
+        for (time, count) in self.updates.iter() {
+            if *count > 0 && !self.updates.iter().any(|(t2, c2)| *c2 > 0 && t2.less_than(time)) {
+                if !self.frontier.contains(time) {
+                    self.frontier.push(time.clone());
+                }
+            }
+        }
+        self.frontier.sort();
+
+        // Emit frontier changes.
+        for time in old_frontier.iter() {
+            if !self.frontier.contains(time) {
+                self.changes.update(time.clone(), -1);
+            }
+        }
+        for time in self.frontier.iter() {
+            if !old_frontier.contains(time) {
+                self.changes.update(time.clone(), 1);
+            }
+        }
+        self.changes.drain()
+    }
+
+    /// Applies updates, discarding the frontier change report.
+    pub fn update_iter_and_ignore<I>(&mut self, updates: I)
+    where
+        I: IntoIterator<Item = (T, i64)>,
+    {
+        let _ = self.update_iter(updates);
+    }
+
+    /// The net multiplicity of `time`.
+    pub fn count_for(&self, time: &T) -> i64 {
+        self.updates.iter().filter(|(t, _)| t == time).map(|(_, c)| *c).sum()
+    }
+}
+
+impl<T: PartialOrder + Ord + Clone> Default for MutableAntichain<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::Product;
+
+    #[test]
+    fn antichain_insert_keeps_minimal_elements() {
+        let mut frontier = Antichain::new();
+        assert!(frontier.insert(5u64));
+        assert!(!frontier.insert(7u64));
+        assert!(frontier.insert(3u64));
+        assert_eq!(frontier.elements(), &[3]);
+    }
+
+    #[test]
+    fn antichain_partial_order_keeps_incomparable() {
+        let mut frontier = Antichain::new();
+        assert!(frontier.insert(Product::new(1u64, 3u64)));
+        assert!(frontier.insert(Product::new(3u64, 1u64)));
+        assert_eq!(frontier.len(), 2);
+        assert!(frontier.insert(Product::new(1u64, 1u64)));
+        assert_eq!(frontier.len(), 1);
+    }
+
+    #[test]
+    fn antichain_less_equal_semantics() {
+        let frontier = Antichain::from_elem(4u64);
+        assert!(frontier.less_equal(&4));
+        assert!(frontier.less_equal(&10));
+        assert!(!frontier.less_equal(&3));
+        assert!(!frontier.less_than(&4));
+        assert!(frontier.less_than(&5));
+    }
+
+    #[test]
+    fn empty_antichain_is_in_advance_of_nothing() {
+        let frontier = Antichain::<u64>::new();
+        assert!(!frontier.less_equal(&0));
+        assert!(frontier.is_empty());
+    }
+
+    #[test]
+    fn mutable_antichain_reports_frontier_changes() {
+        let mut frontier = MutableAntichain::new();
+        let changes: Vec<_> = frontier.update_iter(vec![(3u64, 1)]).collect();
+        assert_eq!(changes, vec![(3, 1)]);
+        let changes: Vec<_> = frontier.update_iter(vec![(5u64, 1)]).collect();
+        assert!(changes.is_empty());
+        let changes: Vec<_> = frontier.update_iter(vec![(3u64, -1)]).collect();
+        assert_eq!(changes, vec![(3, -1), (5, 1)]);
+        let changes: Vec<_> = frontier.update_iter(vec![(5u64, -1)]).collect();
+        assert_eq!(changes, vec![(5, -1)]);
+        assert!(frontier.is_empty());
+    }
+
+    #[test]
+    fn mutable_antichain_multiplicities() {
+        let mut frontier = MutableAntichain::new();
+        frontier.update_iter_and_ignore(vec![(2u64, 2)]);
+        let changes: Vec<_> = frontier.update_iter(vec![(2u64, -1)]).collect();
+        assert!(changes.is_empty(), "one copy remains, frontier unchanged");
+        assert!(frontier.less_equal(&2));
+        let changes: Vec<_> = frontier.update_iter(vec![(2u64, -1)]).collect();
+        assert_eq!(changes, vec![(2, -1)]);
+    }
+
+    #[test]
+    fn mutable_antichain_partial_order_frontier() {
+        let mut frontier = MutableAntichain::new();
+        frontier.update_iter_and_ignore(vec![(Product::new(1u64, 2u64), 1), (Product::new(2u64, 1u64), 1)]);
+        assert_eq!(frontier.frontier().len(), 2);
+        assert!(frontier.less_equal(&Product::new(2, 2)));
+        assert!(!frontier.less_equal(&Product::new(1, 1)));
+    }
+
+    #[test]
+    fn new_bottom_starts_at_element() {
+        let frontier = MutableAntichain::new_bottom(0u64);
+        assert!(frontier.less_equal(&0));
+        assert_eq!(frontier.count_for(&0), 1);
+    }
+
+    #[test]
+    fn from_iterator_builds_minimal_set() {
+        let frontier: Antichain<u64> = vec![5, 3, 9, 3].into_iter().collect();
+        assert_eq!(frontier.elements(), &[3]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Progress tracking: change batches, antichains/frontiers and the pointstamp tracker.
+
+pub mod antichain;
+pub mod change_batch;
+pub mod tracker;
+
+pub use antichain::{Antichain, AntichainRef, MutableAntichain};
+pub use change_batch::ChangeBatch;
+pub use tracker::{EdgeDesc, NodeDesc, Port, ProgressUpdates, Tracker};

@@ -1,0 +1,422 @@
+//! Pointstamp tracking and frontier propagation for a single dataflow.
+//!
+//! Every operator output port owns *capability* pointstamps (the operator may
+//! still produce messages at those times) and every channel owns *message*
+//! pointstamps (messages are in flight and not yet consumed). Workers broadcast
+//! changes to these counts; each worker folds the changes into its local
+//! [`Tracker`], which propagates them along the (acyclic) dataflow graph to
+//! obtain, for every operator input port, a frontier of timestamps that may
+//! still arrive there.
+
+use crate::order::Timestamp;
+use crate::progress::{Antichain, MutableAntichain};
+
+/// The location of an operator port within a dataflow graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// The operator (node) index within the dataflow.
+    pub node: usize,
+    /// The port index within the operator.
+    pub port: usize,
+}
+
+impl Port {
+    /// Creates a new port identifier.
+    pub fn new(node: usize, port: usize) -> Self {
+        Port { node, port }
+    }
+}
+
+/// Static description of one node of the dataflow graph.
+#[derive(Clone, Debug)]
+pub struct NodeDesc {
+    /// Human-readable operator name, used in errors and diagnostics.
+    pub name: String,
+    /// Number of input ports.
+    pub inputs: usize,
+    /// Number of output ports.
+    pub outputs: usize,
+    /// Whether the operator holds an initial capability at `T::minimum()` on
+    /// every output port (true for sources such as inputs and ordinary
+    /// operators; the tracker seeds `peers` copies of this capability).
+    pub initial_capability: bool,
+}
+
+/// Static description of one channel (edge) of the dataflow graph.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeDesc {
+    /// The producing operator output port.
+    pub source: Port,
+    /// The consuming operator input port.
+    pub target: Port,
+}
+
+/// A batch of progress changes produced by one worker during one step.
+///
+/// `internals` describes changes to capabilities held at operator output ports;
+/// `messages` describes changes to in-flight message counts on channels
+/// (positive when produced, negative when consumed).
+#[derive(Clone, Debug, Default)]
+pub struct ProgressUpdates<T> {
+    /// Capability count changes, keyed by operator output port.
+    pub internals: Vec<(Port, T, i64)>,
+    /// Message count changes, keyed by channel index.
+    pub messages: Vec<(usize, T, i64)>,
+}
+
+impl<T> ProgressUpdates<T> {
+    /// Creates an empty update batch.
+    pub fn new() -> Self {
+        ProgressUpdates { internals: Vec::new(), messages: Vec::new() }
+    }
+
+    /// Returns `true` iff the batch carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.internals.is_empty() && self.messages.is_empty()
+    }
+}
+
+/// Per-dataflow progress state: pointstamp counts and derived frontiers.
+pub struct Tracker<T: Timestamp> {
+    nodes: Vec<NodeDesc>,
+    edges: Vec<EdgeDesc>,
+    /// Channels indexed by target port, for frontier propagation.
+    incoming: Vec<Vec<Vec<usize>>>,
+    /// Capability multiplicities per node output port, aggregated over all workers.
+    capabilities: Vec<Vec<MutableAntichain<T>>>,
+    /// In-flight message multiplicities per channel, aggregated over all workers.
+    messages: Vec<MutableAntichain<T>>,
+    /// Derived frontier at each node input port.
+    input_frontiers: Vec<Vec<Antichain<T>>>,
+    /// Derived frontier at each node output port.
+    output_frontiers: Vec<Vec<Antichain<T>>>,
+    /// Nodes in topological order (sources before targets).
+    topo: Vec<usize>,
+}
+
+impl<T: Timestamp> Tracker<T> {
+    /// Builds a tracker for the given graph, seeding `peers` initial capabilities
+    /// at `T::minimum()` on every output port of nodes that declare one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle or an edge references an invalid port;
+    /// `timelite` supports acyclic dataflows only.
+    pub fn new(nodes: Vec<NodeDesc>, edges: Vec<EdgeDesc>, peers: usize) -> Self {
+        for edge in &edges {
+            assert!(
+                edge.source.node < nodes.len() && edge.source.port < nodes[edge.source.node].outputs,
+                "channel source {:?} out of bounds",
+                edge.source
+            );
+            assert!(
+                edge.target.node < nodes.len() && edge.target.port < nodes[edge.target.node].inputs,
+                "channel target {:?} out of bounds",
+                edge.target
+            );
+        }
+
+        let mut incoming = nodes
+            .iter()
+            .map(|node| vec![Vec::new(); node.inputs])
+            .collect::<Vec<_>>();
+        for (index, edge) in edges.iter().enumerate() {
+            incoming[edge.target.node][edge.target.port].push(index);
+        }
+
+        let topo = topological_order(&nodes, &edges);
+
+        let mut capabilities = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            let mut ports = Vec::with_capacity(node.outputs);
+            for _ in 0..node.outputs {
+                let mut antichain = MutableAntichain::new();
+                if node.initial_capability {
+                    antichain.update_iter_and_ignore(Some((T::minimum(), peers as i64)));
+                }
+                ports.push(antichain);
+            }
+            capabilities.push(ports);
+        }
+
+        let messages = edges.iter().map(|_| MutableAntichain::new()).collect();
+        let input_frontiers = nodes.iter().map(|n| vec![Antichain::new(); n.inputs]).collect();
+        let output_frontiers = nodes.iter().map(|n| vec![Antichain::new(); n.outputs]).collect();
+
+        let mut tracker = Tracker {
+            nodes,
+            edges,
+            incoming,
+            capabilities,
+            messages,
+            input_frontiers,
+            output_frontiers,
+            topo,
+        };
+        tracker.propagate();
+        tracker
+    }
+
+    /// Applies a batch of progress updates and recomputes all frontiers.
+    pub fn apply(&mut self, updates: &ProgressUpdates<T>) {
+        for (port, time, diff) in &updates.internals {
+            self.capabilities[port.node][port.port]
+                .update_iter_and_ignore(Some((time.clone(), *diff)));
+        }
+        for (channel, time, diff) in &updates.messages {
+            self.messages[*channel].update_iter_and_ignore(Some((time.clone(), *diff)));
+        }
+        self.propagate();
+    }
+
+    /// Recomputes the input and output frontiers of every node.
+    ///
+    /// For acyclic graphs a single pass in topological order suffices: the
+    /// frontier at an input port is the union of, for each incoming channel, the
+    /// channel's in-flight messages and the source output port's frontier; the
+    /// frontier at an output port is the union of the node's capabilities on that
+    /// port and all of the node's input frontiers (conservatively assuming every
+    /// input may influence every output).
+    fn propagate(&mut self) {
+        for &node in &self.topo.clone() {
+            for port in 0..self.nodes[node].inputs {
+                let mut frontier = Antichain::new();
+                for &channel in &self.incoming[node][port] {
+                    for time in self.messages[channel].frontier().iter() {
+                        frontier.insert(time.clone());
+                    }
+                    let source = self.edges[channel].source;
+                    for time in self.output_frontiers[source.node][source.port].elements() {
+                        frontier.insert(time.clone());
+                    }
+                }
+                frontier.sort();
+                self.input_frontiers[node][port] = frontier;
+            }
+            for port in 0..self.nodes[node].outputs {
+                let mut frontier = Antichain::new();
+                for time in self.capabilities[node][port].frontier().iter() {
+                    frontier.insert(time.clone());
+                }
+                for input in 0..self.nodes[node].inputs {
+                    for time in self.input_frontiers[node][input].elements() {
+                        frontier.insert(time.clone());
+                    }
+                }
+                frontier.sort();
+                self.output_frontiers[node][port] = frontier;
+            }
+        }
+    }
+
+    /// The frontier at input port `port` of node `node`.
+    pub fn input_frontier(&self, node: usize, port: usize) -> &Antichain<T> {
+        &self.input_frontiers[node][port]
+    }
+
+    /// All input frontiers of `node`.
+    pub fn input_frontiers(&self, node: usize) -> &[Antichain<T>] {
+        &self.input_frontiers[node]
+    }
+
+    /// The frontier at output port `port` of node `node`.
+    pub fn output_frontier(&self, node: usize, port: usize) -> &Antichain<T> {
+        &self.output_frontiers[node][port]
+    }
+
+    /// Returns `true` iff no capabilities or in-flight messages remain anywhere.
+    pub fn is_complete(&self) -> bool {
+        self.capabilities.iter().all(|ports| ports.iter().all(|c| c.is_empty()))
+            && self.messages.iter().all(|m| m.is_empty())
+    }
+
+    /// Number of nodes in the tracked graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of channels in the tracked graph.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The node descriptions (for diagnostics).
+    pub fn nodes(&self) -> &[NodeDesc] {
+        &self.nodes
+    }
+
+    /// The topological schedule order of the nodes.
+    pub fn schedule_order(&self) -> &[usize] {
+        &self.topo
+    }
+}
+
+/// Computes a topological order of the nodes; panics on cycles.
+fn topological_order(nodes: &[NodeDesc], edges: &[EdgeDesc]) -> Vec<usize> {
+    let mut in_degree = vec![0usize; nodes.len()];
+    let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for edge in edges {
+        if edge.source.node != edge.target.node {
+            outgoing[edge.source.node].push(edge.target.node);
+            in_degree[edge.target.node] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..nodes.len()).filter(|&n| in_degree[n] == 0).collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(node) = queue.pop() {
+        order.push(node);
+        for &next in &outgoing[node] {
+            in_degree[next] -= 1;
+            if in_degree[next] == 0 {
+                queue.push(next);
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        nodes.len(),
+        "timelite supports acyclic dataflows only; a cycle was detected"
+    );
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, inputs: usize, outputs: usize) -> NodeDesc {
+        NodeDesc { name: name.to_string(), inputs, outputs, initial_capability: outputs > 0 }
+    }
+
+    /// input(0) -> map(1) -> sink(2)
+    fn linear_graph() -> (Vec<NodeDesc>, Vec<EdgeDesc>) {
+        let nodes = vec![node("input", 0, 1), node("map", 1, 1), node("sink", 1, 0)];
+        let edges = vec![
+            EdgeDesc { source: Port::new(0, 0), target: Port::new(1, 0) },
+            EdgeDesc { source: Port::new(1, 0), target: Port::new(2, 0) },
+        ];
+        (nodes, edges)
+    }
+
+    #[test]
+    fn initial_frontier_is_minimum() {
+        let (nodes, edges) = linear_graph();
+        let tracker = Tracker::<u64>::new(nodes, edges, 2);
+        assert_eq!(tracker.input_frontier(2, 0).elements(), &[0]);
+        assert_eq!(tracker.input_frontier(1, 0).elements(), &[0]);
+        assert!(!tracker.is_complete());
+    }
+
+    #[test]
+    fn dropping_capabilities_advances_frontier() {
+        let (nodes, edges) = linear_graph();
+        let mut tracker = Tracker::<u64>::new(nodes, edges, 1);
+        // Input node swaps its capability from 0 to 5.
+        let mut updates = ProgressUpdates::new();
+        updates.internals.push((Port::new(0, 0), 0, -1));
+        updates.internals.push((Port::new(0, 0), 5, 1));
+        tracker.apply(&updates);
+        // map still holds its initial capability at 0, so its own output is 0,
+        // but its input frontier has advanced to 5.
+        assert_eq!(tracker.input_frontier(1, 0).elements(), &[5]);
+        assert_eq!(tracker.input_frontier(2, 0).elements(), &[0]);
+
+        // map drops its initial capability: downstream sees 5.
+        let mut updates = ProgressUpdates::new();
+        updates.internals.push((Port::new(1, 0), 0, -1));
+        tracker.apply(&updates);
+        assert_eq!(tracker.input_frontier(2, 0).elements(), &[5]);
+    }
+
+    #[test]
+    fn in_flight_messages_hold_frontier() {
+        let (nodes, edges) = linear_graph();
+        let mut tracker = Tracker::<u64>::new(nodes, edges, 1);
+        let mut updates = ProgressUpdates::new();
+        // Input produces a message at time 3 on channel 0 and advances to 10.
+        updates.messages.push((0, 3, 4));
+        updates.internals.push((Port::new(0, 0), 0, -1));
+        updates.internals.push((Port::new(0, 0), 10, 1));
+        updates.internals.push((Port::new(1, 0), 0, -1));
+        tracker.apply(&updates);
+        assert_eq!(tracker.input_frontier(1, 0).elements(), &[3]);
+        assert_eq!(tracker.input_frontier(2, 0).elements(), &[3]);
+
+        // Consuming the message releases the frontier.
+        let mut updates = ProgressUpdates::new();
+        updates.messages.push((0, 3, -4));
+        tracker.apply(&updates);
+        assert_eq!(tracker.input_frontier(1, 0).elements(), &[10]);
+        assert_eq!(tracker.input_frontier(2, 0).elements(), &[10]);
+    }
+
+    #[test]
+    fn multiple_peers_all_hold_initial_capabilities() {
+        let (nodes, edges) = linear_graph();
+        let mut tracker = Tracker::<u64>::new(nodes, edges, 2);
+        // Only one worker's input advances: frontier must stay at 0.
+        let mut updates = ProgressUpdates::new();
+        updates.internals.push((Port::new(0, 0), 0, -1));
+        updates.internals.push((Port::new(0, 0), 7, 1));
+        tracker.apply(&updates);
+        assert_eq!(tracker.input_frontier(1, 0).elements(), &[0]);
+        // Second worker advances too.
+        let mut updates = ProgressUpdates::new();
+        updates.internals.push((Port::new(0, 0), 0, -1));
+        updates.internals.push((Port::new(0, 0), 9, 1));
+        tracker.apply(&updates);
+        assert_eq!(tracker.input_frontier(1, 0).elements(), &[7]);
+    }
+
+    #[test]
+    fn completion_requires_all_counts_zero() {
+        let (nodes, edges) = linear_graph();
+        let mut tracker = Tracker::<u64>::new(nodes, edges, 1);
+        let mut updates = ProgressUpdates::new();
+        updates.internals.push((Port::new(0, 0), 0, -1));
+        updates.internals.push((Port::new(1, 0), 0, -1));
+        tracker.apply(&updates);
+        assert!(tracker.is_complete());
+        assert!(tracker.input_frontier(2, 0).is_empty());
+    }
+
+    #[test]
+    fn diamond_graph_takes_minimum_over_paths() {
+        // input(0) -> a(1) -> sink(3); input(0) -> b(2) -> sink(3)
+        let nodes = vec![node("input", 0, 1), node("a", 1, 1), node("b", 1, 1), node("sink", 2, 0)];
+        let edges = vec![
+            EdgeDesc { source: Port::new(0, 0), target: Port::new(1, 0) },
+            EdgeDesc { source: Port::new(0, 0), target: Port::new(2, 0) },
+            EdgeDesc { source: Port::new(1, 0), target: Port::new(3, 0) },
+            EdgeDesc { source: Port::new(2, 0), target: Port::new(3, 1) },
+        ];
+        let mut tracker = Tracker::<u64>::new(nodes, edges, 1);
+        let mut updates = ProgressUpdates::new();
+        updates.internals.push((Port::new(0, 0), 0, -1));
+        updates.internals.push((Port::new(0, 0), 8, 1));
+        updates.internals.push((Port::new(1, 0), 0, -1));
+        // b keeps its capability at 0.
+        tracker.apply(&updates);
+        assert_eq!(tracker.input_frontier(3, 0).elements(), &[8]);
+        assert_eq!(tracker.input_frontier(3, 1).elements(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn cycles_are_rejected() {
+        let nodes = vec![node("a", 1, 1), node("b", 1, 1)];
+        let edges = vec![
+            EdgeDesc { source: Port::new(0, 0), target: Port::new(1, 0) },
+            EdgeDesc { source: Port::new(1, 0), target: Port::new(0, 0) },
+        ];
+        let _ = Tracker::<u64>::new(nodes, edges, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn invalid_edges_are_rejected() {
+        let nodes = vec![node("a", 0, 1)];
+        let edges = vec![EdgeDesc { source: Port::new(0, 0), target: Port::new(0, 3) }];
+        let _ = Tracker::<u64>::new(nodes, edges, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Workers: the per-thread execution engine that schedules operators, moves data
+//! and exchanges progress information with its peers.
+
+use std::collections::VecDeque;
+
+use crate::communication::{send_to, Allocator, Envelope, Payload};
+use crate::dataflow::scope::{BuiltDataflow, GraphBuilder, Scope};
+use crate::order::Timestamp;
+use crate::progress::{ProgressUpdates, Tracker};
+
+/// A type-erased executable dataflow owned by a worker.
+trait DataflowStep {
+    /// Accepts a received envelope payload for `channel`.
+    fn accept(&mut self, channel: usize, payload: Payload);
+    /// Performs one scheduling round; returns `true` if any progress was made.
+    fn step(&mut self) -> bool;
+    /// Returns `true` iff no capabilities or messages remain anywhere in the dataflow.
+    fn complete(&self) -> bool;
+}
+
+/// One executable dataflow: the built graph plus its progress tracker.
+struct DataflowCore<T: Timestamp> {
+    built: BuiltDataflow<T>,
+    tracker: Tracker<T>,
+    pending_progress: VecDeque<ProgressUpdates<T>>,
+}
+
+impl<T: Timestamp> DataflowCore<T> {
+    fn new(built: BuiltDataflow<T>) -> Self {
+        let tracker = Tracker::new(built.nodes.clone(), built.edges.clone(), built.peers);
+        DataflowCore { built, tracker, pending_progress: VecDeque::new() }
+    }
+
+    /// Collects progress changes recorded by operators since the last flush.
+    fn harvest_progress(&mut self) -> ProgressUpdates<T> {
+        let mut updates = ProgressUpdates::new();
+        for (port, changes) in &self.built.internals {
+            for (time, diff) in changes.borrow_mut().drain() {
+                updates.internals.push((*port, time, diff));
+            }
+        }
+        for (channel, produced) in self.built.produceds.iter().enumerate() {
+            for (time, diff) in produced.borrow_mut().drain() {
+                updates.messages.push((channel, time, diff));
+            }
+        }
+        for (channel, consumed) in self.built.consumeds.iter().enumerate() {
+            for (time, diff) in consumed.borrow_mut().drain() {
+                updates.messages.push((channel, time, -diff));
+            }
+        }
+        updates
+    }
+}
+
+impl<T: Timestamp> DataflowStep for DataflowCore<T> {
+    fn accept(&mut self, channel: usize, payload: Payload) {
+        match payload {
+            Payload::Data(boxed) => {
+                (self.built.demux[channel])(boxed);
+            }
+            Payload::Progress(boxed) => {
+                let updates = boxed
+                    .downcast::<ProgressUpdates<T>>()
+                    .expect("progress payload of unexpected timestamp type");
+                self.pending_progress.push_back(*updates);
+            }
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        // 1. Fold in progress information received from peers.
+        let mut any_progress = !self.pending_progress.is_empty();
+        while let Some(updates) = self.pending_progress.pop_front() {
+            self.tracker.apply(&updates);
+        }
+
+        // 2. Schedule every operator in topological order with its current frontiers.
+        let order = self.tracker.schedule_order().to_vec();
+        for node in order {
+            let frontiers = self.tracker.input_frontiers(node);
+            (self.built.logics[node])(frontiers);
+        }
+
+        // 3. Harvest and share progress changes made by the operators.
+        let updates = self.harvest_progress();
+        if !updates.is_empty() {
+            self.tracker.apply(&updates);
+            for target in 0..self.built.peers {
+                if target != self.built.index {
+                    send_to(
+                        &self.built.senders,
+                        target,
+                        Envelope {
+                            dataflow: self.built.dataflow,
+                            channel: usize::MAX,
+                            from: self.built.index,
+                            payload: Payload::Progress(Box::new(updates.clone())),
+                        },
+                    );
+                }
+            }
+            any_progress = true;
+        }
+        any_progress
+    }
+
+    fn complete(&self) -> bool {
+        self.tracker.is_complete()
+    }
+}
+
+/// A single worker thread: it owns a partition of every dataflow's operators and
+/// repeatedly schedules them, exchanging data and progress with its peers.
+pub struct Worker {
+    alloc: Allocator,
+    dataflows: Vec<Box<dyn DataflowStep>>,
+    /// Envelopes received for dataflows this worker has not yet constructed.
+    stashed: Vec<Envelope>,
+}
+
+impl Worker {
+    /// Creates a worker around its communication endpoint.
+    pub fn new(alloc: Allocator) -> Self {
+        Worker { alloc, dataflows: Vec::new(), stashed: Vec::new() }
+    }
+
+    /// This worker's index.
+    pub fn index(&self) -> usize {
+        self.alloc.index()
+    }
+
+    /// The total number of workers.
+    pub fn peers(&self) -> usize {
+        self.alloc.peers()
+    }
+
+    /// Constructs a new dataflow by running `func` with a fresh scope.
+    ///
+    /// Every worker must call `dataflow` the same number of times with
+    /// structurally identical construction closures; this is what allows
+    /// channels and progress information to line up across workers.
+    pub fn dataflow<T, R, F>(&mut self, func: F) -> R
+    where
+        T: Timestamp,
+        F: FnOnce(&mut Scope<T>) -> R,
+    {
+        let dataflow_index = self.dataflows.len();
+        let builder = GraphBuilder::new(
+            dataflow_index,
+            self.alloc.index(),
+            self.alloc.peers(),
+            self.alloc.senders(),
+        );
+        let mut scope = Scope::new(builder);
+        let result = func(&mut scope);
+        let built = scope.finalize();
+        self.dataflows.push(Box::new(DataflowCore::new(built)));
+
+        // Deliver any envelopes that arrived before this dataflow existed.
+        let stashed = std::mem::take(&mut self.stashed);
+        for envelope in stashed {
+            self.route(envelope);
+        }
+        result
+    }
+
+    fn route(&mut self, envelope: Envelope) {
+        if envelope.dataflow < self.dataflows.len() {
+            self.dataflows[envelope.dataflow].accept(envelope.channel, envelope.payload);
+        } else {
+            self.stashed.push(envelope);
+        }
+    }
+
+    /// Performs one round of message delivery and operator scheduling.
+    ///
+    /// Returns `true` if the worker made progress (received messages or changed
+    /// progress state); callers may yield when the worker reports inactivity.
+    pub fn step(&mut self) -> bool {
+        let mut active = false;
+        while let Some(envelope) = self.alloc.try_recv() {
+            active = true;
+            self.route(envelope);
+        }
+        for dataflow in &mut self.dataflows {
+            active |= dataflow.step();
+        }
+        active
+    }
+
+    /// Steps the worker while `condition` returns `true`, yielding when idle.
+    pub fn step_while(&mut self, mut condition: impl FnMut() -> bool) {
+        while condition() {
+            if !self.step() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Returns `true` iff every dataflow has completed (no capabilities or
+    /// in-flight messages remain anywhere).
+    pub fn dataflows_complete(&self) -> bool {
+        self.dataflows.iter().all(|dataflow| dataflow.complete())
+    }
+
+    /// Steps the worker until every dataflow completes.
+    pub fn step_until_complete(&mut self) {
+        while !self.dataflows_complete() {
+            if !self.step() {
+                std::thread::yield_now();
+            }
+        }
+    }
+}

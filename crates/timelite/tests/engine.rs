@@ -1,0 +1,391 @@
+//! Integration tests for the timelite engine: multi-worker execution, exchange
+//! and broadcast pacts, frontier-driven operators, and probes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use timelite::communication::Pact;
+use timelite::prelude::*;
+
+/// Records exchanged by key land on the worker owning that key, exactly once.
+#[test]
+fn exchange_partitions_by_key() {
+    let results = timelite::execute(Config::process(4), |worker| {
+        let index = worker.index();
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let received_in = received.clone();
+        let (mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let probe = stream
+                .exchange(|x| *x)
+                .inspect(move |_t, x| received_in.borrow_mut().push(*x))
+                .probe();
+            (input, probe)
+        });
+
+        // Every worker sends the same 100 keys.
+        for key in 0..100u64 {
+            input.send(key);
+        }
+        input.advance_to(1);
+        worker.step_while(|| probe.less_than(&1));
+        drop(input);
+        worker.step_until_complete();
+
+        let received = received.borrow().clone();
+        (index, received)
+    });
+
+    let mut total = 0;
+    for (index, received) in results {
+        total += received.len();
+        for key in received {
+            assert_eq!(key % 4, index as u64, "key {} landed on wrong worker {}", key, index);
+        }
+    }
+    // 4 workers × 100 keys each.
+    assert_eq!(total, 400);
+}
+
+/// Broadcast delivers every record to every worker.
+#[test]
+fn broadcast_replicates_records() {
+    let results = timelite::execute(Config::process(3), |worker| {
+        let count = Rc::new(RefCell::new(0usize));
+        let count_in = count.clone();
+        let (mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let probe = stream
+                .broadcast()
+                .inspect(move |_t, _x| *count_in.borrow_mut() += 1)
+                .probe();
+            (input, probe)
+        });
+        if worker.index() == 0 {
+            for i in 0..10u64 {
+                input.send(i);
+            }
+        }
+        input.advance_to(1);
+        worker.step_while(|| probe.less_than(&1));
+        drop(input);
+        worker.step_until_complete();
+        let total = *count.borrow();
+        total
+    });
+    assert_eq!(results, vec![10, 10, 10]);
+}
+
+/// A frontier-aware operator that buffers per-epoch sums and emits them only
+/// when the epoch is complete must see every worker's records.
+#[test]
+fn frontier_driven_aggregation() {
+    let results = timelite::execute(Config::process(2), |worker| {
+        let sums = Rc::new(RefCell::new(Vec::new()));
+        let sums_out = sums.clone();
+        let (mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let stream = stream.unary_frontier(
+                Pact::exchange(|(key, _): &(u64, u64)| *key),
+                "EpochSum",
+                move |_capability| {
+                    let mut pending: Vec<(Capability<u64>, u64)> = Vec::new();
+                    move |input, output, frontier| {
+                        input.for_each(|cap, data| {
+                            let sum: u64 = data.iter().map(|(_, v)| v).sum();
+                            if let Some((_, total)) =
+                                pending.iter_mut().find(|(c, _)| c.time() == cap.time())
+                            {
+                                *total += sum;
+                            } else {
+                                pending.push((cap, sum));
+                            }
+                        });
+                        // Emit epochs that are complete.
+                        let mut index = 0;
+                        while index < pending.len() {
+                            if !frontier.less_equal(pending[index].0.time()) {
+                                let (cap, total) = pending.swap_remove(index);
+                                output.session(&cap).give(total);
+                            } else {
+                                index += 1;
+                            }
+                        }
+                    }
+                },
+            );
+            let probe = stream
+                .inspect(move |t, total| sums_out.borrow_mut().push((*t, *total)))
+                .probe();
+            (input, probe)
+        });
+
+        for epoch in 0..5u64 {
+            // Both workers contribute values; key 0 routes everything to worker 0.
+            input.send((0, epoch + 1));
+            input.advance_to(epoch + 1);
+            worker.step_while(|| probe.less_than(&(epoch + 1)));
+        }
+        drop(input);
+        worker.step_until_complete();
+        let collected = sums.borrow().clone();
+        collected
+    });
+
+    // Worker 0 holds key 0 and should have seen per-epoch sums of 2 * (epoch + 1).
+    let combined: HashMap<u64, u64> = results.into_iter().flatten().collect();
+    for epoch in 0..5u64 {
+        assert_eq!(combined.get(&epoch).copied(), Some(2 * (epoch + 1)));
+    }
+}
+
+/// Epochs become visible downstream in order, and the probe only reports an
+/// epoch complete after all of its records have been delivered.
+#[test]
+fn probe_tracks_epoch_completion() {
+    timelite::execute(Config::process(2), |worker| {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen_in = seen.clone();
+        let (mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let probe = stream
+                .exchange(|x| *x)
+                .inspect(move |t, x| seen_in.borrow_mut().push((*t, *x)))
+                .probe();
+            (input, probe)
+        });
+
+        for epoch in 0..10u64 {
+            for value in 0..20u64 {
+                input.send(epoch * 100 + value);
+            }
+            input.advance_to(epoch + 1);
+            worker.step_while(|| probe.less_than(&(epoch + 1)));
+            // Once the probe reports completion, all records of this epoch
+            // (from both workers) must have been observed somewhere; check that
+            // at least the locally received ones carry the right time.
+            for (time, value) in seen.borrow().iter() {
+                assert_eq!(*time, value / 100, "record {} observed at wrong epoch {}", value, time);
+            }
+        }
+        drop(input);
+        worker.step_until_complete();
+    });
+}
+
+/// Binary operators see both inputs and both frontiers.
+#[test]
+fn binary_frontier_joins_two_inputs() {
+    let results = timelite::execute(Config::process(2), |worker| {
+        let joined = Rc::new(RefCell::new(Vec::new()));
+        let joined_out = joined.clone();
+        let (mut left, mut right, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (left_in, left) = scope.new_input::<(u64, String)>();
+            let (right_in, right) = scope.new_input::<(u64, u64)>();
+            let joined_stream = left.binary_frontier(
+                &right,
+                Pact::exchange(|(k, _): &(u64, String)| *k),
+                Pact::exchange(|(k, _): &(u64, u64)| *k),
+                "Join",
+                move |_capability| {
+                    let mut names: HashMap<u64, String> = HashMap::new();
+                    let mut values: Vec<(Capability<u64>, Vec<(u64, u64)>)> = Vec::new();
+                    move |input1, input2, output, _frontiers| {
+                        input1.for_each(|_cap, data| {
+                            for (key, name) in data {
+                                names.insert(key, name);
+                            }
+                        });
+                        input2.for_each(|cap, data| values.push((cap, data)));
+                        let mut index = 0;
+                        while index < values.len() {
+                            let all_known =
+                                values[index].1.iter().all(|(key, _)| names.contains_key(key));
+                            if all_known {
+                                let (cap, data) = values.swap_remove(index);
+                                let mut session = output.session(&cap);
+                                for (key, value) in data {
+                                    session.give((names[&key].clone(), value));
+                                }
+                            } else {
+                                index += 1;
+                            }
+                        }
+                    }
+                },
+            );
+            let probe = joined_stream
+                .inspect(move |_t, pair| joined_out.borrow_mut().push(pair.clone()))
+                .probe();
+            (left_in, right_in, probe)
+        });
+
+        if worker.index() == 0 {
+            left.send((1, "one".to_string()));
+            left.send((2, "two".to_string()));
+            right.send((1, 100));
+            right.send((2, 200));
+        }
+        left.advance_to(1);
+        right.advance_to(1);
+        worker.step_while(|| probe.less_than(&1));
+        drop(left);
+        drop(right);
+        worker.step_until_complete();
+        let collected = joined.borrow().clone();
+        collected
+    });
+
+    let mut all: Vec<(String, u64)> = results.into_iter().flatten().collect();
+    all.sort();
+    assert_eq!(all, vec![("one".to_string(), 100), ("two".to_string(), 200)]);
+}
+
+/// Map, filter and concat compose as expected.
+#[test]
+fn map_filter_concat_pipeline() {
+    let results = timelite::execute_single(|worker| {
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let out_in = out.clone();
+        let (mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let doubled = stream.map(|x| x * 2);
+            let odds = stream.filter(|x| x % 2 == 1).map(|x| x * 1000);
+            let probe = doubled
+                .concat(&odds)
+                .inspect(move |_t, x| out_in.borrow_mut().push(*x))
+                .probe();
+            (input, probe)
+        });
+        for i in 0..4u64 {
+            input.send(i);
+        }
+        input.advance_to(1);
+        worker.step_while(|| probe.less_than(&1));
+        drop(input);
+        worker.step_until_complete();
+        let mut collected = out.borrow().clone();
+        collected.sort();
+        collected
+    });
+    assert_eq!(results, vec![0, 2, 4, 6, 1000, 3000]);
+}
+
+/// Capabilities delayed to future times hold the frontier until released.
+#[test]
+fn delayed_capabilities_hold_frontier() {
+    timelite::execute_single(|worker| {
+        let emitted = Rc::new(RefCell::new(Vec::new()));
+        let emitted_in = emitted.clone();
+        let (mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            // Holds every record until time 10, then releases them all.
+            let delayed = stream.unary_frontier(Pact::Pipeline, "Delay", move |_capability| {
+                let mut stash: Vec<(Capability<u64>, Vec<u64>)> = Vec::new();
+                move |input, output, frontier| {
+                    input.for_each(|cap, data| stash.push((cap.delayed(&10), data)));
+                    if !frontier.less_than(&10) {
+                        for (cap, mut data) in stash.drain(..) {
+                            output.session(&cap).give_vec(&mut data);
+                        }
+                    }
+                }
+            });
+            let probe = delayed
+                .inspect(move |t, x| emitted_in.borrow_mut().push((*t, *x)))
+                .probe();
+            (input, probe)
+        });
+
+        for epoch in 0..5u64 {
+            input.send(epoch);
+            input.advance_to(epoch + 1);
+            worker.step_while(|| {
+                // The probe must not pass epoch+1 … but it must pass once we
+                // reach the release time. Step a bounded number of times.
+                false
+            });
+            // Before time 10 nothing may be emitted.
+            for _ in 0..20 {
+                worker.step();
+            }
+            assert!(emitted.borrow().is_empty(), "records released before time 10");
+            assert!(probe.less_than(&10), "frontier advanced past the held capability");
+        }
+        input.advance_to(10);
+        worker.step_while(|| probe.less_than(&10));
+        drop(input);
+        worker.step_until_complete();
+        let collected = emitted.borrow().clone();
+        assert_eq!(collected.len(), 5);
+        assert!(collected.iter().all(|(t, _)| *t == 10));
+    });
+}
+
+/// Multiple dataflows on the same worker progress independently.
+#[test]
+fn multiple_dataflows_coexist() {
+    timelite::execute(Config::process(2), |worker| {
+        let count_a = Rc::new(RefCell::new(0u64));
+        let count_b = Rc::new(RefCell::new(0u64));
+
+        let count_a_in = count_a.clone();
+        let (mut input_a, probe_a) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let probe = stream
+                .exchange(|x| *x)
+                .inspect(move |_t, _x| *count_a_in.borrow_mut() += 1)
+                .probe();
+            (input, probe)
+        });
+
+        let count_b_in = count_b.clone();
+        let (mut input_b, probe_b) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let probe = stream
+                .broadcast()
+                .inspect(move |_t, _x| *count_b_in.borrow_mut() += 1)
+                .probe();
+            (input, probe)
+        });
+
+        input_a.send(worker.index() as u64);
+        input_b.send(worker.index() as u64);
+        input_a.advance_to(1);
+        input_b.advance_to(1);
+        worker.step_while(|| probe_a.less_than(&1) || probe_b.less_than(&1));
+        drop(input_a);
+        drop(input_b);
+        worker.step_until_complete();
+
+        // Dataflow A exchanged 2 records across 2 workers; dataflow B broadcast
+        // 2 records to 2 workers each.
+        let a = *count_a.borrow();
+        let b = *count_b.borrow();
+        assert_eq!(b, 2);
+        a
+    });
+}
+
+/// The engine drains gracefully when inputs are closed without advancing.
+#[test]
+fn close_without_advancing_completes() {
+    timelite::execute(Config::process(2), |worker| {
+        let seen = Rc::new(RefCell::new(0usize));
+        let seen_in = seen.clone();
+        let mut input = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            stream.exchange(|x| *x).inspect(move |_t, _x| *seen_in.borrow_mut() += 1).probe();
+            input
+        });
+        if worker.index() == 0 {
+            input.send(42);
+        }
+        drop(input);
+        worker.step_until_complete();
+        // Key 42 routes to worker 0; the other worker sees nothing.
+        let expected = if worker.index() == 0 { 1 } else { 0 };
+        assert_eq!(*seen.borrow(), expected);
+    });
+}

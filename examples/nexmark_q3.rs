@@ -1,0 +1,63 @@
+//! NEXMark Q3 (who is selling in particular states?) with a live migration:
+//! the incremental join's state is re-balanced mid-stream with a batched
+//! migration while results keep flowing.
+//!
+//! Run with: `cargo run --release --example nexmark_q3`
+
+use megaphone::prelude::*;
+use nexmark::{build_query, NexmarkConfig, NexmarkGenerator};
+use timelite::prelude::*;
+
+fn main() {
+    let results = timelite::execute(Config::process(2), |worker| {
+        let index = worker.index();
+        let peers = worker.peers();
+        let mega_config = MegaphoneConfig::new(6);
+        let rows = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+
+        let rows_inner = rows.clone();
+        let (mut control, mut events_in, output) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (event_input, events) = scope.new_input::<nexmark::Event>();
+            let output = build_query("q3", mega_config, &control, &events);
+            output.stream.inspect(move |time, row| {
+                let mut rows = rows_inner.borrow_mut();
+                *rows += 1;
+                if *rows <= 10 {
+                    println!("[worker ?] t={time} {row}");
+                }
+            });
+            (control_input, event_input, output)
+        });
+
+        let generator = NexmarkGenerator::new(NexmarkConfig::with_rate(10_000));
+        let epochs = 40u64;
+        let events_per_epoch = 1_000u64;
+        let plan = plan_migration(
+            MigrationStrategy::Batched(8),
+            &balanced_assignment(mega_config.bins(), peers),
+            &imbalanced_assignment(mega_config.bins(), peers),
+        );
+        let mut controller = MigrationController::<u64>::new(plan, false);
+
+        for epoch in 0..epochs {
+            let start = epoch * events_per_epoch;
+            for event_index in (start..start + events_per_epoch).filter(|i| i % peers as u64 == index as u64) {
+                events_in.send(generator.event(event_index));
+            }
+            if index == 0 && epoch >= epochs / 2 && !controller.is_complete() {
+                controller.advance(&output.probe, &mut control);
+            }
+            let next_ms = (epoch + 1) * 100;
+            control.advance_to(next_ms + 100);
+            events_in.advance_to(next_ms);
+            worker.step_while(|| output.probe.less_than(&next_ms));
+        }
+        drop(control);
+        drop(events_in);
+        worker.step_until_complete();
+        let total = *rows.borrow();
+        total
+    });
+    println!("Q3 result rows per worker: {results:?}");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: a migrateable word-count dataflow (the paper's Listing 2).
+//!
+//! Two workers count words; halfway through, every bin is moved to worker 1
+//! with a single all-at-once command, and the counts keep accumulating
+//! seamlessly on the new owner.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use megaphone::prelude::*;
+use timelite::prelude::*;
+
+fn main() {
+    let text = ["a", "streaming", "dataflow", "migrates", "state", "without", "pausing", "a", "dataflow"];
+
+    timelite::execute(Config::process(2), move |worker| {
+        let index = worker.index();
+        let config = MegaphoneConfig::new(4);
+
+        // Build the dataflow: a control input, a word input, and a migrateable
+        // word-count operator (Listing 2 of the paper).
+        let (mut control, mut words, output) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (word_input, words) = scope.new_input::<(String, i64)>();
+            let output = state_machine::<_, String, i64, i64, (String, i64), _>(
+                config,
+                &control,
+                &words,
+                "WordCount",
+                |word, diff, count| {
+                    *count += diff;
+                    (false, vec![(word.clone(), *count)])
+                },
+            );
+            let worker_id = scope.index();
+            output.stream.inspect(move |time, (word, count)| {
+                println!("[worker {worker_id}] t={time} {word:>10} -> {count}");
+            });
+            (control_input, word_input, output)
+        });
+
+        // Rounds 0..4: both workers feed words.
+        for round in 0..4u64 {
+            if index == 0 {
+                for word in &text {
+                    words.send((word.to_string(), 1));
+                }
+            }
+            // Round 2: migrate every bin to worker 1.
+            if round == 2 && index == 0 {
+                println!("--- migrating all state to worker 1 ---");
+                control.send(ControlInst::Map(vec![1; config.bins()]));
+            }
+            control.advance_to(round + 1);
+            words.advance_to(round + 1);
+            worker.step_while(|| output.probe.less_than(&(round + 1)));
+        }
+        drop(control);
+        drop(words);
+        worker.step_until_complete();
+    });
+}

@@ -1,0 +1,75 @@
+//! Controller-driven rescaling: a key-count computation starts on two of four
+//! workers, and a batched migration spreads its state over all four — the
+//! "scale out" use case from the paper's introduction, driven through the
+//! `MigrationController` exactly like an external controller (e.g. DS2) would.
+//!
+//! Run with: `cargo run --release --example rescaling`
+
+use megaphone::prelude::*;
+use timelite::hashing::hash_code;
+use timelite::prelude::*;
+
+fn main() {
+    let summaries = timelite::execute(Config::process(4), |worker| {
+        let index = worker.index();
+        let peers = worker.peers();
+        let config = MegaphoneConfig::new(8);
+        let processed = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+
+        let processed_inner = processed.clone();
+        let (mut control, mut input, output) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (data_input, data) = scope.new_input::<u64>();
+            let output = stateful_unary::<_, u64, Vec<u64>, u64, _, _>(
+                config,
+                &control,
+                &data,
+                "KeyCount",
+                |key| hash_code(key),
+                move |_time, records, state, _notificator| {
+                    *processed_inner.borrow_mut() += records.len() as u64;
+                    state.push(records.len() as u64);
+                    Vec::new()
+                },
+            );
+            (control_input, data_input, output)
+        });
+
+        // Initially everything lives on workers 0 and 1.
+        let two_workers: Vec<usize> = (0..config.bins()).map(|bin| bin % 2).collect();
+        let four_workers = balanced_assignment(config.bins(), peers);
+        if index == 0 {
+            control.send(ControlInst::Map(two_workers.clone()));
+        }
+
+        // Plan a batched migration from 2 workers to 4.
+        let plan = plan_migration(MigrationStrategy::Batched(32), &two_workers, &four_workers);
+        let mut controller = MigrationController::<u64>::new(plan, true);
+
+        for round in 0..40u64 {
+            for key in 0..200u64 {
+                input.send(key * peers as u64 + index as u64);
+            }
+            // Start rescaling at round 10, driven by worker 0's controller.
+            if index == 0 && round >= 10 && !controller.is_complete() {
+                let status = controller.advance(&output.probe, &mut control);
+                if status == ControllerStatus::Issued {
+                    println!("round {round}: issued migration step {}", controller.issued_steps());
+                }
+            }
+            control.advance_to(round + 2);
+            input.advance_to(round + 1);
+            worker.step_while(|| output.probe.less_than(&(round + 1)));
+        }
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let count = *processed.borrow();
+        (index, count)
+    });
+
+    println!("\nrecords processed per worker (before + after rescaling):");
+    for (index, processed) in summaries {
+        println!("  worker {index}: {processed}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Compares the all-at-once, fluid, batched and optimized migration strategies
+//! on the key-count workload and prints each strategy's migration duration and
+//! maximum service latency — a miniature of the paper's Figure 1.
+//!
+//! Run with: `cargo run --release --example strategies_compare`
+
+use megaphone::prelude::MigrationStrategy;
+use mp_harness::nanos_to_millis;
+
+fn main() {
+    // The experiment runner lives in the benchmark crate; this example drives a
+    // scaled-down configuration of it.
+    let base = mp_bench::keycount::Params {
+        workers: 2,
+        bin_shift: 6,
+        domain: 1 << 18,
+        rate: 50_000,
+        runtime_ms: 2_000,
+        migrate_at_ms: 800,
+        strategy: None,
+        hash_state: false,
+        epoch_ms: 50,
+    };
+    println!("strategy       duration[ms]   max latency[ms]   steady max[ms]");
+    for strategy in [
+        MigrationStrategy::AllAtOnce,
+        MigrationStrategy::Fluid,
+        MigrationStrategy::Batched(8),
+        MigrationStrategy::Optimized,
+    ] {
+        let result = mp_bench::keycount::run(mp_bench::keycount::Params {
+            strategy: Some(strategy),
+            ..base
+        });
+        let (duration, max_latency) = result.migration.unwrap_or((0, 0));
+        println!(
+            "{:<14} {:>12.1} {:>17.1} {:>16.1}",
+            strategy.name(),
+            duration as f64 / 1e6,
+            nanos_to_millis(max_latency),
+            nanos_to_millis(result.steady_max),
+        );
+    }
+}

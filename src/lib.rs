@@ -1,0 +1,5 @@
+//! Facade crate re-exporting the Megaphone reproduction workspace.
+pub use megaphone;
+pub use mp_harness;
+pub use nexmark;
+pub use timelite;

@@ -1,0 +1,101 @@
+//! Property-based tests over the workspace's core data structures and planners.
+
+use megaphone::prelude::*;
+use megaphone::RoutingTable;
+use proptest::prelude::*;
+use timelite::progress::{Antichain, MutableAntichain};
+
+proptest! {
+    /// Codec round-trips arbitrary nested values.
+    #[test]
+    fn codec_roundtrips_nested_values(values in proptest::collection::vec((any::<u64>(), ".{0,16}", any::<Option<i64>>()), 0..50)) {
+        let bytes = values.encode_to_vec();
+        let decoded = Vec::<(u64, String, Option<i64>)>::decode_from_slice(&bytes);
+        prop_assert_eq!(values, decoded);
+    }
+
+    /// The frontier of a MutableAntichain is always the set of minimal elements
+    /// with positive count, regardless of the update order.
+    #[test]
+    fn mutable_antichain_frontier_is_minimal(updates in proptest::collection::vec((0u64..50, 1i64..4), 0..40)) {
+        let mut antichain = MutableAntichain::new();
+        let mut counts = std::collections::HashMap::new();
+        for (time, diff) in &updates {
+            antichain.update_iter_and_ignore(Some((*time, *diff)));
+            *counts.entry(*time).or_insert(0i64) += diff;
+        }
+        let minimum = counts.iter().filter(|(_, c)| **c > 0).map(|(t, _)| *t).min();
+        match minimum {
+            None => prop_assert!(antichain.is_empty()),
+            Some(min) => {
+                prop_assert!(antichain.less_equal(&min));
+                prop_assert!(!antichain.less_than(&min));
+            }
+        }
+    }
+
+    /// Antichain insertion keeps only minimal elements.
+    #[test]
+    fn antichain_keeps_minimal_elements(values in proptest::collection::vec(0u64..1000, 1..50)) {
+        let antichain: Antichain<u64> = values.iter().copied().collect();
+        let minimum = *values.iter().min().expect("non-empty");
+        prop_assert_eq!(antichain.elements(), &[minimum]);
+    }
+
+    /// Every migration strategy's plan moves exactly the changed bins, once each.
+    #[test]
+    fn plans_cover_exactly_the_changed_bins(
+        current in proptest::collection::vec(0usize..4, 16..64),
+        target_seed in proptest::collection::vec(0usize..4, 16..64),
+        batch in 1usize..8,
+    ) {
+        let bins = current.len().min(target_seed.len());
+        let current = &current[..bins];
+        let target = &target_seed[..bins];
+        let changed: std::collections::BTreeSet<usize> = (0..bins).filter(|&b| current[b] != target[b]).collect();
+        for strategy in [MigrationStrategy::AllAtOnce, MigrationStrategy::Fluid, MigrationStrategy::Batched(batch), MigrationStrategy::Optimized] {
+            let plan = plan_migration(strategy, current, target);
+            let mut moved = std::collections::BTreeSet::new();
+            for step in &plan.steps {
+                for (bin, worker) in step {
+                    prop_assert_eq!(*worker, target[*bin]);
+                    prop_assert!(moved.insert(*bin), "bin moved twice");
+                }
+            }
+            prop_assert_eq!(&moved, &changed);
+        }
+    }
+
+    /// Routing lookups always agree with a naive replay of the updates.
+    #[test]
+    fn routing_lookup_matches_naive_replay(
+        updates in proptest::collection::vec((0u64..20, 0usize..8, 0usize..4), 0..30),
+        query_time in 0u64..25,
+        query_bin in 0usize..8,
+    ) {
+        let mut table = RoutingTable::<u64>::new(vec![0; 8]);
+        for (time, bin, worker) in &updates {
+            table.insert(*time, &ControlInst::Move(*bin, *worker));
+        }
+        // Naive: the last update with time <= query_time for that bin, in
+        // (time, insertion order) order, else the base assignment.
+        let mut sorted = updates.clone();
+        sorted.sort_by_key(|(time, _, _)| *time);
+        let expected = sorted
+            .iter()
+            .filter(|(time, bin, _)| *time <= query_time && *bin == query_bin)
+            .map(|(_, _, worker)| *worker)
+            .last()
+            .unwrap_or(0);
+        prop_assert_eq!(table.lookup(&query_time, query_bin), expected);
+    }
+
+    /// Key-to-bin mapping always lands within range and is deterministic.
+    #[test]
+    fn key_to_bin_is_in_range(shift in 0u32..16, key in any::<u64>()) {
+        let config = MegaphoneConfig::new(shift);
+        let bin = config.key_to_bin(key);
+        prop_assert!(bin < config.bins());
+        prop_assert_eq!(bin, config.key_to_bin(key));
+    }
+}

@@ -1,0 +1,65 @@
+//! Cross-crate integration test: a NEXMark query running on the timelite
+//! engine through the Megaphone operators, migrated mid-stream with a plan from
+//! the strategies module, measured with the harness.
+
+use megaphone::prelude::*;
+use mp_harness::LatencyTimeline;
+use nexmark::{build_query, NexmarkConfig, NexmarkGenerator};
+use timelite::prelude::*;
+
+#[test]
+fn nexmark_q4_with_fluid_migration_and_harness() {
+    let rows_per_worker = timelite::execute(Config::process(2), |worker| {
+        let index = worker.index();
+        let peers = worker.peers();
+        let config = MegaphoneConfig::new(5);
+        let rows = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+
+        let rows_inner = rows.clone();
+        let (mut control, mut events_in, output) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (event_input, events) = scope.new_input::<nexmark::Event>();
+            let output = build_query("q4", config, &control, &events);
+            output.stream.inspect(move |_t, _row| *rows_inner.borrow_mut() += 1);
+            (control_input, event_input, output)
+        });
+
+        let generator = NexmarkGenerator::new(NexmarkConfig::with_rate(10_000));
+        let plan = plan_migration(
+            MigrationStrategy::Fluid,
+            &balanced_assignment(config.bins(), peers),
+            &imbalanced_assignment(config.bins(), peers),
+        );
+        let mut controller = MigrationController::<u64>::new(plan, false);
+        let mut timeline = LatencyTimeline::with_interval(1_000_000);
+
+        let epochs = 30u64;
+        for epoch in 0..epochs {
+            let start = epoch * 500;
+            for event_index in (start..start + 500).filter(|i| i % peers as u64 == index as u64) {
+                events_in.send(generator.event(event_index));
+            }
+            if index == 0 && epoch > 5 && !controller.is_complete() {
+                controller.advance(&output.probe, &mut control);
+            }
+            let next_ms = (epoch + 1) * 50;
+            control.advance_to(next_ms + 50);
+            events_in.advance_to(next_ms);
+            worker.step_while(|| output.probe.less_than(&next_ms));
+            timeline.record(epoch * 1_000_000, 1_000);
+        }
+        drop(control);
+        drop(events_in);
+        worker.step_until_complete();
+
+        assert!(controller.is_complete() || index != 0, "the fluid migration should finish");
+        let (points, overall) = timeline.finish();
+        assert!(!points.is_empty());
+        assert_eq!(overall.count(), epochs);
+        let total = *rows.borrow();
+        total
+    });
+
+    let total: u64 = rows_per_worker.iter().sum();
+    assert!(total > 0, "Q4 should report closed auctions");
+}
