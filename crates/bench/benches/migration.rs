@@ -4,7 +4,6 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use megaphone::prelude::*;
-use timelite::prelude::*;
 
 fn bench_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_migration");

@@ -92,7 +92,7 @@ pub mod keycount {
                         &control,
                         &data,
                         "HashCount",
-                        |key| hash_code(key),
+                        hash_code,
                         |_time, records, state, _notificator| {
                             let mut outputs = Vec::with_capacity(records.len());
                             for key in records {
@@ -202,7 +202,7 @@ pub mod keycount {
                     && memory
                         .samples()
                         .last()
-                        .map_or(true, |sample| now - sample.at_nanos > 100_000_000)
+                        .is_none_or(|sample| now - sample.at_nanos > 100_000_000)
                 {
                     memory.sample(now, 0);
                 }

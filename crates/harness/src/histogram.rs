@@ -48,7 +48,7 @@ impl LatencyHistogram {
             let exponent = 63 - value.leading_zeros() as u64;
             let base = self.grid.trailing_zeros() as u64;
             let offset = (value >> (exponent - base)) - self.grid;
-            ((exponent - base) * self.grid + self.grid + offset as u64) as usize
+            ((exponent - base) * self.grid + self.grid + offset) as usize
         }
     }
 

@@ -23,7 +23,7 @@
 //! * **Operator interfaces** ([`interface`]): `state_machine`, `unary` and
 //!   `binary` stateful operators with an extra control input, mirroring
 //!   Listing 1 of the paper. Post-dated records are managed by a
-//!   [`notificator`](crate::notificator) and migrate together with the state.
+//!   [`notificator`] and migrate together with the state.
 //! * **Migration strategies** ([`strategies`], [`controller`]): all-at-once,
 //!   fluid, batched and bipartite-optimized plans, issued step by step by a
 //!   controller that observes the operator's output frontier.

@@ -149,7 +149,7 @@ pub fn imbalanced_assignment(bins: usize, peers: usize) -> Vec<usize> {
         .enumerate()
         .map(|(bin, worker)| {
             // Move every second bin of the first half of the workers across.
-            if worker < half && (bin / peers) % 2 == 0 {
+            if worker < half && (bin / peers).is_multiple_of(2) {
                 worker + half
             } else {
                 worker

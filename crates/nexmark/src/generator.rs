@@ -97,7 +97,7 @@ impl NexmarkGenerator {
             let people = self.people_before(index).max(1);
             let pick = mix(seed, index);
             // Bids favour recent ("hot") auctions, like the reference generator.
-            let auction = if pick % config.hot_auction_ratio == 0 {
+            let auction = if pick.is_multiple_of(config.hot_auction_ratio) {
                 FIRST_AUCTION_ID + auctions - 1 - (pick >> 4) % auctions.min(config.in_flight_auctions)
             } else {
                 FIRST_AUCTION_ID + (pick >> 4) % auctions

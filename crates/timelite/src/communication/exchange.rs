@@ -250,10 +250,10 @@ mod tests {
     use super::*;
     use crate::communication::allocator::allocate;
 
-    fn pusher_with(
-        pact: Pact<u64>,
-        peers: usize,
-    ) -> (Pusher<u64, u64>, SharedQueue<u64, u64>, SharedChanges<u64>, Vec<crate::communication::Allocator>) {
+    type PusherFixture =
+        (Pusher<u64, u64>, SharedQueue<u64, u64>, SharedChanges<u64>, Vec<crate::communication::Allocator>);
+
+    fn pusher_with(pact: Pact<u64>, peers: usize) -> PusherFixture {
         let allocs = allocate(peers);
         let local = shared_queue();
         let produced = shared_changes();

@@ -126,7 +126,7 @@ impl<T: Timestamp> Eq for Capability<T> {}
 
 impl<T: Timestamp> PartialOrd for Capability<T> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.time.cmp(&other.time))
+        Some(self.cmp(other))
     }
 }
 impl<T: Timestamp> Ord for Capability<T> {

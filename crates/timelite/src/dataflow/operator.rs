@@ -30,6 +30,7 @@ impl<T: Timestamp, D: Data> InputPort<T, D> {
     /// Receiving a bundle records the consumption of its records with progress
     /// tracking and mints a capability at the bundle's time, which the operator
     /// may use to produce output, retain, delay, or drop.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(Capability<T>, Vec<D>)> {
         let (time, data) = self.queue.borrow_mut().pop_front()?;
         self.consumed.borrow_mut().update(time.clone(), data.len() as i64);

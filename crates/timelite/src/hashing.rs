@@ -11,15 +11,11 @@ const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// A deterministic 64-bit hasher in the style of FxHash.
 #[derive(Clone, Copy, Debug)]
+#[derive(Default)]
 pub struct FxHasher {
     hash: u64,
 }
 
-impl Default for FxHasher {
-    fn default() -> Self {
-        FxHasher { hash: 0 }
-    }
-}
 
 impl FxHasher {
     #[inline]

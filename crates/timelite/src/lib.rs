@@ -9,7 +9,7 @@
 //! * **Frontiers** ([`progress`]): antichains of timestamps that may still
 //!   appear at a given point in the dataflow, maintained by capability-based
 //!   progress tracking across workers.
-//! * **Data-parallel workers** ([`worker`], [`execute`]): each worker thread owns
+//! * **Data-parallel workers** ([`worker`], [`mod@execute`]): each worker thread owns
 //!   a copy of every operator and exchanges data over shared-nothing channels
 //!   according to per-channel pacts (pipeline, hash exchange, broadcast).
 //! * **Composable operators** ([`dataflow`]): a raw operator builder plus the

@@ -243,11 +243,10 @@ impl<T: PartialOrder + Ord + Clone> MutableAntichain<T> {
         // Rebuild the frontier as the minimal elements with positive count.
         self.frontier.clear();
         for (time, count) in self.updates.iter() {
-            if *count > 0 && !self.updates.iter().any(|(t2, c2)| *c2 > 0 && t2.less_than(time)) {
-                if !self.frontier.contains(time) {
+            if *count > 0 && !self.updates.iter().any(|(t2, c2)| *c2 > 0 && t2.less_than(time))
+                && !self.frontier.contains(time) {
                     self.frontier.push(time.clone());
                 }
-            }
         }
         self.frontier.sort();
 

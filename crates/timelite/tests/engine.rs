@@ -190,7 +190,8 @@ fn binary_frontier_joins_two_inputs() {
                 "Join",
                 move |_capability| {
                     let mut names: HashMap<u64, String> = HashMap::new();
-                    let mut values: Vec<(Capability<u64>, Vec<(u64, u64)>)> = Vec::new();
+                    type Stash = Vec<(Capability<u64>, Vec<(u64, u64)>)>;
+                    let mut values: Stash = Vec::new();
                     move |input1, input2, output, _frontiers| {
                         input1.for_each(|_cap, data| {
                             for (key, name) in data {

@@ -25,7 +25,7 @@ fn main() {
                 &control,
                 &data,
                 "KeyCount",
-                |key| hash_code(key),
+                hash_code,
                 move |_time, records, state, _notificator| {
                     *processed_inner.borrow_mut() += records.len() as u64;
                     state.push(records.len() as u64);

@@ -1,0 +1,46 @@
+//! Smoke test: every file in `examples/` must build and run to completion.
+//!
+//! The examples are the repository's executable documentation; compiling them
+//! is already enforced by `cargo test`, but this test additionally *runs* each
+//! one (they are all bounded, small configurations) so that a runtime
+//! regression — a panic, a hang resolved by deadlock detection, a stale API —
+//! cannot rot silently. New examples are picked up automatically.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn every_example_runs_to_completion() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let examples_dir = Path::new(manifest_dir).join("examples");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+
+    let mut names: Vec<String> = std::fs::read_dir(&examples_dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension()? == "rs" {
+                Some(path.file_stem()?.to_string_lossy().into_owned())
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no examples found in {}", examples_dir.display());
+
+    for name in &names {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(manifest_dir)
+            .output()
+            .expect("cargo is runnable from tests");
+        assert!(
+            output.status.success(),
+            "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

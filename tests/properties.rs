@@ -1,78 +1,149 @@
 //! Property-based tests over the workspace's core data structures and planners.
+//!
+//! The build environment is offline, so instead of `proptest` these tests use
+//! a small deterministic xorshift generator and check each property over many
+//! random cases. Failures print the seed of the offending case so it can be
+//! replayed.
 
 use megaphone::prelude::*;
 use megaphone::RoutingTable;
-use proptest::prelude::*;
 use timelite::progress::{Antichain, MutableAntichain};
 
-proptest! {
-    /// Codec round-trips arbitrary nested values.
-    #[test]
-    fn codec_roundtrips_nested_values(values in proptest::collection::vec((any::<u64>(), ".{0,16}", any::<Option<i64>>()), 0..50)) {
-        let bytes = values.encode_to_vec();
-        let decoded = Vec::<(u64, String, Option<i64>)>::decode_from_slice(&bytes);
-        prop_assert_eq!(values, decoded);
+/// A deterministic xorshift64* generator: enough randomness for property
+/// exploration, fully reproducible from the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
     }
 
-    /// The frontier of a MutableAntichain is always the set of minimal elements
-    /// with positive count, regardless of the update order.
-    #[test]
-    fn mutable_antichain_frontier_is_minimal(updates in proptest::collection::vec((0u64..50, 1i64..4), 0..40)) {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn vec_with<T>(&mut self, max_len: u64, mut item: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| item(self)).collect()
+    }
+
+    fn string(&mut self, max_len: u64) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| match self.below(4) {
+                // Mostly printable ASCII, but a quarter of the characters are
+                // multi-byte so byte-length vs char-count codec bugs surface.
+                0 => char::from_u32(0x00a1 + self.below(0x4_0000) as u32).unwrap_or('\u{2603}'),
+                _ => char::from_u32(0x20 + self.below(0x5e) as u32).unwrap(),
+            })
+            .collect()
+    }
+}
+
+const CASES: u64 = 256;
+
+/// Codec round-trips arbitrary nested values.
+#[test]
+fn codec_roundtrips_nested_values() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let values: Vec<(u64, String, Option<i64>)> = rng.vec_with(50, |rng| {
+            let number = rng.next();
+            let text = rng.string(16);
+            let optional = if rng.below(2) == 0 { None } else { Some(rng.next() as i64) };
+            (number, text, optional)
+        });
+        let bytes = values.encode_to_vec();
+        let decoded = Vec::<(u64, String, Option<i64>)>::decode_from_slice(&bytes);
+        assert_eq!(values, decoded, "seed {seed}");
+    }
+}
+
+/// The frontier of a MutableAntichain is always the set of minimal elements
+/// with positive count, regardless of the update order.
+#[test]
+fn mutable_antichain_frontier_is_minimal() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let updates: Vec<(u64, i64)> =
+            rng.vec_with(40, |rng| (rng.below(50), 1 + rng.below(3) as i64));
         let mut antichain = MutableAntichain::new();
         let mut counts = std::collections::HashMap::new();
         for (time, diff) in &updates {
             antichain.update_iter_and_ignore(Some((*time, *diff)));
             *counts.entry(*time).or_insert(0i64) += diff;
         }
-        let minimum = counts.iter().filter(|(_, c)| **c > 0).map(|(t, _)| *t).min();
+        let minimum = counts.iter().filter(|(_, count)| **count > 0).map(|(time, _)| *time).min();
         match minimum {
-            None => prop_assert!(antichain.is_empty()),
+            None => assert!(antichain.is_empty(), "seed {seed}"),
             Some(min) => {
-                prop_assert!(antichain.less_equal(&min));
-                prop_assert!(!antichain.less_than(&min));
+                assert!(antichain.less_equal(&min), "seed {seed}");
+                assert!(!antichain.less_than(&min), "seed {seed}");
             }
         }
     }
+}
 
-    /// Antichain insertion keeps only minimal elements.
-    #[test]
-    fn antichain_keeps_minimal_elements(values in proptest::collection::vec(0u64..1000, 1..50)) {
+/// Antichain insertion keeps only minimal elements.
+#[test]
+fn antichain_keeps_minimal_elements() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let mut values: Vec<u64> = rng.vec_with(49, |rng| rng.below(1000));
+        values.push(rng.below(1000));
         let antichain: Antichain<u64> = values.iter().copied().collect();
         let minimum = *values.iter().min().expect("non-empty");
-        prop_assert_eq!(antichain.elements(), &[minimum]);
+        assert_eq!(antichain.elements(), &[minimum], "seed {seed}");
     }
+}
 
-    /// Every migration strategy's plan moves exactly the changed bins, once each.
-    #[test]
-    fn plans_cover_exactly_the_changed_bins(
-        current in proptest::collection::vec(0usize..4, 16..64),
-        target_seed in proptest::collection::vec(0usize..4, 16..64),
-        batch in 1usize..8,
-    ) {
-        let bins = current.len().min(target_seed.len());
-        let current = &current[..bins];
-        let target = &target_seed[..bins];
-        let changed: std::collections::BTreeSet<usize> = (0..bins).filter(|&b| current[b] != target[b]).collect();
-        for strategy in [MigrationStrategy::AllAtOnce, MigrationStrategy::Fluid, MigrationStrategy::Batched(batch), MigrationStrategy::Optimized] {
-            let plan = plan_migration(strategy, current, target);
+/// Every migration strategy's plan moves exactly the changed bins, once each.
+#[test]
+fn plans_cover_exactly_the_changed_bins() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let bins = 16 + rng.below(48) as usize;
+        let current: Vec<usize> = (0..bins).map(|_| rng.below(4) as usize).collect();
+        let target: Vec<usize> = (0..bins).map(|_| rng.below(4) as usize).collect();
+        let batch = 1 + rng.below(7) as usize;
+        let changed: std::collections::BTreeSet<usize> =
+            (0..bins).filter(|&bin| current[bin] != target[bin]).collect();
+        for strategy in [
+            MigrationStrategy::AllAtOnce,
+            MigrationStrategy::Fluid,
+            MigrationStrategy::Batched(batch),
+            MigrationStrategy::Optimized,
+        ] {
+            let plan = plan_migration(strategy, &current, &target);
             let mut moved = std::collections::BTreeSet::new();
             for step in &plan.steps {
                 for (bin, worker) in step {
-                    prop_assert_eq!(*worker, target[*bin]);
-                    prop_assert!(moved.insert(*bin), "bin moved twice");
+                    assert_eq!(*worker, target[*bin], "seed {seed}, {strategy:?}");
+                    assert!(moved.insert(*bin), "bin moved twice: seed {seed}, {strategy:?}");
                 }
             }
-            prop_assert_eq!(&moved, &changed);
+            assert_eq!(moved, changed, "seed {seed}, {strategy:?}");
         }
     }
+}
 
-    /// Routing lookups always agree with a naive replay of the updates.
-    #[test]
-    fn routing_lookup_matches_naive_replay(
-        updates in proptest::collection::vec((0u64..20, 0usize..8, 0usize..4), 0..30),
-        query_time in 0u64..25,
-        query_bin in 0usize..8,
-    ) {
+/// Routing lookups always agree with a naive replay of the updates.
+#[test]
+fn routing_lookup_matches_naive_replay() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let updates: Vec<(u64, usize, usize)> =
+            rng.vec_with(30, |rng| (rng.below(20), rng.below(8) as usize, rng.below(4) as usize));
+        let query_time = rng.below(25);
+        let query_bin = rng.below(8) as usize;
         let mut table = RoutingTable::<u64>::new(vec![0; 8]);
         for (time, bin, worker) in &updates {
             table.insert(*time, &ControlInst::Move(*bin, *worker));
@@ -85,17 +156,22 @@ proptest! {
             .iter()
             .filter(|(time, bin, _)| *time <= query_time && *bin == query_bin)
             .map(|(_, _, worker)| *worker)
-            .last()
+            .next_back()
             .unwrap_or(0);
-        prop_assert_eq!(table.lookup(&query_time, query_bin), expected);
+        assert_eq!(table.lookup(&query_time, query_bin), expected, "seed {seed}");
     }
+}
 
-    /// Key-to-bin mapping always lands within range and is deterministic.
-    #[test]
-    fn key_to_bin_is_in_range(shift in 0u32..16, key in any::<u64>()) {
+/// Key-to-bin mapping always lands within range and is deterministic.
+#[test]
+fn key_to_bin_is_in_range() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let shift = rng.below(16) as u32;
+        let key = rng.next();
         let config = MegaphoneConfig::new(shift);
         let bin = config.key_to_bin(key);
-        prop_assert!(bin < config.bins());
-        prop_assert_eq!(bin, config.key_to_bin(key));
+        assert!(bin < config.bins(), "seed {seed}");
+        assert_eq!(bin, config.key_to_bin(key), "seed {seed}");
     }
 }

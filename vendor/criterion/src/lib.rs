@@ -1,0 +1,245 @@
+//! A minimal, API-compatible stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment of this repository is offline, so the real
+//! `criterion` cannot be fetched from crates.io. This crate implements the
+//! subset of its API that the benches under `crates/bench/benches` use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], [`black_box`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple calibrated wall-clock harness that prints a mean time per iteration.
+//! It performs no statistical analysis; swap the `[workspace.dependencies]`
+//! entry for the crates.io version when network access is available.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measured benchmark, tunable via the
+/// `CRITERION_STUB_TARGET_MS` environment variable.
+fn target_measure_time() -> Duration {
+    let millis = std::env::var("CRITERION_STUB_TARGET_MS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(500u64);
+    Duration::from_millis(millis)
+}
+
+/// The benchmark manager: entry point handed to every benchmark function.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { target: target_measure_time() }
+    }
+}
+
+impl Criterion {
+    /// Sets the wall-clock time to spend measuring each benchmark.
+    pub fn measurement_time(mut self, target: Duration) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.target, id, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self }
+    }
+}
+
+/// A named collection of benchmarks, reported as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `routine` with `input`, reported as `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.target, &label, &mut |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.target, &label, &mut routine);
+        self
+    }
+
+    /// Finishes the group. (No-op in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// How much setup output to batch per timing measurement in
+/// [`Bencher::iter_batched`]. The stand-in times one routine call per setup
+/// regardless of the variant.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum BatchSize {
+    /// Small routine output; large batches would be fine.
+    SmallInput,
+    /// Large routine output; keep batches small.
+    LargeInput,
+    /// Routine output per iteration is about the size of the input.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on values produced by `setup`; only the routine is
+    /// included in the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Calibrates an iteration count for `routine`, measures it, and prints the
+/// mean time per iteration.
+fn run_one<F: FnMut(&mut Bencher)>(target: Duration, label: &str, routine: &mut F) {
+    // Calibration: grow the iteration count until one batch takes long enough
+    // to time reliably, or the target budget is spent.
+    let mut iterations = 1u64;
+    loop {
+        let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+        routine(&mut bencher);
+        if bencher.elapsed >= target || iterations >= 1 << 24 {
+            report(label, &bencher);
+            return;
+        }
+        if bencher.elapsed >= target / 8 {
+            // Close enough to extrapolate: one final measured batch.
+            let per_iter = bencher.elapsed.as_nanos().max(1) / iterations as u128;
+            iterations = (target.as_nanos() / per_iter).clamp(1, 1 << 24) as u64;
+            let mut last = Bencher { iterations, elapsed: Duration::ZERO };
+            routine(&mut last);
+            report(label, &last);
+            return;
+        }
+        iterations = iterations.saturating_mul(4);
+    }
+}
+
+fn report(label: &str, bencher: &Bencher) {
+    let nanos = bencher.elapsed.as_nanos() as f64 / bencher.iterations.max(1) as f64;
+    let (value, unit) = if nanos >= 1e9 {
+        (nanos / 1e9, "s")
+    } else if nanos >= 1e6 {
+        (nanos / 1e6, "ms")
+    } else if nanos >= 1e3 {
+        (nanos / 1e3, "µs")
+    } else {
+        (nanos, "ns")
+    };
+    println!("{label:<40} time: {value:>10.3} {unit}/iter ({} iterations)", bencher.iterations);
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group, mirroring criterion's
+/// macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut criterion = Criterion::default().measurement_time(Duration::from_millis(1));
+        let mut ran = false;
+        criterion.bench_function("smoke", |bencher| {
+            ran = true;
+            bencher.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut criterion = Criterion::default().measurement_time(Duration::from_millis(1));
+        let mut group = criterion.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::from_parameter(3u32), &3u32, |bencher, &n| {
+            bencher.iter_batched(|| vec![n; 8], |v| v.iter().sum::<u32>(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

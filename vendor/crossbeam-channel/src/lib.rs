@@ -1,0 +1,225 @@
+//! A minimal, API-compatible stand-in for the `crossbeam-channel` crate.
+//!
+//! The build environment of this repository is offline, so the real
+//! `crossbeam-channel` cannot be fetched from crates.io. `timelite` only needs
+//! the unbounded MPMC channel with cloneable senders *and* receivers, `send`,
+//! `recv`, `try_recv` and `try_iter`; this crate provides exactly that subset
+//! on top of a `Mutex<VecDeque>` + `Condvar`. The implementation favours
+//! simplicity over the lock-free performance of the real crate — swap the
+//! `[workspace.dependencies]` entry for the crates.io version when network
+//! access is available.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Creates an unbounded channel, returning the sending and receiving halves.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        available: Condvar::new(),
+    });
+    (Sender { inner: inner.clone() }, Receiver { inner })
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    queue: Mutex<State<T>>,
+    available: Condvar,
+}
+
+/// The sending half of an unbounded channel. Cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of an unbounded channel. Cloneable.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// An error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message.
+#[derive(Clone, Copy, Eq, PartialEq)]
+pub struct SendError<T>(pub T);
+
+/// An error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// All senders have disconnected and the channel is drained.
+    Disconnected,
+}
+
+/// An error returned by [`Receiver::recv`] when all senders have disconnected
+/// and the channel is drained.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct RecvError;
+
+impl<T> Sender<T> {
+    /// Enqueues `message`, failing only if every receiver has been dropped.
+    pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.queue.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(SendError(message));
+        }
+        state.queue.push_back(message);
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.queue.lock().unwrap();
+        match state.queue.pop_front() {
+            Some(message) => Ok(message),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(message) = state.queue.pop_front() {
+                return Ok(message);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.inner.available.wait(state).unwrap();
+        }
+    }
+
+    /// A non-blocking iterator over currently queued messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+}
+
+/// Iterator returned by [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().unwrap().senders += 1;
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().unwrap().receivers += 1;
+        Receiver { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.queue.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake blocked receivers so they observe the disconnect.
+            self.inner.available.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.queue.lock().unwrap().receivers -= 1;
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observed_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(3u8), Err(SendError(3u8)));
+    }
+
+    #[test]
+    fn cloned_handles_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send("a").unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx2.try_iter().collect::<Vec<_>>(), vec!["a"]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+}
