@@ -1,0 +1,65 @@
+//! Criterion bench of the exchange fabric hot path: one worker pushing routed
+//! record batches to 4 workers through the communication fabric.
+//!
+//! `unbatched` flushes after every push — one envelope per (push, remote
+//! target), which is what the pre-staging fabric did. `batched_64` stages 64
+//! pushes per flush, coalescing each target's batches into a single envelope.
+//! The ratio between the two is the win of the staging layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use timelite::communication::{allocate, shared_changes, shared_queue, Pact, Pusher};
+
+const WORKERS: usize = 4;
+const PUSHES: usize = 64;
+const RECORDS_PER_PUSH: usize = 8;
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_throughput");
+    for (label, flush_every) in [("unbatched", 1usize), ("batched_64", PUSHES)] {
+        group.bench_function(label, |b| {
+            let allocs = allocate(WORKERS);
+            let local = shared_queue::<u64, u64>();
+            let produced = shared_changes::<u64>();
+            let mut pusher = Pusher::new(
+                Pact::exchange(|x: &u64| *x),
+                0,
+                0,
+                0,
+                WORKERS,
+                local.clone(),
+                allocs[0].senders(),
+                produced.clone(),
+            );
+            let mut next = 0u64;
+            b.iter(|| {
+                for push in 0..PUSHES {
+                    let batch: Vec<u64> =
+                        (0..RECORDS_PER_PUSH as u64).map(|i| next + i).collect();
+                    next = next.wrapping_add(RECORDS_PER_PUSH as u64);
+                    pusher.push(&0u64, batch);
+                    if (push + 1) % flush_every == 0 {
+                        pusher.flush();
+                    }
+                }
+                // Drain the mailboxes and progress so memory stays flat across
+                // iterations; the receive path is part of the fabric cost.
+                let mut drained = 0usize;
+                for alloc in &allocs {
+                    for envelope in alloc.try_iter() {
+                        black_box(&envelope);
+                        drained += 1;
+                    }
+                }
+                local.borrow_mut().clear();
+                for change in produced.borrow_mut().drain() {
+                    black_box(change);
+                }
+                black_box(drained)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

@@ -20,7 +20,11 @@ pub fn q5(events: &Stream<Time, Event>) -> QueryOutput {
         "NativeQ5Counts",
         move |_capability| {
             let mut per_auction: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
-            let mut pending: Vec<(Capability<Time>, u64, u64)> = Vec::new();
+            // Scheduled work: `(capability, auction, slide, expire)`. A close
+            // entry reports the window ending at `slide`; an expire entry
+            // silently drops `slide` (and anything older) once it has left
+            // every window, so per-auction state drains after the last bid.
+            let mut pending: Vec<(Capability<Time>, u64, u64, bool)> = Vec::new();
             move |input, output, frontier| {
                 input.for_each(|cap, records| {
                     for (auction, date_time) in records {
@@ -28,17 +32,41 @@ pub fn q5(events: &Stream<Time, Event>) -> QueryOutput {
                         let counts = per_auction.entry(auction).or_default();
                         match counts.iter_mut().find(|(s, _)| *s == slide) {
                             Some((_, count)) => *count += 1,
-                            None => counts.push((slide, 1)),
+                            None => {
+                                // Schedule the close and the expiry once per
+                                // (auction, slide), not once per bid.
+                                counts.push((slide, 1));
+                                let close = ((slide + 1) * Q5_SLIDE_MS).max(*cap.time());
+                                pending.push((cap.delayed(&close), auction, slide, false));
+                                let expire =
+                                    (slide + Q5_WINDOW_MS / Q5_SLIDE_MS + 1) * Q5_SLIDE_MS;
+                                pending.push((
+                                    cap.delayed(&expire.max(*cap.time())),
+                                    auction,
+                                    slide,
+                                    true,
+                                ));
+                            }
                         }
-                        let close = ((slide + 1) * Q5_SLIDE_MS).max(*cap.time());
-                        pending.push((cap.delayed(&close), auction, slide));
                     }
                 });
+                let mut due = Vec::new();
                 let mut index = 0;
                 while index < pending.len() {
                     if !frontier.less_equal(pending[index].0.time()) {
-                        let (cap, auction, slide) = pending.swap_remove(index);
-                        if let Some(counts) = per_auction.get_mut(&auction) {
+                        due.push(pending.swap_remove(index));
+                    } else {
+                        index += 1;
+                    }
+                }
+                // Process in time order (closes before expiries on ties) so a
+                // close is never starved of counts an expiry would prune.
+                due.sort_by(|a, b| a.0.time().cmp(b.0.time()).then(a.3.cmp(&b.3)));
+                for (cap, auction, slide, expire) in due {
+                    if let Some(counts) = per_auction.get_mut(&auction) {
+                        if expire {
+                            counts.retain(|(s, _)| *s > slide);
+                        } else {
                             let from = slide.saturating_sub(Q5_WINDOW_MS / Q5_SLIDE_MS);
                             let total: u64 = counts
                                 .iter()
@@ -50,8 +78,9 @@ pub fn q5(events: &Stream<Time, Event>) -> QueryOutput {
                             }
                             counts.retain(|(s, _)| *s > from);
                         }
-                    } else {
-                        index += 1;
+                        if counts.is_empty() {
+                            per_auction.remove(&auction);
+                        }
                     }
                 }
             }

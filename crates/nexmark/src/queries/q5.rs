@@ -13,7 +13,80 @@ use super::{split, QueryOutput, Time, Q5_SLIDE_MS, Q5_WINDOW_MS};
 use crate::event::Event;
 
 /// Per-bin state, keyed by auction id: bid counts per slide index.
-type SlideCounts = FxHashMap<u64, Vec<(u64, u64)>>;
+pub type SlideCounts = FxHashMap<u64, Vec<(u64, u64)>>;
+
+/// Marker bit distinguishing slide-close reminders from bids in the second
+/// field of a stage-1 record; the low bits carry the slide that closed. (Real
+/// `date_time` values are event-time milliseconds, far below these bits.)
+const Q5_REMINDER: u64 = 1 << 63;
+
+/// Marker (alongside [`Q5_REMINDER`]) for expiry reminders: the carried slide
+/// has fallen out of every window, so its count is dropped without reporting.
+const Q5_EXPIRE: u64 = (1 << 63) | (1 << 62);
+
+/// Stage-1 fold: counts bids per `(auction, slide)` and reports the windowed
+/// count when a slide closes, dropping counts (and whole auction entries) that
+/// have fallen out of the window.
+///
+/// Exposed so regression tests can run the fold through the operator stack
+/// while observing the per-bin state.
+pub fn count_fold(
+    time: &Time,
+    records: Vec<(u64, u64)>,
+    state: &mut SlideCounts,
+    notificator: &mut Notificator<Time, (u64, u64)>,
+) -> Vec<(u64, u64, u64)> {
+    let mut outputs = Vec::new();
+    for (auction, date_time) in records {
+        if date_time >= Q5_EXPIRE {
+            // Expiry reminder: the carried slide has left every window, so it
+            // (and anything older) is dead weight. Drop it — and the whole
+            // auction entry once nothing remains — without reporting.
+            let slide = date_time - Q5_EXPIRE;
+            if let Some(counts) = state.get_mut(&auction) {
+                counts.retain(|(s, _)| *s > slide);
+                if counts.is_empty() {
+                    state.remove(&auction);
+                }
+            }
+        } else if date_time >= Q5_REMINDER {
+            // Slide-close reminder: report the window ending at the slide that
+            // just closed (carried in the reminder, since `*time` is already
+            // inside the *next* slide).
+            let slide = date_time - Q5_REMINDER;
+            let from = slide.saturating_sub(Q5_WINDOW_MS / Q5_SLIDE_MS);
+            let Some(counts) = state.get_mut(&auction) else { continue };
+            let count: u64 = counts
+                .iter()
+                .filter(|(s, _)| *s > from && *s <= slide)
+                .map(|(_, c)| *c)
+                .sum();
+            if count > 0 {
+                outputs.push((slide, auction, count));
+            }
+            // The closing slide itself always survives this retain; entries
+            // are dropped by the expiry reminder once it leaves every window.
+            counts.retain(|(s, _)| *s > from);
+        } else {
+            let slide = date_time / Q5_SLIDE_MS;
+            let counts = state.entry(auction).or_default();
+            match counts.iter_mut().find(|(s, _)| *s == slide) {
+                Some((_, count)) => *count += 1,
+                None => {
+                    counts.push((slide, 1));
+                    // Ask to be woken when this slide closes — once per
+                    // (auction, slide), not once per bid — and again when it
+                    // has left the last window that can count it.
+                    let close = (slide + 1) * Q5_SLIDE_MS;
+                    notificator.notify_at(close.max(*time), (auction, Q5_REMINDER + slide));
+                    let expire = (slide + Q5_WINDOW_MS / Q5_SLIDE_MS + 1) * Q5_SLIDE_MS;
+                    notificator.notify_at(expire.max(*time), (auction, Q5_EXPIRE + slide));
+                }
+            }
+        }
+    }
+    outputs
+}
 
 /// Builds Q5 with Megaphone operators.
 pub fn q5(
@@ -31,37 +104,7 @@ pub fn q5(
         &bid_records,
         "Q5-Counts",
         |record| hash_code(&record.0),
-        move |time, records, state, notificator| {
-            let mut outputs = Vec::new();
-            for (auction, date_time) in records {
-                if date_time == u64::MAX {
-                    // Slide-close reminder for this auction: report the windowed count.
-                    let slide = *time / Q5_SLIDE_MS;
-                    let from = slide.saturating_sub(Q5_WINDOW_MS / Q5_SLIDE_MS);
-                    let counts = state.entry(auction).or_default();
-                    let count: u64 = counts
-                        .iter()
-                        .filter(|(s, _)| *s > from && *s <= slide)
-                        .map(|(_, c)| *c)
-                        .sum();
-                    if count > 0 {
-                        outputs.push((slide, auction, count));
-                    }
-                    counts.retain(|(s, _)| *s > from);
-                } else {
-                    let slide = date_time / Q5_SLIDE_MS;
-                    let counts = state.entry(auction).or_default();
-                    match counts.iter_mut().find(|(s, _)| *s == slide) {
-                        Some((_, count)) => *count += 1,
-                        None => counts.push((slide, 1)),
-                    }
-                    // Ask to be woken when this slide closes.
-                    let close = (slide + 1) * Q5_SLIDE_MS;
-                    notificator.notify_at(close.max(*time), (auction, u64::MAX));
-                }
-            }
-            outputs
-        },
+        count_fold,
     );
 
     // Stage 2: per-window maximum.

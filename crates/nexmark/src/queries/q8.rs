@@ -11,7 +11,88 @@ use crate::event::{Auction, Event, Person};
 /// Per-bin state, keyed by person (seller) id: `(registration window, name)` if
 /// the person has registered, and the windows of auctions seen before the
 /// registration arrived.
-type Q8State = FxHashMap<u64, (Option<(u64, String)>, Vec<u64>)>;
+pub type Q8State = FxHashMap<u64, (Option<(u64, String)>, Vec<u64>)>;
+
+/// Sentinel `date_time` marking an expiry reminder rather than a real event.
+/// When it comes due, all state for the seller whose tumbling window has passed
+/// is dropped — a registration or pending auction window can only ever match
+/// within its own window, so it is dead weight afterwards.
+const Q8_EXPIRY: u64 = u64::MAX;
+
+/// Drops the parts of `seller`'s state whose tumbling window has passed by
+/// `time`, and the whole entry once nothing current remains.
+fn expire_seller(state: &mut Q8State, seller: u64, time: u64) {
+    let Some(entry) = state.get_mut(&seller) else { return };
+    if let Some((window, _)) = &entry.0 {
+        if (window + 1) * Q8_WINDOW_MS <= time {
+            entry.0 = None;
+        }
+    }
+    entry.1.retain(|window| (window + 1) * Q8_WINDOW_MS > time);
+    if entry.0.is_none() && entry.1.is_empty() {
+        state.remove(&seller);
+    }
+}
+
+/// The Q8 fold: joins registrations against auctions within one tumbling
+/// window, scheduling expiry reminders so neither registrations nor pending
+/// auction windows outlive their window.
+///
+/// Exposed so regression tests can run the fold through the operator stack
+/// while observing the per-bin state.
+pub fn join_fold(
+    time: &Time,
+    persons: Vec<Person>,
+    auctions: Vec<Auction>,
+    state: &mut Q8State,
+    notificator: &mut Notificator<Time, Either<Person, Auction>>,
+) -> Vec<String> {
+    let mut outputs = Vec::new();
+    for person in persons {
+        if person.date_time == Q8_EXPIRY {
+            expire_seller(state, person.id, *time);
+            continue;
+        }
+        let window = person.date_time / Q8_WINDOW_MS;
+        let entry = state.entry(person.id).or_default();
+        entry.0 = Some((window, person.name.clone()));
+        for auction_window in entry.1.drain(..) {
+            if auction_window == window {
+                outputs.push(format!("new_seller={} window={}", person.name, window));
+            }
+        }
+        // Expire the registration once its window has passed.
+        let mut reminder = person.clone();
+        reminder.date_time = Q8_EXPIRY;
+        notificator.notify_at(((window + 1) * Q8_WINDOW_MS).max(*time), Either::Left(reminder));
+    }
+    for auction in auctions {
+        if auction.date_time == Q8_EXPIRY {
+            expire_seller(state, auction.seller, *time);
+            continue;
+        }
+        let window = auction.date_time / Q8_WINDOW_MS;
+        let entry = state.entry(auction.seller).or_default();
+        match &entry.0 {
+            Some((registered, name)) if *registered == window => {
+                outputs.push(format!("new_seller={} window={}", name, window));
+            }
+            Some(_) => {}
+            None => {
+                // Schedule one expiry per (seller, window) so sellers who
+                // never register do not accumulate state forever.
+                if !entry.1.contains(&window) {
+                    let mut reminder = auction.clone();
+                    reminder.date_time = Q8_EXPIRY;
+                    notificator
+                        .notify_at(((window + 1) * Q8_WINDOW_MS).max(*time), Either::Right(reminder));
+                }
+                entry.1.push(window);
+            }
+        }
+    }
+    outputs
+}
 
 /// Builds Q8 with Megaphone operators.
 pub fn q8(
@@ -29,31 +110,7 @@ pub fn q8(
         "Q8-NewSellers",
         |person| hash_code(&person.id),
         |auction| hash_code(&auction.seller),
-        |_time, persons, auctions, state, _notificator| {
-            let mut outputs = Vec::new();
-            for person in persons {
-                let window = person.date_time / Q8_WINDOW_MS;
-                let entry = state.entry(person.id).or_default();
-                entry.0 = Some((window, person.name.clone()));
-                for auction_window in entry.1.drain(..) {
-                    if auction_window == window {
-                        outputs.push(format!("new_seller={} window={}", person.name, window));
-                    }
-                }
-            }
-            for auction in auctions {
-                let window = auction.date_time / Q8_WINDOW_MS;
-                let entry = state.entry(auction.seller).or_default();
-                match &entry.0 {
-                    Some((registered, name)) if *registered == window => {
-                        outputs.push(format!("new_seller={} window={}", name, window));
-                    }
-                    Some(_) => {}
-                    None => entry.1.push(window),
-                }
-            }
-            outputs
-        },
+        join_fold,
     );
     QueryOutput::from_stateful(output)
 }

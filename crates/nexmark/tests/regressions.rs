@@ -1,0 +1,266 @@
+//! Regression tests for the Q5/Q8 window and state-retention fixes:
+//!
+//! * Q5's slide-close reminder must report the window that actually *closed*
+//!   (it used to recompute the slide from the wake-up time, landing one slide
+//!   late and counting the still-open slide).
+//! * Q5 and Q8 must not retain state forever: emptied per-auction count
+//!   vectors are dropped, and Q8 pending auction windows / registrations
+//!   expire once their tumbling window has passed.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use megaphone::prelude::*;
+use nexmark::event::{Auction, Bid, Event, Person};
+use nexmark::queries::{q5, q8, Q5_SLIDE_MS, Q5_WINDOW_MS, Q8_WINDOW_MS};
+use nexmark::{build_native_query, build_query};
+
+fn bid(auction: u64, date_time: u64) -> Event {
+    Event::Bid(Bid { auction, bidder: 1, price: 100, date_time })
+}
+
+fn person(id: u64, name: &str, date_time: u64) -> Person {
+    Person {
+        id,
+        name: name.to_string(),
+        city: "city".to_string(),
+        state: "ST".to_string(),
+        date_time,
+    }
+}
+
+fn auction(seller: u64, date_time: u64) -> Auction {
+    Auction {
+        id: seller * 1000,
+        seller,
+        category: 0,
+        initial_bid: 100,
+        reserve: 200,
+        date_time,
+        expires: date_time + 10_000,
+    }
+}
+
+/// Runs Q5 (megaphone or native) over a fixed set of bids, feeding each epoch
+/// at its event time, and returns the sorted output rows.
+fn run_q5(native: bool, bids: &'static [(u64, u64)]) -> Vec<String> {
+    let rows = timelite::execute_single(move |worker| {
+        let (mut control, mut input, probe, collected) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (event_input, events) = scope.new_input::<Event>();
+            let collected = Rc::new(RefCell::new(Vec::new()));
+            let collected_inner = collected.clone();
+            let output = if native {
+                build_native_query("q5", &events)
+            } else {
+                build_query("q5", MegaphoneConfig::new(4), &control, &events)
+            };
+            output.stream.inspect(move |_t, row| collected_inner.borrow_mut().push(row.clone()));
+            (control_input, event_input, output.probe, collected)
+        });
+
+        let mut at = 0u64;
+        for &(auction, date_time) in bids {
+            if date_time > at {
+                at = date_time;
+                input.advance_to(at);
+                control.advance_to(at);
+                worker.step_while(|| probe.less_than(&at));
+            }
+            input.send(bid(auction, date_time));
+        }
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let rows = collected.borrow().clone();
+        rows
+    });
+    let mut rows = rows;
+    rows.sort();
+    rows
+}
+
+/// Bids for one auction around the slide-5/slide-6 boundary: the count
+/// reported for window 5 must only contain slide-5 bids, labelled window 5.
+const BOUNDARY_BIDS: [(u64, u64); 5] = [
+    (1, 5 * Q5_SLIDE_MS),
+    (1, 5 * Q5_SLIDE_MS + 100),
+    (1, 5 * Q5_SLIDE_MS + 900),
+    (1, 6 * Q5_SLIDE_MS),
+    (1, 6 * Q5_SLIDE_MS + 500),
+];
+
+#[test]
+fn q5_reports_the_window_that_closed() {
+    let rows = run_q5(false, &BOUNDARY_BIDS);
+    // Window 5 closes with exactly its own 3 bids (the two slide-6 bids are
+    // already in state when the reminder fires, but belong to window 6);
+    // window 6 accumulates both slides under the 10-slide window.
+    assert_eq!(
+        rows,
+        vec![
+            "window=5 hot_auction=1 bids=3".to_string(),
+            "window=6 hot_auction=1 bids=5".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn q5_megaphone_matches_native_at_slide_boundaries() {
+    assert_eq!(run_q5(false, &BOUNDARY_BIDS), run_q5(true, &BOUNDARY_BIDS));
+}
+
+/// Drives the real Q5 stage-1 fold through `stateful_unary` with a probe on
+/// the bin state: once every window containing a bid has closed, no per-bin
+/// state may remain.
+#[test]
+fn q5_state_is_dropped_after_windows_close() {
+    let window_slides = Q5_WINDOW_MS / Q5_SLIDE_MS;
+
+    let (peak_state, final_state) = timelite::execute_single(move |worker| {
+        // Per-bin state sizes, updated from inside the fold; the totals across
+        // bins give the operator's full state footprint.
+        let sizes_in: Rc<RefCell<HashMap<u64, usize>>> = Rc::new(RefCell::new(HashMap::new()));
+        let peak_in = Rc::new(RefCell::new(0usize));
+        let sizes_out = sizes_in.clone();
+        let peak_out = peak_in.clone();
+        let (mut control, mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (bid_input, bids) = scope.new_input::<(u64, u64)>();
+            let sizes = sizes_in.clone();
+            let peak = peak_in.clone();
+            let counts = stateful_unary::<_, (u64, u64), q5::SlideCounts, (u64, u64, u64), _, _>(
+                MegaphoneConfig::new(4),
+                &control,
+                &bids,
+                "Q5-Counts-Probe",
+                |record| timelite::hashing::hash_code(&record.0),
+                move |time, records, state, notificator| {
+                    let size: usize =
+                        state.len() + state.values().map(|slides| slides.len()).sum::<usize>();
+                    let out = q5::count_fold(time, records, state, notificator);
+                    let size_after: usize =
+                        state.len() + state.values().map(|slides| slides.len()).sum::<usize>();
+                    let mut sizes = sizes.borrow_mut();
+                    sizes.insert(notificator.bin() as u64, size_after);
+                    let total: usize = sizes.values().sum::<usize>().max(size);
+                    let mut peak = peak.borrow_mut();
+                    *peak = (*peak).max(total);
+                    out
+                },
+            );
+            (control_input, bid_input, counts.probe)
+        });
+
+        // Three auctions, each bidding only in one early slide; afterwards the
+        // stream stays live (other auctions keep bidding) long past the point
+        // where the early auctions' windows have closed.
+        for slide in 0..3u64 {
+            input.send((slide + 1, slide * Q5_SLIDE_MS + 10));
+        }
+        let quiet_slides = 3 * window_slides;
+        for slide in 3..quiet_slides {
+            input.send((100 + slide, slide * Q5_SLIDE_MS + 10));
+            let at = slide * Q5_SLIDE_MS;
+            input.advance_to(at);
+            control.advance_to(at);
+            worker.step_while(|| probe.less_than(&at));
+        }
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let peak = *peak_out.borrow();
+        let final_size: usize = sizes_out.borrow().values().sum();
+        (peak, final_size)
+    });
+
+    assert!(peak_state > 0, "the probe never observed state");
+    assert_eq!(
+        final_state, 0,
+        "per-auction count state must be fully dropped once all windows closed"
+    );
+}
+
+/// Drives the real Q8 fold through `stateful_binary` with a probe on the bin
+/// state: pending windows of never-registering sellers and stale
+/// registrations must expire with their tumbling window.
+#[test]
+fn q8_state_expires_with_its_window() {
+    let (peak_state, final_state, outputs) = timelite::execute_single(move |worker| {
+        let sizes_in: Rc<RefCell<HashMap<u64, usize>>> = Rc::new(RefCell::new(HashMap::new()));
+        let peak_in = Rc::new(RefCell::new(0usize));
+        let outputs_in = Rc::new(RefCell::new(Vec::new()));
+        let sizes_out = sizes_in.clone();
+        let peak_out = peak_in.clone();
+        let outputs_out = outputs_in.clone();
+        let (mut control, mut persons_in, mut auctions_in, probe) =
+            worker.dataflow::<u64, _, _>(|scope| {
+                let (control_input, control) = scope.new_input::<ControlInst>();
+                let (person_input, persons) = scope.new_input::<Person>();
+                let (auction_input, auctions) = scope.new_input::<Auction>();
+                let sizes = sizes_in.clone();
+                let peak = peak_in.clone();
+                let collected = outputs_in.clone();
+                let joined = stateful_binary::<_, Person, Auction, q8::Q8State, String, _, _, _>(
+                    MegaphoneConfig::new(4),
+                    &control,
+                    &persons,
+                    &auctions,
+                    "Q8-Probe",
+                    |person| timelite::hashing::hash_code(&person.id),
+                    |auction| timelite::hashing::hash_code(&auction.seller),
+                    move |time, persons, auctions, state, notificator| {
+                        let out = q8::join_fold(time, persons, auctions, state, notificator);
+                        let size: usize = state
+                            .values()
+                            .map(|(registration, windows)| {
+                                usize::from(registration.is_some()) + windows.len()
+                            })
+                            .sum();
+                        let mut sizes = sizes.borrow_mut();
+                        sizes.insert(notificator.bin() as u64, size);
+                        let total: usize = sizes.values().sum();
+                        let mut peak = peak.borrow_mut();
+                        *peak = (*peak).max(total);
+                        out
+                    },
+                );
+                joined
+                    .stream
+                    .inspect(move |_t, row| collected.borrow_mut().push(row.clone()));
+                (control_input, person_input, auction_input, joined.probe)
+            });
+
+        // Window 0: seller 1 auctions but never registers; seller 2 registers
+        // but never auctions; seller 3 does both (the only output).
+        persons_in.send(person(2, "silent", 10));
+        persons_in.send(person(3, "seller", 20));
+        auctions_in.send(auction(1, 30));
+        auctions_in.send(auction(3, 40));
+        // Keep the dataflow live well past the end of window 0 so the expiry
+        // reminders come due.
+        for window in 1..4u64 {
+            let at = window * Q8_WINDOW_MS;
+            persons_in.advance_to(at);
+            auctions_in.advance_to(at);
+            control.advance_to(at);
+            worker.step_while(|| probe.less_than(&at));
+        }
+        drop(control);
+        drop(persons_in);
+        drop(auctions_in);
+        worker.step_until_complete();
+        let peak = *peak_out.borrow();
+        let final_size: usize = sizes_out.borrow().values().sum();
+        let rows = outputs_out.borrow().clone();
+        (peak, final_size, rows)
+    });
+
+    assert_eq!(outputs, ["new_seller=seller window=0"]);
+    assert!(peak_state >= 3, "the probe never observed the three sellers' state");
+    assert_eq!(
+        final_state, 0,
+        "registrations and pending windows must expire with their tumbling window"
+    );
+}

@@ -12,7 +12,10 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 
 /// The payload of an envelope: either a typed data message or a progress update.
 pub enum Payload {
-    /// A boxed `(T, Vec<D>)` data message for a specific channel.
+    /// A boxed coalesced multi-batch `Vec<(T, Vec<D>)>` (a
+    /// [`MultiBatch`](crate::communication::MultiBatch)) for a specific
+    /// channel: every `(time, batch)` one pusher staged for the receiving
+    /// worker between two flushes.
     Data(Box<dyn Any + Send>),
     /// A boxed `ProgressUpdates<T>` batch for a dataflow.
     Progress(Box<dyn Any + Send>),
@@ -67,6 +70,11 @@ impl Allocator {
     /// Receives the next pending envelope, if any.
     pub fn try_recv(&self) -> Option<Envelope> {
         self.receiver.try_recv().ok()
+    }
+
+    /// A non-blocking iterator over the currently pending envelopes.
+    pub fn try_iter(&self) -> impl Iterator<Item = Envelope> + '_ {
+        self.receiver.try_iter()
     }
 }
 

@@ -4,6 +4,16 @@
 //! given a [`Pact`] describing how records move between workers: stay on the same
 //! worker ([`Pact::Pipeline`]), be routed by a hash of the record
 //! ([`Pact::Exchange`]), or be replicated to all workers ([`Pact::Broadcast`]).
+//!
+//! Remote deliveries are *staged*: a [`Pusher`] accumulates the batches routed
+//! to each peer across `push` calls and only materializes envelopes when
+//! [`Pusher::flush`] runs (driven once per [`Worker::step`] round, and from the
+//! capability-downgrade points of input handles). One flushed envelope carries
+//! every `(time, batch)` staged for its `(target worker, channel)` pair since
+//! the previous flush, so channel operations and allocations scale with flushes
+//! × active targets instead of pushes × peers.
+//!
+//! [`Worker::step`]: crate::worker::Worker::step
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -20,6 +30,10 @@ pub type SharedQueue<T, D> = Rc<RefCell<VecDeque<(T, Vec<D>)>>>;
 
 /// A shared change batch used to report progress information.
 pub type SharedChanges<T> = Rc<RefCell<ChangeBatch<T>>>;
+
+/// The coalesced payload of one data envelope: every `(time, batch)` staged for
+/// one `(target worker, channel)` pair between two flushes.
+pub type MultiBatch<T, D> = Vec<(T, Vec<D>)>;
 
 /// Creates an empty shared queue.
 pub fn shared_queue<T, D>() -> SharedQueue<T, D> {
@@ -71,10 +85,12 @@ impl<D> std::fmt::Debug for Pact<D> {
 /// The sending endpoint of one channel at one worker.
 ///
 /// A pusher routes record batches to the appropriate workers according to its
-/// pact, delivering locally destined records directly into the local shared
-/// queue and remote records through the communication fabric. Every pushed
-/// record is accounted in the channel's `produced` change batch so that progress
-/// tracking observes the message before any worker could consume it.
+/// pact. Locally destined records go directly into the local shared queue;
+/// remote records are staged per target worker and leave as coalesced
+/// [`MultiBatch`] envelopes on [`flush`](Pusher::flush). Every pushed record is
+/// accounted in the channel's `produced` change batch at push time — before any
+/// worker could consume it — so progress tracking holds downstream frontiers
+/// while batches sit in the staging buffers.
 pub struct Pusher<T: Timestamp, D> {
     pact: Pact<D>,
     dataflow: usize,
@@ -86,6 +102,8 @@ pub struct Pusher<T: Timestamp, D> {
     produced: SharedChanges<T>,
     /// Scratch per-worker buffers for exchange routing.
     buffers: Vec<Vec<D>>,
+    /// Staged outgoing batches per target worker, coalesced across pushes.
+    staged: Vec<MultiBatch<T, D>>,
 }
 
 impl<T: Timestamp, D: Data> Pusher<T, D> {
@@ -111,6 +129,7 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
             senders,
             produced,
             buffers: (0..peers).map(|_| Vec::new()).collect(),
+            staged: (0..peers).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -119,7 +138,24 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
         self.channel
     }
 
+    /// Delivers `batch` at `time` to `target`: the local queue for this worker,
+    /// the target's staging buffer otherwise (coalescing with the previous
+    /// staged batch when the time matches).
+    fn deliver(&mut self, time: &T, target: usize, mut batch: Vec<D>) {
+        if target == self.index {
+            self.local.borrow_mut().push_back((time.clone(), batch));
+            return;
+        }
+        let staged = &mut self.staged[target];
+        match staged.last_mut() {
+            Some((last_time, last_batch)) if last_time == time => last_batch.append(&mut batch),
+            _ => staged.push((time.clone(), batch)),
+        }
+    }
+
     /// Pushes a batch of records at `time`, consuming the batch.
+    ///
+    /// Remote deliveries are staged until the next [`flush`](Pusher::flush).
     pub fn push(&mut self, time: &T, data: Vec<D>) {
         if data.is_empty() {
             return;
@@ -133,23 +169,13 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
                 self.produced
                     .borrow_mut()
                     .update(time.clone(), (data.len() * self.peers) as i64);
-                for target in 0..self.peers {
-                    if target == self.index {
-                        self.local.borrow_mut().push_back((time.clone(), data.clone()));
-                    } else {
-                        let message: Box<(T, Vec<D>)> = Box::new((time.clone(), data.clone()));
-                        send_to(
-                            &self.senders,
-                            target,
-                            Envelope {
-                                dataflow: self.dataflow,
-                                channel: self.channel,
-                                from: self.index,
-                                payload: Payload::Data(message),
-                            },
-                        );
-                    }
+                // Clone for all targets but the last, which consumes the batch.
+                let last = self.peers - 1;
+                for target in 0..last {
+                    let copy = data.clone();
+                    self.deliver(time, target, copy);
                 }
+                self.deliver(time, last, data);
             }
             Pact::Exchange(route) => {
                 self.produced.borrow_mut().update(time.clone(), data.len() as i64);
@@ -157,6 +183,7 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
                     self.local.borrow_mut().push_back((time.clone(), data));
                     return;
                 }
+                let route = Rc::clone(route);
                 for record in data {
                     let target = (route(&record) % self.peers as u64) as usize;
                     self.buffers[target].push(record);
@@ -166,23 +193,30 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
                         continue;
                     }
                     let batch = std::mem::take(&mut self.buffers[target]);
-                    if target == self.index {
-                        self.local.borrow_mut().push_back((time.clone(), batch));
-                    } else {
-                        let message: Box<(T, Vec<D>)> = Box::new((time.clone(), batch));
-                        send_to(
-                            &self.senders,
-                            target,
-                            Envelope {
-                                dataflow: self.dataflow,
-                                channel: self.channel,
-                                from: self.index,
-                                payload: Payload::Data(message),
-                            },
-                        );
-                    }
+                    self.deliver(time, target, batch);
                 }
             }
+        }
+    }
+
+    /// Sends every staged batch as one coalesced envelope per target worker.
+    pub fn flush(&mut self) {
+        for target in 0..self.peers {
+            if self.staged[target].is_empty() {
+                continue;
+            }
+            let batches = std::mem::take(&mut self.staged[target]);
+            let message: Box<MultiBatch<T, D>> = Box::new(batches);
+            send_to(
+                &self.senders,
+                target,
+                Envelope {
+                    dataflow: self.dataflow,
+                    channel: self.channel,
+                    from: self.index,
+                    payload: Payload::Data(message),
+                },
+            );
         }
     }
 }
@@ -227,6 +261,13 @@ impl<T: Timestamp, D: Data> Tee<T, D> {
             pusher.push(time, data.clone());
         }
         self.pushers[last].push(time, data);
+    }
+
+    /// Flushes the staging buffers of every attached channel.
+    pub fn flush(&mut self) {
+        for pusher in &mut self.pushers {
+            pusher.flush();
+        }
     }
 }
 
@@ -282,27 +323,74 @@ mod tests {
     fn exchange_routes_by_hash() {
         let (mut pusher, local, produced, allocs) = pusher_with(Pact::exchange(|x: &u64| *x), 2);
         pusher.push(&5, vec![0, 1, 2, 3]);
-        // Evens stay at worker 0, odds go to worker 1.
+        // Evens stay at worker 0 immediately; odds are staged until the flush.
         let local_records: Vec<u64> =
             local.borrow().iter().flat_map(|(_, d)| d.clone()).collect();
         assert_eq!(local_records, vec![0, 2]);
+        assert!(allocs[1].try_recv().is_none(), "remote delivery must wait for flush");
+        pusher.flush();
         let envelope = allocs[1].try_recv().expect("worker 1 should receive data");
-        let (time, data) = *envelope.payload_into::<(u64, Vec<u64>)>();
-        assert_eq!(time, 5);
-        assert_eq!(data, vec![1, 3]);
-        // Produced counts the total number of records once.
+        let batches = *envelope.payload_into::<MultiBatch<u64, u64>>();
+        assert_eq!(batches, vec![(5, vec![1, 3])]);
+        // Produced counts the total number of records once, at push time.
         assert_eq!(produced.borrow_mut().clone_inner(), vec![(5, 4)]);
+    }
+
+    #[test]
+    fn flush_coalesces_batches_per_target() {
+        let (mut pusher, _local, _produced, allocs) = pusher_with(Pact::exchange(|x: &u64| *x), 2);
+        pusher.push(&5, vec![1, 3]);
+        pusher.push(&5, vec![5]);
+        pusher.push(&6, vec![7]);
+        pusher.flush();
+        // One envelope carries all three pushes: same-time batches merged,
+        // later time appended.
+        let envelope = allocs[1].try_recv().expect("worker 1 should receive data");
+        let batches = *envelope.payload_into::<MultiBatch<u64, u64>>();
+        assert_eq!(batches, vec![(5, vec![1, 3, 5]), (6, vec![7])]);
+        assert!(allocs[1].try_recv().is_none(), "all pushes must share one envelope");
+        // A flush with nothing staged sends nothing.
+        pusher.flush();
+        assert!(allocs[1].try_recv().is_none());
     }
 
     #[test]
     fn broadcast_reaches_all_workers() {
         let (mut pusher, local, produced, allocs) = pusher_with(Pact::Broadcast, 3);
         pusher.push(&1, vec![9, 9]);
+        pusher.flush();
         assert_eq!(local.borrow().len(), 1);
         assert!(allocs[1].try_recv().is_some());
         assert!(allocs[2].try_recv().is_some());
         // Produced counts one copy per worker.
         assert_eq!(produced.borrow_mut().clone_inner(), vec![(1, 6)]);
+    }
+
+    #[test]
+    fn broadcast_last_target_consumes_without_clone() {
+        // With the pushing worker last (index == peers - 1), the local delivery
+        // must reuse the pushed allocation rather than clone it.
+        let allocs = allocate(2);
+        let local: SharedQueue<u64, u64> = shared_queue();
+        let produced = shared_changes();
+        let mut pusher = Pusher::new(
+            Pact::Broadcast,
+            0,
+            0,
+            1,
+            2,
+            Rc::clone(&local),
+            allocs[1].senders(),
+            produced,
+        );
+        let data = vec![4, 5];
+        let original_ptr = data.as_ptr();
+        pusher.push(&1, data);
+        pusher.flush();
+        let delivered = local.borrow_mut().pop_front().expect("local copy expected");
+        assert_eq!(delivered.1, vec![4, 5]);
+        assert_eq!(delivered.1.as_ptr(), original_ptr, "last target must consume the batch");
+        assert!(allocs[0].try_recv().is_some());
     }
 
     #[test]
@@ -326,6 +414,42 @@ mod tests {
         tee.push(&7, vec![1, 2]);
         assert_eq!(q1.borrow().len(), 1);
         assert_eq!(q2.borrow().len(), 1);
+    }
+
+    #[test]
+    fn tee_flush_drains_every_pusher() {
+        let allocs = allocate(2);
+        let q1 = shared_queue();
+        let q2 = shared_queue();
+        let p1 = shared_changes();
+        let p2 = shared_changes();
+        let mut tee = Tee::<u64, u64>::new();
+        tee.add_pusher(Pusher::new(
+            Pact::exchange(|x: &u64| *x),
+            0,
+            0,
+            0,
+            2,
+            Rc::clone(&q1),
+            allocs[0].senders(),
+            p1,
+        ));
+        tee.add_pusher(Pusher::new(
+            Pact::exchange(|x: &u64| *x),
+            0,
+            1,
+            0,
+            2,
+            Rc::clone(&q2),
+            allocs[0].senders(),
+            p2,
+        ));
+        tee.push(&3, vec![1]);
+        assert!(allocs[1].try_recv().is_none());
+        tee.flush();
+        let channels: Vec<usize> =
+            allocs[1].try_iter().map(|envelope| envelope.channel).collect();
+        assert_eq!(channels, vec![0, 1]);
     }
 
     impl Envelope {

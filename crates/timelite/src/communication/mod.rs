@@ -5,6 +5,6 @@ pub mod exchange;
 
 pub use allocator::{allocate, send_to, Allocator, Envelope, Payload};
 pub use exchange::{
-    shared_changes, shared_queue, shared_tee, Pact, Pusher, SharedChanges, SharedQueue, SharedTee,
-    Tee,
+    shared_changes, shared_queue, shared_tee, MultiBatch, Pact, Pusher, SharedChanges, SharedQueue,
+    SharedTee, Tee,
 };

@@ -75,6 +75,10 @@ impl<T: Timestamp + TotalOrder, D: Data> InputHandle<T, D> {
 
     /// Advances the input to epoch `time`, releasing all earlier epochs.
     ///
+    /// Downgrading the input's capability also flushes the channels' staging
+    /// buffers, so the completed epoch's records reach remote workers without
+    /// waiting for the next scheduling round.
+    ///
     /// # Panics
     ///
     /// Panics if `time` is not in advance of the current epoch or the input is closed.
@@ -88,6 +92,7 @@ impl<T: Timestamp + TotalOrder, D: Data> InputHandle<T, D> {
         );
         if self.time != time {
             self.flush();
+            self.tee.borrow_mut().flush();
             let mut internal = self.internal.borrow_mut();
             internal.update(time.clone(), 1);
             internal.update(self.time.clone(), -1);
@@ -104,6 +109,7 @@ impl<T: Timestamp + TotalOrder, D: Data> InputHandle<T, D> {
     fn close_inner(&mut self) {
         if !self.closed {
             self.flush();
+            self.tee.borrow_mut().flush();
             self.internal.borrow_mut().update(self.time.clone(), -1);
             self.closed = true;
         }

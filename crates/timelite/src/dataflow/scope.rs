@@ -13,7 +13,8 @@ use std::rc::Rc;
 use crossbeam_channel::Sender;
 
 use crate::communication::{
-    shared_changes, shared_queue, Envelope, Pact, Pusher, SharedChanges, SharedQueue, SharedTee,
+    shared_changes, shared_queue, Envelope, MultiBatch, Pact, Pusher, SharedChanges, SharedQueue,
+    SharedTee,
 };
 use crate::order::Timestamp;
 use crate::progress::{Antichain, EdgeDesc, NodeDesc, Port};
@@ -26,6 +27,10 @@ pub type OperatorLogic<T> = Box<dyn FnMut(&[Antichain<T>])>;
 /// A closure that accepts a type-erased received message for one channel and
 /// pushes it into the channel's typed local queue.
 pub type DemuxClosure = Box<dyn FnMut(Box<dyn Any + Send>)>;
+
+/// A closure that flushes one channel's staged remote batches into envelopes
+/// (invoked once per worker scheduling round).
+pub type FlushClosure = Box<dyn FnMut()>;
 
 /// Per-worker, per-dataflow construction state.
 pub struct GraphBuilder<T: Timestamp> {
@@ -40,6 +45,10 @@ pub struct GraphBuilder<T: Timestamp> {
     produceds: Vec<SharedChanges<T>>,
     consumeds: Vec<SharedChanges<T>>,
     demux: Vec<DemuxClosure>,
+    flushers: Vec<FlushClosure>,
+    /// Identities (`Rc` data pointers) of the tees already covered by a
+    /// flusher, so a tee with many channels is flushed once per round.
+    flushed_tees: Vec<*const ()>,
 }
 
 impl<T: Timestamp> GraphBuilder<T> {
@@ -57,6 +66,8 @@ impl<T: Timestamp> GraphBuilder<T> {
             produceds: Vec::new(),
             consumeds: Vec::new(),
             demux: Vec::new(),
+            flushers: Vec::new(),
+            flushed_tees: Vec::new(),
         }
     }
 
@@ -112,10 +123,10 @@ impl<T: Timestamp> GraphBuilder<T> {
 
         let demux_queue = Rc::clone(&queue);
         self.demux.push(Box::new(move |boxed: Box<dyn Any + Send>| {
-            let message = boxed
-                .downcast::<(T, Vec<D>)>()
+            let batches = boxed
+                .downcast::<MultiBatch<T, D>>()
                 .expect("channel received a message of an unexpected type");
-            demux_queue.borrow_mut().push_back(*message);
+            demux_queue.borrow_mut().extend(*batches);
         }));
 
         let pusher = Pusher::new(
@@ -129,6 +140,16 @@ impl<T: Timestamp> GraphBuilder<T> {
             produced,
         );
         tee.borrow_mut().add_pusher(pusher);
+
+        // The worker flushes every channel's staging buffers once per
+        // scheduling round, after all operators have run. One flusher covers
+        // all of a tee's channels, so register it only for new tees.
+        let tee_identity = Rc::as_ptr(tee) as *const ();
+        if !self.flushed_tees.contains(&tee_identity) {
+            self.flushed_tees.push(tee_identity);
+            let flush_tee = Rc::clone(tee);
+            self.flushers.push(Box::new(move || flush_tee.borrow_mut().flush()));
+        }
 
         (queue, consumed)
     }
@@ -178,6 +199,8 @@ pub struct BuiltDataflow<T: Timestamp> {
     pub consumeds: Vec<SharedChanges<T>>,
     /// Demultiplexing closures per channel.
     pub demux: Vec<DemuxClosure>,
+    /// Staging-buffer flush closures, run once per scheduling round.
+    pub flushers: Vec<FlushClosure>,
 }
 
 /// A user-facing handle to a dataflow under construction.
@@ -240,6 +263,7 @@ impl<T: Timestamp> Scope<T> {
             produceds: std::mem::take(&mut builder.produceds),
             consumeds: std::mem::take(&mut builder.consumeds),
             demux: std::mem::take(&mut builder.demux),
+            flushers: std::mem::take(&mut builder.flushers),
         }
     }
 }
@@ -301,8 +325,12 @@ mod tests {
             b.add_channel::<String>(Port::new(a, 0), Port::new(c, 0), Pact::Pipeline, &tee).0
         });
         let mut built = scope.finalize();
-        (built.demux[0])(Box::new((7u64, vec!["hello".to_string()])));
-        let received = queue.borrow_mut().pop_front().expect("message expected");
-        assert_eq!(received, (7, vec!["hello".to_string()]));
+        (built.demux[0])(Box::new(vec![
+            (7u64, vec!["hello".to_string()]),
+            (8u64, vec!["world".to_string()]),
+        ]));
+        let mut queue = queue.borrow_mut();
+        assert_eq!(queue.pop_front(), Some((7, vec!["hello".to_string()])));
+        assert_eq!(queue.pop_front(), Some((8, vec!["world".to_string()])));
     }
 }

@@ -82,7 +82,14 @@ impl<T: Timestamp> DataflowStep for DataflowCore<T> {
             (self.built.logics[node])(frontiers);
         }
 
-        // 3. Harvest and share progress changes made by the operators.
+        // 3. Flush every channel's staging buffers: records pushed by the
+        //    operators above (and by user code between steps) leave as
+        //    coalesced envelopes before progress for them is shared.
+        for flusher in &mut self.built.flushers {
+            flusher();
+        }
+
+        // 4. Harvest and share progress changes made by the operators.
         let updates = self.harvest_progress();
         if !updates.is_empty() {
             self.tracker.apply(&updates);

@@ -369,6 +369,65 @@ fn multiple_dataflows_coexist() {
     });
 }
 
+/// Under the batched fabric, records from one sender on one channel arrive at
+/// each receiving worker in push order — within an epoch and across epochs —
+/// and progress accounting still drains exactly: `step_until_complete`
+/// terminates with every record delivered exactly once.
+#[test]
+fn batched_exchange_preserves_per_sender_order() {
+    const EPOCHS: u64 = 5;
+    const PER_EPOCH: u64 = 1_000;
+    let results = timelite::execute(Config::process(4), |worker| {
+        let index = worker.index() as u64;
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let received_in = received.clone();
+        let (mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            // Route by sequence number so every sender's stream is spread
+            // over all workers.
+            let probe = stream
+                .exchange(|record: &(u64, u64)| record.1)
+                .inspect(move |_t, record| received_in.borrow_mut().push(*record))
+                .probe();
+            (input, probe)
+        });
+        for epoch in 0..EPOCHS {
+            for seq in epoch * PER_EPOCH..(epoch + 1) * PER_EPOCH {
+                input.send((index, seq));
+                if seq % 229 == 0 {
+                    // Interleave scheduling rounds so batches flush (and
+                    // re-stage) mid-epoch rather than only at epoch ends.
+                    worker.step();
+                }
+            }
+            input.advance_to(epoch + 1);
+        }
+        worker.step_while(|| probe.less_than(&EPOCHS));
+        drop(input);
+        worker.step_until_complete();
+        let collected = received.borrow().clone();
+        collected
+    });
+
+    let mut total = 0u64;
+    for (worker_index, received) in results.into_iter().enumerate() {
+        let mut last_seq: HashMap<u64, u64> = HashMap::new();
+        for (sender, seq) in received {
+            assert_eq!(seq % 4, worker_index as u64, "seq {seq} landed on wrong worker");
+            if let Some(previous) = last_seq.insert(sender, seq) {
+                assert!(
+                    previous < seq,
+                    "worker {worker_index} saw sender {sender}'s records out of order: \
+                     {previous} before {seq}"
+                );
+            }
+            total += 1;
+        }
+    }
+    // 4 workers × EPOCHS × PER_EPOCH records, each delivered exactly once.
+    assert_eq!(total, 4 * EPOCHS * PER_EPOCH);
+}
+
 /// The engine drains gracefully when inputs are closed without advancing.
 #[test]
 fn close_without_advancing_completes() {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Converts the vendored-criterion bench output (stdin) into a per-commit CSV
+# (stdout) for CI's regression-tracking artifact:
+#
+#   commit,benchmark,mean_ns_per_iter,iterations
+#
+# Usage: cargo bench -p mp-bench | scripts/bench-to-csv.sh [commit-sha]
+set -euo pipefail
+
+commit="${1:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}"
+
+echo "commit,benchmark,mean_ns_per_iter,iterations"
+awk -v commit="$commit" '
+    # Bench lines look like:
+    #   group/label        time:     59.451 µs/iter (8532 iterations)
+    $2 == "time:" && NF >= 6 {
+        label = $1
+        value = $3
+        unit = $4
+        iterations = $5
+        sub(/\/iter$/, "", unit)
+        gsub(/[()]/, "", iterations)
+        factor = 1
+        if (unit == "s") factor = 1e9
+        else if (unit == "ms") factor = 1e6
+        else if (unit == "\xc2\xb5s") factor = 1e3
+        printf "%s,%s,%.3f,%s\n", commit, label, value * factor, iterations
+    }
+'

@@ -3,36 +3,70 @@
 //! The build environment of this repository is offline, so the real
 //! `crossbeam-channel` cannot be fetched from crates.io. `timelite` only needs
 //! the unbounded MPMC channel with cloneable senders *and* receivers, `send`,
-//! `recv`, `try_recv` and `try_iter`; this crate provides exactly that subset
-//! on top of a `Mutex<VecDeque>` + `Condvar`. The implementation favours
-//! simplicity over the lock-free performance of the real crate — swap the
-//! `[workspace.dependencies]` entry for the crates.io version when network
-//! access is available.
+//! `recv`, `try_recv` and `try_iter`; this crate provides exactly that subset.
+//!
+//! The queue is *sharded into two lock domains* (a classic two-lock queue,
+//! adapted to segments): senders append to a **tail** segment behind one mutex
+//! while receivers pop from a **head** segment behind another. A receiver only
+//! touches the tail lock when its head segment runs dry, at which point it
+//! swaps the entire tail segment into the head in O(1). Senders therefore never
+//! contend with receivers while buffered messages remain, which removes the
+//! single-mutex serialization of the previous stand-in on the exchange hot
+//! path. Swap the `[workspace.dependencies]` entry for the crates.io version
+//! when network access is available.
 
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Creates an unbounded channel, returning the sending and receiving halves.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
-        queue: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        head: Mutex::new(VecDeque::new()),
+        tail: Mutex::new(Tail { segment: VecDeque::new(), senders: 1, receivers: 1 }),
         available: Condvar::new(),
     });
     (Sender { inner: inner.clone() }, Receiver { inner })
 }
 
-struct State<T> {
-    queue: VecDeque<T>,
+/// The sender-side lock domain: the open segment plus the handle counts.
+///
+/// The handle counts live under the tail lock so that `send`'s receiver check
+/// and `try_recv`/`recv`'s sender check are consistent with the enqueued
+/// messages they race against.
+struct Tail<T> {
+    segment: VecDeque<T>,
     senders: usize,
     receivers: usize,
 }
 
+/// Shared channel state, sharded into two lock domains.
+///
+/// Invariant: every message in `head` was sent before every message in `tail`
+/// (receivers always drain the tail segment *completely* into the head), so
+/// popping `head` first preserves the global FIFO order.
 struct Inner<T> {
-    queue: Mutex<State<T>>,
+    /// Closed segment, popped by receivers.
+    head: Mutex<VecDeque<T>>,
+    /// Open segment, appended to by senders; paired with `available`.
+    tail: Mutex<Tail<T>>,
+    /// Signaled on every send and on the last sender disconnecting.
     available: Condvar,
+}
+
+impl<T> Inner<T> {
+    /// Moves the whole tail segment into `head`, preserving order.
+    ///
+    /// Callers must hold the head lock (passed as `head`) and the tail lock.
+    fn refill(head: &mut VecDeque<T>, tail: &mut Tail<T>) {
+        if head.is_empty() {
+            std::mem::swap(head, &mut tail.segment);
+        } else {
+            head.append(&mut tail.segment);
+        }
+    }
 }
 
 /// The sending half of an unbounded channel. Cloneable.
@@ -67,12 +101,12 @@ pub struct RecvError;
 impl<T> Sender<T> {
     /// Enqueues `message`, failing only if every receiver has been dropped.
     pub fn send(&self, message: T) -> Result<(), SendError<T>> {
-        let mut state = self.inner.queue.lock().unwrap();
-        if state.receivers == 0 {
+        let mut tail = self.inner.tail.lock().unwrap();
+        if tail.receivers == 0 {
             return Err(SendError(message));
         }
-        state.queue.push_back(message);
-        drop(state);
+        tail.segment.push_back(message);
+        drop(tail);
         self.inner.available.notify_one();
         Ok(())
     }
@@ -80,26 +114,44 @@ impl<T> Sender<T> {
 
 impl<T> Receiver<T> {
     /// Dequeues a message without blocking.
+    ///
+    /// Lock order is head → tail; senders only ever take the tail lock, so the
+    /// fast path (head segment non-empty) never contends with them.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut state = self.inner.queue.lock().unwrap();
-        match state.queue.pop_front() {
+        let mut head = self.inner.head.lock().unwrap();
+        if let Some(message) = head.pop_front() {
+            return Ok(message);
+        }
+        let mut tail = self.inner.tail.lock().unwrap();
+        Inner::refill(&mut head, &mut tail);
+        match head.pop_front() {
             Some(message) => Ok(message),
-            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None if tail.senders == 0 => Err(TryRecvError::Disconnected),
             None => Err(TryRecvError::Empty),
         }
     }
 
     /// Blocks until a message arrives or every sender disconnects.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut state = self.inner.queue.lock().unwrap();
         loop {
-            if let Some(message) = state.queue.pop_front() {
+            let mut head = self.inner.head.lock().unwrap();
+            if let Some(message) = head.pop_front() {
                 return Ok(message);
             }
-            if state.senders == 0 {
+            let mut tail = self.inner.tail.lock().unwrap();
+            Inner::refill(&mut head, &mut tail);
+            if let Some(message) = head.pop_front() {
+                return Ok(message);
+            }
+            if tail.senders == 0 {
                 return Err(RecvError);
             }
-            state = self.inner.available.wait(state).unwrap();
+            // Release the head lock before sleeping so other receivers (and
+            // `try_recv` calls) are not blocked behind a parked thread; the
+            // wait releases the tail lock atomically, so a send that happens
+            // after the emptiness check above cannot be missed.
+            drop(head);
+            let _guard: MutexGuard<'_, Tail<T>> = self.inner.available.wait(tail).unwrap();
         }
     }
 
@@ -123,24 +175,24 @@ impl<T> Iterator for TryIter<'_, T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.inner.queue.lock().unwrap().senders += 1;
+        self.inner.tail.lock().unwrap().senders += 1;
         Sender { inner: self.inner.clone() }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.inner.queue.lock().unwrap().receivers += 1;
+        self.inner.tail.lock().unwrap().receivers += 1;
         Receiver { inner: self.inner.clone() }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.inner.queue.lock().unwrap();
-        state.senders -= 1;
-        if state.senders == 0 {
-            drop(state);
+        let mut tail = self.inner.tail.lock().unwrap();
+        tail.senders -= 1;
+        if tail.senders == 0 {
+            drop(tail);
             // Wake blocked receivers so they observe the disconnect.
             self.inner.available.notify_all();
         }
@@ -149,7 +201,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.inner.queue.lock().unwrap().receivers -= 1;
+        self.inner.tail.lock().unwrap().receivers -= 1;
     }
 }
 
@@ -182,6 +234,22 @@ mod tests {
         tx.send(2).unwrap();
         assert_eq!(rx.try_recv(), Ok(1));
         assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn order_survives_segment_refills() {
+        let (tx, rx) = unbounded();
+        // Interleave sends and receives so messages cross the tail→head swap
+        // at every possible fill level.
+        for round in 0..50u32 {
+            for offset in 0..round {
+                tx.send(round * 100 + offset).unwrap();
+            }
+            for offset in 0..round {
+                assert_eq!(rx.try_recv(), Ok(round * 100 + offset));
+            }
+        }
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
     }
 
@@ -221,5 +289,79 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         tx.send(42).unwrap();
         assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    /// Many sender threads against one draining receiver: per-sender order must
+    /// be preserved and the disconnect must only be observed after the queue
+    /// has fully drained.
+    #[test]
+    fn concurrent_senders_preserve_per_sender_order() {
+        const SENDERS: usize = 8;
+        const MESSAGES: u64 = 10_000;
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..SENDERS)
+            .map(|sender| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for seq in 0..MESSAGES {
+                        tx.send((sender, seq)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let mut next_seq = [0u64; SENDERS];
+        let mut received = 0u64;
+        loop {
+            match rx.try_recv() {
+                Ok((sender, seq)) => {
+                    assert_eq!(seq, next_seq[sender], "sender {sender} reordered");
+                    next_seq[sender] += 1;
+                    received += 1;
+                }
+                Err(TryRecvError::Empty) => std::thread::yield_now(),
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        // Disconnected only after every message was drained.
+        assert_eq!(received, SENDERS as u64 * MESSAGES);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    /// Same as above but through the blocking `recv`, exercising the condvar
+    /// hand-off between the two lock domains.
+    #[test]
+    fn concurrent_senders_with_blocking_receiver() {
+        const SENDERS: usize = 4;
+        const MESSAGES: u64 = 5_000;
+        let (tx, rx) = unbounded();
+        let receiver = std::thread::spawn(move || {
+            let mut next_seq = [0u64; SENDERS];
+            let mut received = 0u64;
+            while let Ok((sender, seq)) = rx.recv() {
+                assert_eq!(seq, next_seq[sender], "sender {sender} reordered");
+                next_seq[sender] += 1;
+                received += 1;
+            }
+            received
+        });
+        let handles: Vec<_> = (0..SENDERS)
+            .map(|sender| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for seq in 0..MESSAGES {
+                        tx.send((sender, seq)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(receiver.join().unwrap(), SENDERS as u64 * MESSAGES);
     }
 }
