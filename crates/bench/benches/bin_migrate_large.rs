@@ -1,0 +1,127 @@
+//! Criterion benches of migration encode/extract at large state sizes (the
+//! regime of the paper's Figures 16–18): the old whole-bin path (one monolithic
+//! encode + one monolithic decode) against the chunked fragment path, plus the
+//! *max-stall* comparison — the largest single call either path performs. The
+//! chunked path's worst single call touches at most one fragment budget of
+//! bytes, while the whole-bin path's worst call scales with the bin.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use megaphone::codec::{Assembler, Fragmenter};
+use megaphone::{Bin, ChunkedCodec, Codec};
+use timelite::hashing::FxHashMap;
+
+type LargeBin = Bin<u64, FxHashMap<u64, u64>, (u64, u64)>;
+
+/// The fragment budget used throughout: the `MegaphoneConfig` default.
+const CHUNK_BYTES: usize = 64 << 10;
+
+/// Builds a bin whose encoding is roughly `target_bytes` (16 bytes per entry).
+fn bin_of(target_bytes: usize) -> LargeBin {
+    let entries = (target_bytes / 16).max(1) as u64;
+    Bin { state: (0..entries).map(|k| (k, k * 7)).collect(), pending: Vec::new() }
+}
+
+/// `(label, approximate encoded bytes)` for the swept bin sizes.
+const SIZES: [(&str, usize); 3] = [("1KB", 1 << 10), ("100KB", 100 << 10), ("10MB", 10 << 20)];
+
+/// Full extract+install round trip, old path: one encode, one decode.
+fn bench_whole_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_migrate_large/whole");
+    for (label, bytes) in SIZES {
+        let bin = bin_of(bytes);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bin, |b, bin| {
+            // `extract` hands the bin over by value on either path; the setup
+            // clone stands in for that ownership transfer on both sides.
+            b.iter_batched(
+                || bin.clone(),
+                |bin| {
+                    let encoded = black_box(&bin).encode_to_vec();
+                    let decoded = LargeBin::decode_from_slice(&encoded);
+                    decoded.state.len()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Full extract+install round trip, chunked path: bounded-size fragments
+/// streamed through an assembler, encoding into a reused scratch buffer as the
+/// sharded store does.
+fn bench_chunked_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_migrate_large/chunked");
+    for (label, bytes) in SIZES {
+        let bin = bin_of(bytes);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bin, |b, bin| {
+            let mut scratch = Vec::with_capacity(CHUNK_BYTES * 2);
+            // The store's extract takes the bin by value (no clone); the
+            // setup clone here stands in for that ownership transfer and is
+            // excluded from the measurement.
+            b.iter_batched(
+                || bin.clone(),
+                |bin| {
+                    let mut fragmenter = black_box(bin).into_fragmenter();
+                    let mut assembler = LargeBin::assembler();
+                    loop {
+                        scratch.clear();
+                        let more = fragmenter.fill(CHUNK_BYTES, &mut scratch);
+                        let fragment = scratch.as_slice().to_vec();
+                        let mut slice = &fragment[..];
+                        assembler.absorb(&mut slice);
+                        if !more {
+                            break;
+                        }
+                    }
+                    assembler.finish().state.len()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Max-stall of the old path: the single monolithic encode call.
+fn bench_stall_whole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_migrate_large/stall_whole");
+    for (label, bytes) in SIZES {
+        let bin = bin_of(bytes);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bin, |b, bin| {
+            b.iter(|| black_box(bin).encode_to_vec().len())
+        });
+    }
+    group.finish();
+}
+
+/// Max-stall of the chunked path: one `fill` call producing one fragment.
+/// Independent of bin size, this is the longest the F operator ever blocks on
+/// encoding during a migration.
+fn bench_stall_chunked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_migrate_large/stall_chunked");
+    for (label, bytes) in SIZES {
+        let bin = bin_of(bytes);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bin, |b, bin| {
+            let mut scratch = Vec::with_capacity(CHUNK_BYTES * 2);
+            b.iter_batched(
+                || bin.clone().into_fragmenter(),
+                |mut fragmenter| {
+                    scratch.clear();
+                    fragmenter.fill(CHUNK_BYTES, &mut scratch);
+                    scratch.len()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_whole_roundtrip,
+    bench_chunked_roundtrip,
+    bench_stall_whole,
+    bench_stall_chunked
+);
+criterion_main!(benches);

@@ -204,7 +204,9 @@ pub mod keycount {
                         .last()
                         .is_none_or(|sample| now - sample.at_nanos > 100_000_000)
                 {
-                    memory.sample(now, 0);
+                    // Tracked state: the bin store's own load accounting
+                    // (approximate encoded bytes across hosted bins, O(1)).
+                    memory.sample(now, output.stats.tracked_bytes());
                 }
             }
 
@@ -315,6 +317,9 @@ pub mod nexmark_run {
         pub overall: LatencyHistogram,
         /// Result rows observed by worker 0.
         pub output_rows: u64,
+        /// Peak tracked state on worker 0, from the bin store's load
+        /// accounting (zero for native queries, which have no bin store).
+        pub peak_state_bytes: u64,
     }
 
     /// Runs the configured NEXMark experiment.
@@ -359,12 +364,16 @@ pub mod nexmark_run {
             let migrate_epoch = params.migrate_at_ms / params.epoch_ms;
             let mut current_epoch = 0u64;
             let mut completed_epoch = 0u64;
+            let mut peak_state_bytes = 0u64;
 
             while current_epoch < total_epochs || completed_epoch < current_epoch {
                 let elapsed = clock.elapsed_nanos();
                 for epoch in driver.due_epochs(elapsed) {
                     if epoch >= total_epochs {
                         continue;
+                    }
+                    if index == 0 {
+                        peak_state_bytes = peak_state_bytes.max(output.tracked_bytes());
                     }
                     if index == 0 && epoch >= migrate_epoch {
                         if let Some(controller) = controller.as_mut() {
@@ -406,7 +415,7 @@ pub mod nexmark_run {
             if index == 0 {
                 let (points, overall) = timeline.finish();
                 let count = *rows.borrow();
-                Some(RunResult { points, overall, output_rows: count })
+                Some(RunResult { points, overall, output_rows: count, peak_state_bytes })
             } else {
                 None
             }

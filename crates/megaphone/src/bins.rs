@@ -1,37 +1,101 @@
-//! Key binning and the per-worker bin store shared between the F and S operators.
+//! Key binning and the per-worker, sharded bin store shared between the F and
+//! S operators.
 //!
 //! Megaphone does not track each key individually: keys are statically assigned
 //! to *bins* by the most significant bits of their hash, and the configuration
 //! function maps bins (rather than keys) to workers (Section 4.2). The number of
 //! bins is a power of two fixed when the operator is constructed.
+//!
+//! The store itself is *sharded*: bins live in `2^shard_shift` shards indexed
+//! by the top bits of the bin id, each shard owning its contiguous slice of bin
+//! slots plus a reusable encode scratch buffer. Sharding keeps the per-shard
+//! slot vectors small and cache-friendly, gives every migration an
+//! amortized-allocation-free encode path (the scratch buffer), and is the
+//! layout under which a future NUMA-aware or concurrent store can pin shards to
+//! cores without changing the API.
+//!
+//! Migration is *incremental*: [`BinStore::extract_chunked`] starts an
+//! extraction whose encoded bytes are pulled out as bounded-size fragments
+//! ([`ChunkedExtraction::next_fragment`]), and [`BinStore::install_fragment`]
+//! absorbs fragments one at a time on the receiving worker, so neither side
+//! ever stalls on one giant encode or decode (the large-state regime of the
+//! paper's Figures 16–18).
+//!
+//! The store also maintains per-bin load accounting ([`BinLoad`]) — record
+//! counts and approximate encoded bytes — surfaced through [`BinStats`] so
+//! controllers can plan migrations from observed load instead of assignments
+//! alone.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use crate::codec::Codec;
+use crate::codec::{Assembler, ChunkedCodec, Codec, Fragmenter};
 
 /// The identifier of one bin (an equivalence class of keys).
 pub type BinId = usize;
+
+/// Default base-2 logarithm of the shard count: 16 shards.
+const DEFAULT_SHARD_SHIFT: u32 = 4;
+
+/// Default migration fragment budget: 64 KiB per fragment.
+const DEFAULT_CHUNK_BYTES: usize = 64 << 10;
 
 /// Static configuration of a Megaphone stateful operator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MegaphoneConfig {
     /// Base-2 logarithm of the number of bins.
     pub bin_shift: u32,
+    /// Base-2 logarithm of the number of bin-store shards (clamped to
+    /// `bin_shift`: there is never more than one shard per bin).
+    pub shard_shift: u32,
+    /// Budget in bytes for one encoded migration fragment. A fragment exceeds
+    /// this only when a single indivisible unit (one state element) is larger.
+    pub chunk_bytes: usize,
 }
 
 impl MegaphoneConfig {
-    /// Creates a configuration with `2^bin_shift` bins.
+    /// Creates a configuration with `2^bin_shift` bins, the default shard
+    /// count and the default migration fragment budget.
     ///
     /// The paper's evaluation uses `2^12` bins as its default (Section 5.1).
     pub fn new(bin_shift: u32) -> Self {
         assert!(bin_shift < 64, "bin_shift must be smaller than 64");
-        MegaphoneConfig { bin_shift }
+        MegaphoneConfig {
+            bin_shift,
+            shard_shift: DEFAULT_SHARD_SHIFT.min(bin_shift),
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+
+    /// Sets the shard count to `2^shard_shift` (clamped to the bin count).
+    pub fn with_shard_shift(mut self, shard_shift: u32) -> Self {
+        self.shard_shift = shard_shift.min(self.bin_shift);
+        self
+    }
+
+    /// Sets the migration fragment budget in bytes.
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        assert!(chunk_bytes > 0, "chunk_bytes must be positive");
+        self.chunk_bytes = chunk_bytes;
+        self
     }
 
     /// The number of bins.
     pub fn bins(&self) -> usize {
         1usize << self.bin_shift
+    }
+
+    /// The number of bin-store shards.
+    pub fn shards(&self) -> usize {
+        1usize << self.shard_shift.min(self.bin_shift)
+    }
+
+    /// The number of encoded migration bytes the F operator ships per
+    /// scheduling round, bounding how long migration traffic can displace
+    /// record processing within one step.
+    pub fn pump_bytes_per_step(&self) -> usize {
+        self.chunk_bytes.saturating_mul(4)
     }
 
     /// Maps a 64-bit key hash to its bin using the most significant bits.
@@ -86,48 +150,329 @@ impl<T: Codec, S: Codec, D: Codec> Codec for Bin<T, S, D> {
     }
 }
 
+/// Streaming encoder for a [`Bin`]: the state section followed by the pending
+/// section, sharing one fragment budget.
+pub struct BinFragmenter<T: Codec, S: ChunkedCodec, D: Codec> {
+    state: S::Fragmenter,
+    state_done: bool,
+    pending: <Vec<(T, D)> as ChunkedCodec>::Fragmenter,
+}
+
+impl<T: Codec, S: ChunkedCodec, D: Codec> Fragmenter for BinFragmenter<T, S, D> {
+    fn fill(&mut self, budget: usize, buf: &mut Vec<u8>) -> bool {
+        if !self.state_done {
+            if self.state.fill(budget, buf) {
+                return true;
+            }
+            self.state_done = true;
+            // The pending section opens with its 8-byte length header, which a
+            // sequence fragmenter emits unconditionally: only start the
+            // section if the header still fits this fragment's budget, so no
+            // fragment silently overshoots by a header.
+            if buf.len() + std::mem::size_of::<u64>() > budget && !buf.is_empty() {
+                return true;
+            }
+        }
+        self.pending.fill(budget, buf)
+    }
+}
+
+/// Streaming decoder for a [`Bin`]: feeds bytes to the state assembler until it
+/// completes, then to the pending assembler (pre-sized from its length header).
+pub struct BinAssembler<T: Codec, S: ChunkedCodec, D: Codec> {
+    state: S::Assembler,
+    pending: <Vec<(T, D)> as ChunkedCodec>::Assembler,
+}
+
+impl<T: Codec, S: ChunkedCodec, D: Codec> Assembler for BinAssembler<T, S, D> {
+    type Value = Bin<T, S, D>;
+    fn absorb(&mut self, bytes: &mut &[u8]) {
+        if !self.state.is_complete() {
+            self.state.absorb(bytes);
+            if !self.state.is_complete() {
+                return;
+            }
+        }
+        self.pending.absorb(bytes);
+    }
+    fn is_complete(&self) -> bool {
+        self.state.is_complete() && self.pending.is_complete()
+    }
+    fn finish(self) -> Bin<T, S, D> {
+        Bin { state: self.state.finish(), pending: self.pending.finish() }
+    }
+}
+
+impl<T: Codec, S: ChunkedCodec, D: Codec> ChunkedCodec for Bin<T, S, D> {
+    type Fragmenter = BinFragmenter<T, S, D>;
+    type Assembler = BinAssembler<T, S, D>;
+    fn into_fragmenter(self) -> Self::Fragmenter {
+        BinFragmenter {
+            state: self.state.into_fragmenter(),
+            state_done: false,
+            pending: self.pending.into_fragmenter(),
+        }
+    }
+    fn assembler() -> Self::Assembler {
+        BinAssembler { state: S::assembler(), pending: Vec::<(T, D)>::assembler() }
+    }
+}
+
+/// Observed load of one bin: how many records its fold has applied since the
+/// bin was (re-)hosted here, and an approximation of its encoded size.
+///
+/// `bytes` is exact right after a migration installs the bin (the sum of its
+/// fragment sizes) and drifts afterwards as updates are folded in; it is an
+/// *estimate*, good for relative comparisons between bins, not an accounting
+/// of heap use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BinLoad {
+    /// Records folded into the bin since it was last (re-)hosted.
+    pub records: u64,
+    /// Approximate encoded size of the bin in bytes.
+    pub bytes: u64,
+}
+
+impl BinLoad {
+    /// A scalar load score combining processing load (records) with state size
+    /// (bytes, discounted: moving a byte is cheaper than processing a record).
+    pub fn score(&self) -> u64 {
+        self.records + self.bytes / 64
+    }
+}
+
+/// A snapshot of the per-bin loads of one worker's hosted bins, consumed by
+/// migration planning (`strategies::load_balanced_assignment`) and controllers.
+#[derive(Clone, Debug, Default)]
+pub struct BinStats {
+    loads: Vec<(BinId, BinLoad)>,
+}
+
+impl BinStats {
+    /// The `(bin, load)` pairs of the snapshot, ascending by bin id.
+    pub fn loads(&self) -> &[(BinId, BinLoad)] {
+        &self.loads
+    }
+
+    /// The number of bins in the snapshot.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Returns `true` iff the snapshot covers no bins.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Total records folded across the snapshot's bins.
+    pub fn total_records(&self) -> u64 {
+        self.loads.iter().map(|(_, load)| load.records).sum()
+    }
+
+    /// Total approximate encoded bytes across the snapshot's bins.
+    pub fn total_bytes(&self) -> u64 {
+        self.loads.iter().map(|(_, load)| load.bytes).sum()
+    }
+
+    /// Merges another worker's snapshot into this one. Bins are disjoint
+    /// between workers (each bin is hosted exactly once), so merging the
+    /// per-worker snapshots yields the global per-bin load picture.
+    pub fn merge(&mut self, other: &BinStats) {
+        self.loads.extend_from_slice(&other.loads);
+        self.loads.sort_by_key(|(bin, _)| *bin);
+    }
+
+    /// Renders the snapshot as a dense per-bin score vector of length `bins`
+    /// (unhosted or unobserved bins score zero), the input to load-aware
+    /// assignment planning.
+    pub fn score_vector(&self, bins: usize) -> Vec<u64> {
+        let mut scores = vec![0u64; bins];
+        for (bin, load) in &self.loads {
+            if *bin < bins {
+                scores[*bin] = load.score();
+            }
+        }
+        scores
+    }
+}
+
+/// Shared probes into a live operator's bin store, exposed on
+/// `StatefulOutput` so harness drivers and controllers can observe load.
+#[derive(Clone)]
+pub struct StatsHandle {
+    snapshot: Rc<dyn Fn() -> BinStats>,
+    tracked_bytes: Rc<dyn Fn() -> u64>,
+}
+
+impl StatsHandle {
+    /// Builds a handle from the two probe closures.
+    pub fn new(snapshot: Rc<dyn Fn() -> BinStats>, tracked_bytes: Rc<dyn Fn() -> u64>) -> Self {
+        StatsHandle { snapshot, tracked_bytes }
+    }
+
+    /// A full per-bin [`BinStats`] snapshot (allocates one entry per hosted
+    /// bin — use for planning, not per-epoch sampling).
+    pub fn snapshot(&self) -> BinStats {
+        (self.snapshot)()
+    }
+
+    /// The store's total approximate tracked state bytes, allocation-free
+    /// (backed by a running aggregate) — safe to call inside measurement
+    /// loops.
+    pub fn tracked_bytes(&self) -> u64 {
+        (self.tracked_bytes)()
+    }
+}
+
+impl std::fmt::Debug for StatsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StatsHandle")
+    }
+}
+
+/// One shard of the bin store: a contiguous slice of bin slots, its hosted
+/// count, the loads of its bins, and a reusable encode scratch buffer.
+#[derive(Debug)]
+struct Shard<T, S, D> {
+    /// Bin slots; `slots[i]` holds bin `base + i`.
+    slots: Vec<Option<Bin<T, S, D>>>,
+    /// Per-slot load accounting, parallel to `slots`.
+    loads: Vec<BinLoad>,
+    /// Number of hosted bins in this shard (maintained, not scanned).
+    hosted: usize,
+    /// Reusable encode scratch buffer: fragments are encoded here and copied
+    /// out exactly-sized, so repeated migrations do not re-grow buffers.
+    scratch: Vec<u8>,
+}
+
+impl<T, S, D> Shard<T, S, D> {
+    fn new(slots: usize) -> Self {
+        Shard {
+            slots: (0..slots).map(|_| None).collect(),
+            loads: vec![BinLoad::default(); slots],
+            hosted: 0,
+            scratch: Vec::new(),
+        }
+    }
+}
+
 /// The per-worker store of bins for one stateful operator, shared between the
 /// routing operator `F` (which extracts bins for migration) and the hosting
 /// operator `S` (which reads and updates them), exactly as in Section 4.2 of
 /// the paper ("F can obtain a reference to bins by means of a shared pointer").
-#[derive(Debug)]
+///
+/// Internally the slots are split over `2^shard_shift` shards indexed by the
+/// top bits of the bin id; see the module docs for why.
 pub struct BinStore<T, S, D> {
-    bins: Vec<Option<Bin<T, S, D>>>,
+    shards: Vec<Shard<T, S, D>>,
+    /// Base-2 logarithm of the slots per shard (`bin_shift - shard_shift`).
+    slot_shift: u32,
+    /// Total bin slots across all shards.
+    bins: usize,
+    /// Total hosted bins (maintained counter; `hosted_count` is O(1)).
+    hosted: usize,
+    /// Running aggregate of every hosted bin's load, so total tracked state
+    /// can be sampled without walking the slots or allocating.
+    tracked: BinLoad,
+    /// In-progress incremental installs: a lazily created
+    /// `HashMap<BinId, PartialInstall<T, S, D>>`, type-erased so the store's
+    /// struct definition does not force codec bounds onto every use site.
+    assemblies: Option<Box<dyn std::any::Any>>,
+}
+
+impl<T, S, D> std::fmt::Debug for BinStore<T, S, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BinStore")
+            .field("bins", &self.bins)
+            .field("shards", &self.shards.len())
+            .field("hosted", &self.hosted)
+            .finish()
+    }
+}
+
+/// The in-progress assembly of one incrementally installed bin.
+struct PartialInstall<T: Codec, S: ChunkedCodec, D: Codec> {
+    assembler: BinAssembler<T, S, D>,
+    bytes_received: u64,
 }
 
 impl<T, S: Default, D> BinStore<T, S, D> {
     /// Creates a store with `config.bins()` slots, hosting the bins initially
     /// assigned to `worker` under the round-robin initial configuration.
     pub fn new(config: &MegaphoneConfig, worker: usize, peers: usize) -> Self {
-        let bins = (0..config.bins())
-            .map(|bin| if bin % peers == worker { Some(Bin { state: S::default(), pending: Vec::new() }) } else { None })
-            .collect();
-        BinStore { bins }
+        let mut store = Self::with_layout(config.bins(), config.shards());
+        for bin in 0..config.bins() {
+            if bin % peers == worker {
+                store.install(bin, Bin { state: S::default(), pending: Vec::new() });
+            }
+        }
+        store
     }
 
-    /// Creates a store with `bins` empty slots and no hosted bins.
+    /// Creates a store with `bins` empty slots (a power of two) and no hosted
+    /// bins, sharded with the default shard count.
     pub fn empty(bins: usize) -> Self {
-        BinStore { bins: (0..bins).map(|_| None).collect() }
+        let shards = (1usize << DEFAULT_SHARD_SHIFT).min(bins.max(1));
+        Self::with_layout(bins, shards)
+    }
+
+    fn with_layout(bins: usize, shards: usize) -> Self {
+        assert!(bins.is_power_of_two(), "bin count must be a power of two");
+        assert!(shards.is_power_of_two() && shards <= bins, "invalid shard count");
+        let slots = bins / shards;
+        BinStore {
+            shards: (0..shards).map(|_| Shard::new(slots)).collect(),
+            slot_shift: slots.trailing_zeros(),
+            bins,
+            hosted: 0,
+            tracked: BinLoad::default(),
+            assemblies: None,
+        }
+    }
+}
+
+impl<T, S, D> BinStore<T, S, D> {
+    /// The shard hosting `bin` (the top bits of the bin id).
+    #[inline]
+    fn shard_of(&self, bin: BinId) -> usize {
+        bin >> self.slot_shift
+    }
+
+    /// The slot of `bin` within its shard (the low bits of the bin id).
+    #[inline]
+    fn slot_of(&self, bin: BinId) -> usize {
+        bin & ((1usize << self.slot_shift) - 1)
     }
 
     /// The number of bin slots.
     pub fn len(&self) -> usize {
-        self.bins.len()
+        self.bins
     }
 
     /// Returns `true` iff the store has no slots.
     pub fn is_empty(&self) -> bool {
-        self.bins.is_empty()
+        self.bins == 0
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Returns `true` iff `bin` is currently hosted on this worker.
     pub fn is_hosted(&self, bin: BinId) -> bool {
-        self.bins[bin].is_some()
+        self.shards[self.shard_of(bin)].slots[self.slot_of(bin)].is_some()
     }
 
-    /// The number of bins currently hosted on this worker.
+    /// The number of bins currently hosted on this worker (O(1): the counter is
+    /// maintained by install/extract rather than scanned).
     pub fn hosted_count(&self) -> usize {
-        self.bins.iter().filter(|bin| bin.is_some()).count()
+        self.hosted
+    }
+
+    /// The number of bins hosted in one shard.
+    pub fn shard_hosted_count(&self, shard: usize) -> usize {
+        self.shards[shard].hosted
     }
 
     /// Mutable access to a hosted bin.
@@ -137,41 +482,248 @@ impl<T, S: Default, D> BinStore<T, S, D> {
     /// Panics if the bin is not hosted on this worker: that indicates a routing
     /// error (a record was delivered to a worker that does not own its bin).
     pub fn bin_mut(&mut self, bin: BinId) -> &mut Bin<T, S, D> {
-        self.bins[bin]
+        let (shard, slot) = (self.shard_of(bin), self.slot_of(bin));
+        self.shards[shard].slots[slot]
             .as_mut()
             .unwrap_or_else(|| panic!("bin {} is not hosted on this worker", bin))
     }
 
     /// Mutable access to a hosted bin, if present.
     pub fn try_bin_mut(&mut self, bin: BinId) -> Option<&mut Bin<T, S, D>> {
-        self.bins[bin].as_mut()
+        let (shard, slot) = (self.shard_of(bin), self.slot_of(bin));
+        self.shards[shard].slots[slot].as_mut()
     }
 
     /// Read access to a hosted bin, if present.
     pub fn try_bin(&self, bin: BinId) -> Option<&Bin<T, S, D>> {
-        self.bins[bin].as_ref()
+        let (shard, slot) = (self.shard_of(bin), self.slot_of(bin));
+        self.shards[shard].slots[slot].as_ref()
     }
 
-    /// Removes and returns `bin` for migration.
+    /// Removes and returns `bin` for migration, clearing its load accounting.
     pub fn extract(&mut self, bin: BinId) -> Option<Bin<T, S, D>> {
-        self.bins[bin].take()
+        let (shard, slot) = (self.shard_of(bin), self.slot_of(bin));
+        let taken = self.shards[shard].slots[slot].take();
+        if taken.is_some() {
+            self.shards[shard].hosted -= 1;
+            let load = std::mem::take(&mut self.shards[shard].loads[slot]);
+            self.tracked.records -= load.records;
+            self.tracked.bytes -= load.bytes;
+            self.hosted -= 1;
+        }
+        taken
     }
 
-    /// Installs `bin` received through a migration.
+    /// Installs `bin` received through a migration (or re-installed after a
+    /// self-migration).
     ///
     /// # Panics
     ///
     /// Panics if the bin is already hosted (double installation indicates a
     /// planning error: two workers believed they owned the bin).
     pub fn install(&mut self, bin: BinId, contents: Bin<T, S, D>) {
-        assert!(self.bins[bin].is_none(), "bin {} installed twice", bin);
-        self.bins[bin] = Some(contents);
+        let (shard, slot) = (self.shard_of(bin), self.slot_of(bin));
+        assert!(self.shards[shard].slots[slot].is_none(), "bin {} installed twice", bin);
+        self.shards[shard].slots[slot] = Some(contents);
+        self.shards[shard].hosted += 1;
+        self.hosted += 1;
+    }
+
+    /// Records `records` fold applications against `bin`, growing its
+    /// approximate encoded size by `approx_bytes`. Called by the S operator on
+    /// every update so [`BinStats`] reflects real observed load.
+    pub fn note_records(&mut self, bin: BinId, records: u64, approx_bytes: u64) {
+        let (shard, slot) = (self.shard_of(bin), self.slot_of(bin));
+        let load = &mut self.shards[shard].loads[slot];
+        load.records += records;
+        load.bytes += approx_bytes;
+        self.tracked.records += records;
+        self.tracked.bytes += approx_bytes;
+    }
+
+    /// Overwrites `bin`'s load accounting — used to carry the load across a
+    /// self-migration, whose extract() clears it.
+    pub fn set_load(&mut self, bin: BinId, load: BinLoad) {
+        let (shard, slot) = (self.shard_of(bin), self.slot_of(bin));
+        let old = std::mem::replace(&mut self.shards[shard].loads[slot], load);
+        self.tracked.records = self.tracked.records - old.records + load.records;
+        self.tracked.bytes = self.tracked.bytes - old.bytes + load.bytes;
+    }
+
+    /// Total approximate tracked state bytes across every hosted bin, O(1)
+    /// from the running aggregate — the allocation-free probe behind
+    /// [`StatsHandle::tracked_bytes`].
+    pub fn tracked_bytes(&self) -> u64 {
+        self.tracked.bytes
+    }
+
+    /// The observed load of `bin`.
+    pub fn load(&self, bin: BinId) -> BinLoad {
+        self.shards[self.shard_of(bin)].loads[self.slot_of(bin)]
+    }
+
+    /// A snapshot of the loads of every hosted bin, ascending by bin id.
+    pub fn stats(&self) -> BinStats {
+        let mut loads = Vec::with_capacity(self.hosted);
+        for (shard_index, shard) in self.shards.iter().enumerate() {
+            let base = shard_index << self.slot_shift;
+            for (slot, contents) in shard.slots.iter().enumerate() {
+                if contents.is_some() {
+                    loads.push((base + slot, shard.loads[slot]));
+                }
+            }
+        }
+        BinStats { loads }
     }
 
     /// Iterates over the hosted bins.
     pub fn hosted(&self) -> impl Iterator<Item = (BinId, &Bin<T, S, D>)> {
-        self.bins.iter().enumerate().filter_map(|(id, bin)| bin.as_ref().map(|b| (id, b)))
+        let slot_shift = self.slot_shift;
+        self.shards.iter().enumerate().flat_map(move |(shard_index, shard)| {
+            let base = shard_index << slot_shift;
+            shard
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(move |(slot, bin)| bin.as_ref().map(|b| (base + slot, b)))
+        })
     }
+}
+
+impl<T: Codec + 'static, S: ChunkedCodec + 'static, D: Codec + 'static> BinStore<T, S, D> {
+    fn assemblies_mut(&mut self) -> &mut HashMap<BinId, PartialInstall<T, S, D>> {
+        self.assemblies
+            .get_or_insert_with(|| Box::new(HashMap::<BinId, PartialInstall<T, S, D>>::new()))
+            .downcast_mut()
+            .expect("assembly map type is fixed by the store's type parameters")
+    }
+
+    /// Begins an incremental extraction of `bin`: the bin leaves the store
+    /// immediately (records routed to it will be handled by its new owner once
+    /// installed there), and its encoded bytes are pulled out fragment by
+    /// fragment with [`ChunkedExtraction::next_fragment`].
+    ///
+    /// The extraction borrows the shard's scratch buffer; pass the finished
+    /// extraction to [`BinStore::recycle`] to return the (grown) buffer for the
+    /// next migration.
+    pub fn extract_chunked(&mut self, bin: BinId) -> Option<ChunkedExtraction<T, S, D>> {
+        let contents = self.extract(bin)?;
+        let shard = self.shard_of(bin);
+        let scratch = std::mem::take(&mut self.shards[shard].scratch);
+        Some(ChunkedExtraction {
+            bin,
+            fragmenter: contents.into_fragmenter(),
+            scratch,
+            exhausted: false,
+        })
+    }
+
+    /// Returns a finished extraction's scratch buffer to its shard.
+    pub fn recycle(&mut self, extraction: ChunkedExtraction<T, S, D>) {
+        let shard = self.shard_of(extraction.bin);
+        let mut scratch = extraction.scratch;
+        scratch.clear();
+        if self.shards[shard].scratch.capacity() < scratch.capacity() {
+            self.shards[shard].scratch = scratch;
+        }
+    }
+
+    /// Absorbs one migration fragment for `bin`. Returns `true` when `last`
+    /// completes the bin: the bin is then installed, with its load's `bytes`
+    /// set to the exact total of received fragment bytes.
+    ///
+    /// Fragments must arrive in order (the dataflow channels preserve
+    /// per-sender order, and only one worker ever extracts a given bin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last` is set but the encoding is incomplete, or if the bin is
+    /// already hosted when its final fragment arrives.
+    pub fn install_fragment(&mut self, bin: BinId, bytes: &[u8], last: bool) -> bool {
+        let assemblies = self.assemblies_mut();
+        let entry = assemblies.entry(bin).or_insert_with(|| PartialInstall {
+            assembler: Bin::<T, S, D>::assembler(),
+            bytes_received: 0,
+        });
+        let mut slice = bytes;
+        entry.assembler.absorb(&mut slice);
+        debug_assert!(slice.is_empty(), "fragment for bin {bin} left {} undecoded bytes", slice.len());
+        entry.bytes_received += bytes.len() as u64;
+        if !last {
+            return false;
+        }
+        let partial = assemblies.remove(&bin).expect("entry just ensured");
+        assert!(
+            partial.assembler.is_complete(),
+            "final fragment for bin {bin} arrived before its encoding completed"
+        );
+        let total_bytes = partial.bytes_received;
+        let mut contents = partial.assembler.finish();
+        // Headroom so the first post-dated records scheduled after the
+        // migration do not immediately reallocate the freshly decoded vector.
+        if contents.pending.capacity() == contents.pending.len() {
+            contents.pending.reserve(4);
+        }
+        self.install(bin, contents);
+        self.set_load(bin, BinLoad { records: 0, bytes: total_bytes });
+        true
+    }
+
+    /// The number of bins with an in-progress incremental install.
+    pub fn pending_installs(&self) -> usize {
+        self.assemblies
+            .as_ref()
+            .and_then(|map| map.downcast_ref::<HashMap<BinId, PartialInstall<T, S, D>>>())
+            .map_or(0, HashMap::len)
+    }
+}
+
+/// An in-progress incremental extraction of one bin: owns the removed bin's
+/// fragmenter and a scratch buffer, and yields bounded-size encoded fragments.
+pub struct ChunkedExtraction<T: Codec, S: ChunkedCodec, D: Codec> {
+    bin: BinId,
+    fragmenter: BinFragmenter<T, S, D>,
+    scratch: Vec<u8>,
+    exhausted: bool,
+}
+
+impl<T: Codec, S: ChunkedCodec, D: Codec> ChunkedExtraction<T, S, D> {
+    /// The bin being extracted.
+    pub fn bin(&self) -> BinId {
+        self.bin
+    }
+
+    /// Encodes the next fragment of at most `chunk_bytes` (single oversized
+    /// units excepted) and returns it with a flag marking the final fragment.
+    /// The fragment is encoded into the reusable scratch buffer and copied out
+    /// exactly-sized, so no per-fragment growth reallocation occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again after the final fragment was returned.
+    pub fn next_fragment(&mut self, chunk_bytes: usize) -> (Vec<u8>, bool) {
+        assert!(!self.exhausted, "extraction of bin {} already finished", self.bin);
+        self.scratch.clear();
+        let more = self.fragmenter.fill(chunk_bytes.max(1), &mut self.scratch);
+        self.exhausted = !more;
+        (self.scratch.as_slice().to_vec(), !more)
+    }
+
+    /// Returns `true` once the final fragment has been produced.
+    pub fn is_finished(&self) -> bool {
+        self.exhausted
+    }
+}
+
+/// One encoded migration fragment of one bin, as shipped from F to S.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateFragment {
+    /// The bin the fragment belongs to.
+    pub bin: u64,
+    /// The fragment's slice of the bin's canonical encoding.
+    pub bytes: Vec<u8>,
+    /// Whether this is the bin's final fragment (install completes on receipt).
+    pub last: bool,
 }
 
 /// A bin store shared between the F and S operator instances of one worker.
@@ -196,6 +748,15 @@ mod tests {
         assert_eq!(MegaphoneConfig::new(0).bins(), 1);
         assert_eq!(MegaphoneConfig::new(4).bins(), 16);
         assert_eq!(MegaphoneConfig::default().bins(), 4096);
+    }
+
+    #[test]
+    fn shard_count_never_exceeds_bin_count() {
+        assert_eq!(MegaphoneConfig::new(0).shards(), 1);
+        assert_eq!(MegaphoneConfig::new(2).shards(), 4);
+        assert_eq!(MegaphoneConfig::new(12).shards(), 16);
+        assert_eq!(MegaphoneConfig::new(12).with_shard_shift(6).shards(), 64);
+        assert_eq!(MegaphoneConfig::new(3).with_shard_shift(6).shards(), 8);
     }
 
     #[test]
@@ -243,6 +804,39 @@ mod tests {
     }
 
     #[test]
+    fn sharding_preserves_bin_addressing() {
+        // Every shard layout must agree on which bins are hosted and where.
+        for shard_shift in [0u32, 1, 2, 3, 4] {
+            let config = MegaphoneConfig::new(4).with_shard_shift(shard_shift);
+            let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 2);
+            assert_eq!(store.shard_count(), 1 << shard_shift.min(4));
+            assert_eq!(store.hosted_count(), 8);
+            for bin in 0..16 {
+                assert_eq!(store.is_hosted(bin), bin % 2 == 0, "bin {bin} shift {shard_shift}");
+            }
+            store.bin_mut(6).state = 99;
+            assert_eq!(store.try_bin(6).unwrap().state, 99);
+            let shard_total: usize =
+                (0..store.shard_count()).map(|s| store.shard_hosted_count(s)).sum();
+            assert_eq!(shard_total, store.hosted_count());
+        }
+    }
+
+    #[test]
+    fn hosted_counter_tracks_extract_and_install() {
+        let config = MegaphoneConfig::new(4);
+        let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+        assert_eq!(store.hosted_count(), 16);
+        assert!(store.extract(3).is_some());
+        assert!(store.extract(3).is_none(), "double extract yields nothing");
+        assert_eq!(store.hosted_count(), 15);
+        store.install(3, Bin::default());
+        assert_eq!(store.hosted_count(), 16);
+        let scanned = store.hosted().count();
+        assert_eq!(scanned, store.hosted_count(), "counter must match a full scan");
+    }
+
+    #[test]
     fn extract_and_install_move_bins() {
         let config = MegaphoneConfig::new(2);
         let mut source: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 2);
@@ -279,5 +873,147 @@ mod tests {
         let bytes = bin.encode_to_vec();
         let decoded = Bin::<u64, Vec<(String, u64)>, (String, i64)>::decode_from_slice(&bytes);
         assert_eq!(bin, decoded);
+    }
+
+    #[test]
+    fn chunked_extract_install_roundtrips() {
+        let config = MegaphoneConfig::new(2).with_chunk_bytes(64);
+        let mut source: BinStore<u64, Vec<u64>, (u64, u64)> = BinStore::new(&config, 0, 1);
+        source.bin_mut(1).state = (0..100).collect();
+        source.bin_mut(1).pending = vec![(7, (1, 2)), (9, (3, 4))];
+        let expected = source.try_bin(1).cloned().unwrap();
+
+        let mut extraction = source.extract_chunked(1).expect("bin 1 hosted");
+        assert!(!source.is_hosted(1));
+        let mut target: BinStore<u64, Vec<u64>, (u64, u64)> = BinStore::empty(4);
+        let mut fragments = 0usize;
+        loop {
+            let (bytes, last) = extraction.next_fragment(config.chunk_bytes);
+            assert!(bytes.len() <= config.chunk_bytes, "fragment exceeds budget");
+            fragments += 1;
+            let done = target.install_fragment(1, &bytes, last);
+            assert_eq!(done, last);
+            if last {
+                break;
+            }
+            assert_eq!(target.pending_installs(), 1);
+        }
+        source.recycle(extraction);
+        assert!(fragments > 1, "a 100-element bin must split under a 64-byte budget");
+        assert_eq!(target.pending_installs(), 0);
+        assert_eq!(target.try_bin(1).unwrap(), &expected);
+        // The installed load carries the exact migrated byte count.
+        let encoded = expected.encode_to_vec();
+        assert_eq!(target.load(1).bytes, encoded.len() as u64);
+        assert_eq!(target.load(1).records, 0);
+    }
+
+    #[test]
+    fn misaligned_state_never_overshoots_the_fragment_budget() {
+        // 1-byte items leave the state section ending at arbitrary offsets;
+        // the pending section's 8-byte header must never push a fragment over
+        // budget (regression: header chained onto a nearly full fragment).
+        for state_len in [0usize, 1, 55, 56, 57, 63, 119, 120, 127, 128, 200] {
+            let chunk = 64;
+            let bin: Bin<u64, Vec<u8>, (u64, u64)> = Bin {
+                state: vec![7u8; state_len],
+                pending: vec![(1, (2, 3)), (4, (5, 6))],
+            };
+            let whole = bin.encode_to_vec();
+            let fragments = crate::codec::encode_fragments(bin.clone(), chunk);
+            let concatenated: Vec<u8> = fragments.iter().flatten().copied().collect();
+            assert_eq!(concatenated, whole, "state_len {state_len}");
+            for (index, fragment) in fragments.iter().enumerate() {
+                assert!(
+                    fragment.len() <= chunk,
+                    "state_len {state_len}: fragment {index} is {} bytes (> {chunk})",
+                    fragment.len()
+                );
+            }
+            let rebuilt: Bin<u64, Vec<u8>, (u64, u64)> =
+                crate::codec::decode_fragments(&fragments);
+            assert_eq!(rebuilt, bin);
+        }
+    }
+
+    #[test]
+    fn set_load_carries_accounting_across_self_migration() {
+        let config = MegaphoneConfig::new(2);
+        let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+        store.note_records(1, 42, 336);
+        // The extract+install round trip of a self-migration clears the load;
+        // set_load restores the snapshot taken beforehand.
+        let load = store.load(1);
+        let contents = store.extract(1).expect("hosted");
+        store.install(1, contents);
+        assert_eq!(store.load(1), BinLoad::default());
+        store.set_load(1, load);
+        assert_eq!(store.load(1), BinLoad { records: 42, bytes: 336 });
+    }
+
+    #[test]
+    fn load_accounting_feeds_stats() {
+        let config = MegaphoneConfig::new(3);
+        let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+        store.note_records(2, 10, 80);
+        store.note_records(2, 5, 40);
+        store.note_records(6, 1, 8);
+        assert_eq!(store.load(2), BinLoad { records: 15, bytes: 120 });
+        let stats = store.stats();
+        assert_eq!(stats.len(), 8, "all hosted bins appear in the snapshot");
+        assert_eq!(stats.total_records(), 16);
+        assert_eq!(stats.total_bytes(), 128);
+        let scores = stats.score_vector(8);
+        assert!(scores[2] > scores[6]);
+        assert_eq!(scores[0], 0);
+        // Extraction clears the load.
+        store.extract(2);
+        assert_eq!(store.stats().total_records(), 1);
+    }
+
+    #[test]
+    fn tracked_aggregate_matches_snapshot_totals() {
+        let config = MegaphoneConfig::new(3).with_chunk_bytes(64);
+        let mut store: BinStore<u64, Vec<u64>, (u64, u64)> = BinStore::new(&config, 0, 1);
+        assert_eq!(store.tracked_bytes(), 0);
+        store.note_records(0, 5, 40);
+        store.note_records(3, 2, 16);
+        assert_eq!(store.tracked_bytes(), store.stats().total_bytes());
+        // Extract drops the bin's share from the aggregate…
+        let extraction = store.extract_chunked(0).expect("hosted");
+        assert_eq!(store.tracked_bytes(), 16);
+        store.recycle(extraction);
+        // …self-migration round trips preserve it via set_load…
+        let load = store.load(3);
+        let contents = store.extract(3).expect("hosted");
+        store.install(3, contents);
+        store.set_load(3, load);
+        assert_eq!(store.tracked_bytes(), 16);
+        // …and a fragment install adds the exact migrated byte count.
+        let mut other: BinStore<u64, Vec<u64>, (u64, u64)> = BinStore::empty(8);
+        let bin: Bin<u64, Vec<u64>, (u64, u64)> =
+            Bin { state: vec![1, 2, 3], pending: Vec::new() };
+        let encoded_len = bin.encode_to_vec().len() as u64;
+        let fragments = crate::codec::encode_fragments(bin, 64);
+        for (index, fragment) in fragments.iter().enumerate() {
+            other.install_fragment(5, fragment, index + 1 == fragments.len());
+        }
+        assert_eq!(other.tracked_bytes(), encoded_len);
+        assert_eq!(other.tracked_bytes(), other.stats().total_bytes());
+    }
+
+    #[test]
+    fn stats_merge_is_disjoint_union() {
+        let config = MegaphoneConfig::new(2);
+        let mut a: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 2);
+        let mut b: BinStore<u64, u64, ()> = BinStore::new(&config, 1, 2);
+        a.note_records(0, 3, 0);
+        b.note_records(1, 7, 0);
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.total_records(), 10);
+        let bins: Vec<BinId> = merged.loads().iter().map(|(bin, _)| *bin).collect();
+        assert_eq!(bins, vec![0, 1, 2, 3], "merged snapshot is sorted by bin");
     }
 }

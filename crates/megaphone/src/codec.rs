@@ -217,6 +217,394 @@ tuple_codec! {
     (A B C D E F),
 }
 
+// ---------------------------------------------------------------------------
+// Incremental (chunked) encoding for migration fragments.
+// ---------------------------------------------------------------------------
+
+/// Maximum number of items a decoder pre-sizes a collection for, guarding the
+/// pre-allocation against a corrupt length header. Larger collections still
+/// decode correctly; they just grow past the initial capacity.
+const MAX_PRESIZE_ITEMS: usize = 1 << 20;
+
+/// A streaming encoder that produces a value's canonical [`Codec`] byte stream
+/// in bounded-size fragments.
+///
+/// The fragmenter hands out *whole encoding units* (a length header, one
+/// collection element, or one atomic value) and never splits a unit across
+/// fragments, so concatenating every fragment yields exactly the bytes
+/// [`Codec::encode`] would have produced in one call. A fragment only exceeds
+/// the requested budget when a single unit is itself larger than the budget.
+pub trait Fragmenter {
+    /// Appends encoded units to `buf` until `buf.len()` reaches `budget` or the
+    /// value is exhausted. Returns `true` while encoded content remains for a
+    /// later call. `budget` is compared against the absolute length of `buf`,
+    /// so chained fragmenters writing to one buffer share a single budget.
+    fn fill(&mut self, budget: usize, buf: &mut Vec<u8>) -> bool;
+}
+
+/// A streaming decoder that rebuilds a value from the fragments produced by a
+/// [`Fragmenter`], absorbing each fragment as it arrives instead of buffering
+/// the entire encoding and decoding it in one stall.
+pub trait Assembler {
+    /// The value being reassembled.
+    type Value;
+    /// Absorbs encoded units from the front of `bytes`, advancing the slice.
+    /// Stops consuming once this value's encoding is complete, leaving any
+    /// trailing bytes (the next section of an enclosing value) untouched.
+    fn absorb(&mut self, bytes: &mut &[u8]);
+    /// Returns `true` once the value's encoding has been fully absorbed.
+    fn is_complete(&self) -> bool;
+    /// Returns the reassembled value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding has not been fully absorbed.
+    fn finish(self) -> Self::Value;
+}
+
+/// Types whose encoding can be produced and consumed incrementally.
+///
+/// Collections fragment at element granularity; atomic values (integers,
+/// strings, tuples, …) are emitted as a single indivisible unit. The invariant
+/// tying this trait to [`Codec`]: the concatenation of every fragment equals
+/// the monolithic [`Codec::encode`] output byte for byte.
+pub trait ChunkedCodec: Codec {
+    /// The streaming encoder over this type's content.
+    type Fragmenter: Fragmenter;
+    /// The streaming decoder rebuilding a value of this type.
+    type Assembler: Assembler<Value = Self>;
+    /// Converts the value into its streaming encoder.
+    fn into_fragmenter(self) -> Self::Fragmenter;
+    /// Creates an empty streaming decoder.
+    fn assembler() -> Self::Assembler;
+}
+
+/// [`Fragmenter`] for atomic values: the whole encoding is one unit, emitted in
+/// the first `fill` call regardless of budget.
+pub struct AtomFragmenter<V: Codec> {
+    value: Option<V>,
+}
+
+impl<V: Codec> Fragmenter for AtomFragmenter<V> {
+    fn fill(&mut self, _budget: usize, buf: &mut Vec<u8>) -> bool {
+        if let Some(value) = self.value.take() {
+            value.encode(buf);
+        }
+        false
+    }
+}
+
+/// [`Assembler`] for atomic values: decodes the single unit from the first
+/// fragment that carries it.
+pub struct AtomAssembler<V: Codec> {
+    value: Option<V>,
+}
+
+impl<V: Codec> Assembler for AtomAssembler<V> {
+    type Value = V;
+    fn absorb(&mut self, bytes: &mut &[u8]) {
+        if self.value.is_none() {
+            self.value = Some(V::decode(bytes));
+        }
+    }
+    fn is_complete(&self) -> bool {
+        self.value.is_some()
+    }
+    fn finish(self) -> V {
+        self.value.expect("atom assembler finished before its value arrived")
+    }
+}
+
+/// [`Fragmenter`] for sequences: a length header followed by one unit per item,
+/// drawn from a consuming iterator so resumption costs O(1) per call.
+pub struct SeqFragmenter<I: Iterator>
+where
+    I::Item: Codec,
+{
+    /// The length header, emitted before the first item.
+    header: Option<usize>,
+    /// Items not yet emitted into a fragment (including a carried item).
+    remaining: usize,
+    iter: I,
+    /// An item that was encoded but did not fit the previous fragment.
+    carry: Vec<u8>,
+}
+
+impl<I: Iterator> SeqFragmenter<I>
+where
+    I::Item: Codec,
+{
+    /// Creates a fragmenter over `len` items of `iter`.
+    pub fn new(len: usize, iter: I) -> Self {
+        SeqFragmenter { header: Some(len), remaining: len, iter, carry: Vec::new() }
+    }
+}
+
+impl<I: Iterator> Fragmenter for SeqFragmenter<I>
+where
+    I::Item: Codec,
+{
+    fn fill(&mut self, budget: usize, buf: &mut Vec<u8>) -> bool {
+        if let Some(len) = self.header.take() {
+            len.encode(buf);
+        }
+        if !self.carry.is_empty() {
+            if buf.is_empty() || buf.len() + self.carry.len() <= budget {
+                buf.extend_from_slice(&self.carry);
+                self.carry.clear();
+                self.remaining -= 1;
+            } else {
+                return true;
+            }
+        }
+        while self.remaining > 0 {
+            if buf.len() >= budget {
+                return true;
+            }
+            let item = self.iter.next().expect("sequence shorter than its length header");
+            let start = buf.len();
+            item.encode(buf);
+            if buf.len() > budget && start > 0 {
+                // The item overshoots a non-empty fragment: hold it back for
+                // the next one. (An oversized item at the start of a fragment
+                // is emitted as-is; it cannot be split.)
+                self.carry.extend_from_slice(&buf[start..]);
+                buf.truncate(start);
+                return true;
+            }
+            self.remaining -= 1;
+        }
+        false
+    }
+}
+
+/// Collections a [`SeqAssembler`] can rebuild item by item.
+pub trait FragmentItems<T>: Sized {
+    /// Creates an empty collection pre-sized for `items` items (capped
+    /// internally to bound the pre-allocation).
+    fn with_item_capacity(items: usize) -> Self;
+    /// Appends one decoded item.
+    fn push_item(&mut self, item: T);
+}
+
+impl<T> FragmentItems<T> for Vec<T> {
+    fn with_item_capacity(items: usize) -> Self {
+        Vec::with_capacity(items.min(MAX_PRESIZE_ITEMS))
+    }
+    fn push_item(&mut self, item: T) {
+        self.push(item);
+    }
+}
+
+impl<T> FragmentItems<T> for VecDeque<T> {
+    fn with_item_capacity(items: usize) -> Self {
+        VecDeque::with_capacity(items.min(MAX_PRESIZE_ITEMS))
+    }
+    fn push_item(&mut self, item: T) {
+        self.push_back(item);
+    }
+}
+
+impl<K: Eq + Hash, V, S: BuildHasher + Default> FragmentItems<(K, V)> for HashMap<K, V, S> {
+    fn with_item_capacity(items: usize) -> Self {
+        HashMap::with_capacity_and_hasher(items.min(MAX_PRESIZE_ITEMS), S::default())
+    }
+    fn push_item(&mut self, (key, value): (K, V)) {
+        self.insert(key, value);
+    }
+}
+
+impl<K: Ord, V> FragmentItems<(K, V)> for BTreeMap<K, V> {
+    fn with_item_capacity(_items: usize) -> Self {
+        BTreeMap::new()
+    }
+    fn push_item(&mut self, (key, value): (K, V)) {
+        self.insert(key, value);
+    }
+}
+
+/// [`Assembler`] for sequences: reads the length header, pre-sizes the
+/// collection, then absorbs exactly that many items and no more.
+pub struct SeqAssembler<C, T> {
+    remaining: Option<usize>,
+    collection: Option<C>,
+    _item: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<C: FragmentItems<T>, T: Codec> SeqAssembler<C, T> {
+    /// Creates an assembler awaiting the length header.
+    pub fn new() -> Self {
+        SeqAssembler { remaining: None, collection: None, _item: std::marker::PhantomData }
+    }
+}
+
+impl<C: FragmentItems<T>, T: Codec> Default for SeqAssembler<C, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: FragmentItems<T>, T: Codec> Assembler for SeqAssembler<C, T> {
+    type Value = C;
+    fn absorb(&mut self, bytes: &mut &[u8]) {
+        if self.remaining.is_none() {
+            if bytes.is_empty() {
+                return;
+            }
+            let len = usize::decode(bytes);
+            self.remaining = Some(len);
+            self.collection = Some(C::with_item_capacity(len));
+        }
+        let remaining = self.remaining.as_mut().expect("header just ensured");
+        let collection = self.collection.as_mut().expect("collection just ensured");
+        while *remaining > 0 && !bytes.is_empty() {
+            collection.push_item(T::decode(bytes));
+            *remaining -= 1;
+        }
+    }
+    fn is_complete(&self) -> bool {
+        self.remaining == Some(0)
+    }
+    fn finish(self) -> C {
+        assert!(self.remaining == Some(0), "sequence assembler finished before all items arrived");
+        self.collection.expect("complete assembler holds its collection")
+    }
+}
+
+macro_rules! atom_chunked {
+    ($($ty:ty),*) => {
+        $(
+            impl ChunkedCodec for $ty {
+                type Fragmenter = AtomFragmenter<$ty>;
+                type Assembler = AtomAssembler<$ty>;
+                fn into_fragmenter(self) -> Self::Fragmenter {
+                    AtomFragmenter { value: Some(self) }
+                }
+                fn assembler() -> Self::Assembler {
+                    AtomAssembler { value: None }
+                }
+            }
+        )*
+    };
+}
+
+atom_chunked!(
+    u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64, usize, isize, bool, char, (),
+    String
+);
+
+impl<T: Codec> ChunkedCodec for Option<T> {
+    type Fragmenter = AtomFragmenter<Option<T>>;
+    type Assembler = AtomAssembler<Option<T>>;
+    fn into_fragmenter(self) -> Self::Fragmenter {
+        AtomFragmenter { value: Some(self) }
+    }
+    fn assembler() -> Self::Assembler {
+        AtomAssembler { value: None }
+    }
+}
+
+macro_rules! tuple_chunked {
+    ($(($($name:ident)+),)+) => {
+        $(
+            impl<$($name: Codec),+> ChunkedCodec for ($($name,)+) {
+                type Fragmenter = AtomFragmenter<($($name,)+)>;
+                type Assembler = AtomAssembler<($($name,)+)>;
+                fn into_fragmenter(self) -> Self::Fragmenter {
+                    AtomFragmenter { value: Some(self) }
+                }
+                fn assembler() -> Self::Assembler {
+                    AtomAssembler { value: None }
+                }
+            }
+        )+
+    };
+}
+
+tuple_chunked! {
+    (A),
+    (A B),
+    (A B C),
+    (A B C D),
+    (A B C D E),
+    (A B C D E F),
+}
+
+impl<T: Codec> ChunkedCodec for Vec<T> {
+    type Fragmenter = SeqFragmenter<std::vec::IntoIter<T>>;
+    type Assembler = SeqAssembler<Vec<T>, T>;
+    fn into_fragmenter(self) -> Self::Fragmenter {
+        SeqFragmenter::new(self.len(), self.into_iter())
+    }
+    fn assembler() -> Self::Assembler {
+        SeqAssembler::new()
+    }
+}
+
+impl<T: Codec> ChunkedCodec for VecDeque<T> {
+    type Fragmenter = SeqFragmenter<std::collections::vec_deque::IntoIter<T>>;
+    type Assembler = SeqAssembler<VecDeque<T>, T>;
+    fn into_fragmenter(self) -> Self::Fragmenter {
+        SeqFragmenter::new(self.len(), self.into_iter())
+    }
+    fn assembler() -> Self::Assembler {
+        SeqAssembler::new()
+    }
+}
+
+// Both the monolithic `Codec` impl (`&map` iteration) and this fragmenter
+// (`into_iter`) walk the same unmodified hash table, and the standard library
+// traverses its buckets in the same order either way, so the fragment stream
+// stays byte-identical to the one-shot encoding.
+impl<K: Codec + Eq + Hash, V: Codec, S: BuildHasher + Default> ChunkedCodec for HashMap<K, V, S> {
+    type Fragmenter = SeqFragmenter<std::collections::hash_map::IntoIter<K, V>>;
+    type Assembler = SeqAssembler<HashMap<K, V, S>, (K, V)>;
+    fn into_fragmenter(self) -> Self::Fragmenter {
+        SeqFragmenter::new(self.len(), self.into_iter())
+    }
+    fn assembler() -> Self::Assembler {
+        SeqAssembler::new()
+    }
+}
+
+impl<K: Codec + Ord, V: Codec> ChunkedCodec for BTreeMap<K, V> {
+    type Fragmenter = SeqFragmenter<std::collections::btree_map::IntoIter<K, V>>;
+    type Assembler = SeqAssembler<BTreeMap<K, V>, (K, V)>;
+    fn into_fragmenter(self) -> Self::Fragmenter {
+        SeqFragmenter::new(self.len(), self.into_iter())
+    }
+    fn assembler() -> Self::Assembler {
+        SeqAssembler::new()
+    }
+}
+
+/// Encodes `value` into a sequence of fragments of at most `budget` bytes each
+/// (single oversized units excepted). Convenience wrapper for tests and
+/// benchmarks; the operators drive [`Fragmenter::fill`] directly.
+pub fn encode_fragments<C: ChunkedCodec>(value: C, budget: usize) -> Vec<Vec<u8>> {
+    let mut fragmenter = value.into_fragmenter();
+    let mut fragments = Vec::new();
+    loop {
+        let mut fragment = Vec::new();
+        let more = fragmenter.fill(budget, &mut fragment);
+        fragments.push(fragment);
+        if !more {
+            return fragments;
+        }
+    }
+}
+
+/// Rebuilds a value from fragments produced by [`encode_fragments`].
+pub fn decode_fragments<C: ChunkedCodec>(fragments: &[Vec<u8>]) -> C {
+    let mut assembler = C::assembler();
+    for fragment in fragments {
+        let mut bytes = &fragment[..];
+        assembler.absorb(&mut bytes);
+        debug_assert!(bytes.is_empty(), "assembler left {} undecoded bytes", bytes.len());
+    }
+    assembler.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +687,82 @@ mod tests {
         map.insert(1, 2);
         map.insert(3, 4);
         roundtrip(map);
+    }
+
+    fn fragment_roundtrip<C>(value: C, budget: usize) -> Vec<Vec<u8>>
+    where
+        C: ChunkedCodec + Clone + PartialEq + std::fmt::Debug,
+    {
+        let whole = value.encode_to_vec();
+        let fragments = encode_fragments(value.clone(), budget);
+        let concatenated: Vec<u8> = fragments.iter().flatten().copied().collect();
+        assert_eq!(concatenated, whole, "fragments must concatenate to the one-shot encoding");
+        let rebuilt: C = decode_fragments(&fragments);
+        assert_eq!(rebuilt, value);
+        fragments
+    }
+
+    #[test]
+    fn vec_fragments_are_bounded_and_byte_identical() {
+        let value: Vec<u64> = (0..10_000).collect();
+        let budget = 256;
+        let fragments = fragment_roundtrip(value, budget);
+        assert!(fragments.len() > 1, "a large vector must split into several fragments");
+        for fragment in &fragments {
+            assert!(fragment.len() <= budget, "fragment of {} bytes exceeds budget", fragment.len());
+        }
+    }
+
+    #[test]
+    fn hashmap_fragments_are_byte_identical() {
+        let value: timelite::hashing::FxHashMap<u64, Vec<u64>> =
+            (0..500u64).map(|k| (k, vec![k, k + 1, k + 2])).collect();
+        let fragments = fragment_roundtrip(value, 512);
+        assert!(fragments.len() > 1);
+    }
+
+    #[test]
+    fn btreemap_and_deque_fragment_roundtrip() {
+        let tree: BTreeMap<u64, String> = (0..100).map(|k| (k, format!("v{k}"))).collect();
+        fragment_roundtrip(tree, 128);
+        let deque: VecDeque<u64> = (0..100).collect();
+        fragment_roundtrip(deque, 64);
+    }
+
+    #[test]
+    fn atoms_fragment_as_single_units() {
+        let fragments = fragment_roundtrip(42u64, 4);
+        assert_eq!(fragments.len(), 1, "an atom is one indivisible unit");
+        fragment_roundtrip("a string atom".to_string(), 4);
+        fragment_roundtrip((1u64, "two".to_string(), 3u32), 4);
+        fragment_roundtrip(Some(9u64), 2);
+    }
+
+    #[test]
+    fn empty_collections_fragment_to_a_header() {
+        let fragments = fragment_roundtrip(Vec::<u64>::new(), 64);
+        assert_eq!(fragments.len(), 1);
+        assert_eq!(fragments[0].len(), 8, "an empty vector encodes as its length header");
+    }
+
+    #[test]
+    fn oversized_single_item_lands_alone_in_a_fragment() {
+        // Each item (a 100-byte string) is larger than the 32-byte budget: the
+        // fragmenter cannot split items, so each fragment carries exactly one.
+        let value: Vec<String> = (0..5).map(|i| format!("{i}").repeat(100)).collect();
+        let fragments = fragment_roundtrip(value, 32);
+        // Header fragment boundaries: every fragment holds at most one item.
+        assert!(fragments.len() >= 5);
+    }
+
+    #[test]
+    fn assembler_handles_fragments_split_at_any_unit_boundary() {
+        // Feed the canonical encoding unit by unit (header, then each item) to
+        // mimic the smallest possible fragments.
+        let value: Vec<(u64, u64)> = (0..50).map(|i| (i, i * 2)).collect();
+        let fragments = encode_fragments(value.clone(), 1);
+        assert_eq!(fragments.len(), 51, "budget 1 forces one unit per fragment");
+        let rebuilt: Vec<(u64, u64)> = decode_fragments(&fragments);
+        assert_eq!(rebuilt, value);
     }
 }

@@ -13,9 +13,9 @@ use std::collections::VecDeque;
 use timelite::dataflow::{InputHandle, ProbeHandle};
 use timelite::order::{Timestamp, TotalOrder};
 
-use crate::bins::BinId;
+use crate::bins::{BinId, BinStats};
 use crate::control::ControlInst;
-use crate::strategies::MigrationPlan;
+use crate::strategies::{plan_rebalance, MigrationPlan, MigrationStrategy};
 
 /// The status of a controller after a call to [`MigrationController::advance`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +56,25 @@ impl<T: Timestamp + TotalOrder> MigrationController<T> {
             draining: false,
             issued_steps: 0,
         }
+    }
+
+    /// Creates a controller that rebalances observed load: consumes a (merged)
+    /// [`BinStats`] snapshot, plans a load-aware target assignment with
+    /// [`crate::strategies::load_balanced_assignment`] and reveals it under
+    /// `strategy`. Returns the controller together with the target assignment,
+    /// which becomes the caller's "current" once the controller completes.
+    ///
+    /// This closes the loop the paper leaves to external controllers (DS2,
+    /// Chi): the store's own load accounting drives the migration decision.
+    pub fn rebalance(
+        strategy: MigrationStrategy,
+        current: &[usize],
+        stats: &BinStats,
+        peers: usize,
+        gap: bool,
+    ) -> (Self, Vec<usize>) {
+        let (plan, target) = plan_rebalance(strategy, current, stats, peers);
+        (MigrationController::new(plan, gap), target)
     }
 
     /// Returns `true` iff every step has been issued and completed.
@@ -134,5 +153,68 @@ mod tests {
         let plan = MigrationPlan::default();
         let controller: MigrationController<u64> = MigrationController::new(plan, true);
         assert!(controller.is_complete());
+    }
+
+    #[test]
+    fn rebalance_consumes_observed_bin_stats() {
+        use crate::bins::{BinStore, MegaphoneConfig};
+        use crate::strategies::balanced_assignment;
+
+        let config = MegaphoneConfig::new(4);
+        let peers = 2;
+        let mut store0: BinStore<u64, u64, ()> = BinStore::new(&config, 0, peers);
+        let mut store1: BinStore<u64, u64, ()> = BinStore::new(&config, 1, peers);
+        // Worker 0's bins run hot; worker 1's barely see traffic.
+        for (bin, _) in store0.stats().loads().to_vec() {
+            store0.note_records(bin, 1_000, 8_000);
+        }
+        for (bin, _) in store1.stats().loads().to_vec() {
+            store1.note_records(bin, 1, 8);
+        }
+        let mut merged = store0.stats();
+        merged.merge(&store1.stats());
+
+        let current = balanced_assignment(config.bins(), peers);
+        let (controller, target): (MigrationController<u64>, _) = MigrationController::rebalance(
+            MigrationStrategy::Fluid,
+            &current,
+            &merged,
+            peers,
+            false,
+        );
+        assert!(!controller.is_complete(), "skewed stats must produce migration steps");
+        assert_ne!(target, current);
+        // The hot worker sheds hot bins to the cold one…
+        let moved_off_zero = current
+            .iter()
+            .zip(target.iter())
+            .filter(|(&from, &to)| from == 0 && to == 1)
+            .count();
+        assert!(moved_off_zero > 0);
+        // …and the planned assignment balances the observed scores.
+        let scores = merged.score_vector(config.bins());
+        let mut per_worker = vec![0u64; peers];
+        for (bin, &worker) in target.iter().enumerate() {
+            per_worker[worker] += scores[bin];
+        }
+        let spread = per_worker.iter().max().unwrap() - per_worker.iter().min().unwrap();
+        let hot_score = *scores.iter().max().unwrap();
+        assert!(spread <= hot_score, "score split too uneven: {per_worker:?}");
+
+        // A uniform snapshot plans nothing.
+        let mut uniform0: BinStore<u64, u64, ()> = BinStore::new(&config, 0, peers);
+        let mut uniform1: BinStore<u64, u64, ()> = BinStore::new(&config, 1, peers);
+        for (bin, _) in uniform0.stats().loads().to_vec() {
+            uniform0.note_records(bin, 10, 80);
+        }
+        for (bin, _) in uniform1.stats().loads().to_vec() {
+            uniform1.note_records(bin, 10, 80);
+        }
+        let mut uniform = uniform0.stats();
+        uniform.merge(&uniform1.stats());
+        let (idle, unchanged): (MigrationController<u64>, _) =
+            MigrationController::rebalance(MigrationStrategy::Fluid, &current, &uniform, peers, false);
+        assert!(idle.is_complete());
+        assert_eq!(unchanged, current);
     }
 }

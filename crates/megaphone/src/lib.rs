@@ -98,8 +98,11 @@ pub mod operator;
 pub mod routing;
 pub mod strategies;
 
-pub use bins::{Bin, BinId, BinStore, MegaphoneConfig, SharedBinStore};
-pub use codec::Codec;
+pub use bins::{
+    Bin, BinId, BinLoad, BinStats, BinStore, ChunkedExtraction, MegaphoneConfig, SharedBinStore,
+    StateFragment, StatsHandle,
+};
+pub use codec::{Assembler, ChunkedCodec, Codec, Fragmenter};
 pub use control::{Command, ControlInst};
 pub use controller::{ControllerStatus, MigrationController};
 pub use interface::{state_machine, stateful_binary, Either, MegaphoneStream};
@@ -107,20 +110,21 @@ pub use notificator::{Notificator, PendingQueue};
 pub use operator::{stateful_unary, StatefulOutput};
 pub use routing::RoutingTable;
 pub use strategies::{
-    balanced_assignment, imbalanced_assignment, plan_migration, MigrationPlan, MigrationStrategy,
+    balanced_assignment, imbalanced_assignment, load_balanced_assignment, plan_migration,
+    plan_rebalance, MigrationPlan, MigrationStrategy,
 };
 
 /// A convenient set of imports for building migrateable dataflows.
 pub mod prelude {
-    pub use crate::bins::{BinId, MegaphoneConfig};
-    pub use crate::codec::Codec;
+    pub use crate::bins::{BinId, BinLoad, BinStats, MegaphoneConfig, StatsHandle};
+    pub use crate::codec::{ChunkedCodec, Codec};
     pub use crate::control::ControlInst;
     pub use crate::controller::{ControllerStatus, MigrationController};
     pub use crate::interface::{state_machine, stateful_binary, Either, MegaphoneStream};
     pub use crate::notificator::Notificator;
     pub use crate::operator::{stateful_unary, StatefulOutput};
     pub use crate::strategies::{
-        balanced_assignment, imbalanced_assignment, plan_migration, MigrationPlan,
-        MigrationStrategy,
+        balanced_assignment, imbalanced_assignment, load_balanced_assignment, plan_migration,
+        plan_rebalance, MigrationPlan, MigrationStrategy,
     };
 }

@@ -18,15 +18,18 @@
 //! F and S instances on the same worker share the bin store through a shared
 //! pointer, exactly as described in Section 4.2 of the paper.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use timelite::communication::Pact;
 use timelite::dataflow::{Capability, OperatorBuilder, ProbeHandle, Stream};
 use timelite::order::{Timestamp, TotalOrder};
 use timelite::Data;
 
-use crate::bins::{shared_bin_store, Bin, BinId, MegaphoneConfig};
-use crate::codec::Codec;
+use crate::bins::{
+    shared_bin_store, Bin, BinId, BinStats, ChunkedExtraction, MegaphoneConfig, StateFragment,
+    StatsHandle,
+};
+use crate::codec::{ChunkedCodec, Codec};
 use crate::control::ControlInst;
 use crate::notificator::{Notificator, PendingQueue};
 use crate::routing::RoutingTable;
@@ -41,14 +44,19 @@ impl<T: Timestamp + TotalOrder + Codec> MegaphoneTime for T {}
 pub trait MegaphoneData: Data + Codec {}
 impl<D: Data + Codec> MegaphoneData for D {}
 
-/// Requirements on per-bin state.
-pub trait MegaphoneState: Default + Codec + 'static {}
-impl<S: Default + Codec + 'static> MegaphoneState for S {}
+/// Requirements on per-bin state: incrementally encodable so migrations ship
+/// it as bounded-size fragments rather than one monolithic buffer.
+pub trait MegaphoneState: Default + ChunkedCodec + 'static {}
+impl<S: Default + ChunkedCodec + 'static> MegaphoneState for S {}
 
 /// A record produced by F for S: `(destination worker, key hash, record)`.
 type Routed<D> = (u64, u64, D);
-/// A migrated bin produced by F for S: `(destination worker, bin id, encoded bin)`.
-type Migrated = (u64, u64, Vec<u8>);
+/// A migration fragment produced by F for S: `(destination worker, fragment)`.
+type Migrated = (u64, StateFragment);
+/// The queue of in-progress outgoing migrations held by one F instance: the
+/// capability of the migration's control time, the destination worker, and the
+/// extraction streaming the bin's fragments.
+type Outgoing<T, S, D> = VecDeque<(Capability<T>, u64, ChunkedExtraction<T, S, D>)>;
 
 /// A handle bundling the output stream of a migrateable operator with the probe
 /// that observes its output frontier (the same probe F uses internally).
@@ -58,6 +66,17 @@ pub struct StatefulOutput<T: Timestamp, O: Data> {
     /// A probe on the output stream; `!probe.less_than(&t)` indicates every
     /// record with time earlier than `t` has been fully processed.
     pub probe: ProbeHandle<T>,
+    /// Snapshots the per-bin load of this worker's store (record counts and
+    /// approximate encoded bytes), for load-aware controllers and state-size
+    /// probes in the experiment harness.
+    pub stats: StatsHandle,
+}
+
+impl<T: Timestamp, O: Data> StatefulOutput<T, O> {
+    /// A [`BinStats`] snapshot of this worker's hosted bins.
+    pub fn stats(&self) -> BinStats {
+        self.stats.snapshot()
+    }
 }
 
 /// Constructs a migrateable stateful unary operator (Listing 1's `unary`).
@@ -118,6 +137,11 @@ where
         // capability of their control record (holding the output frontier at
         // their time until the migration has been performed).
         let mut pending_configs: BTreeMap<T, (Capability<T>, Vec<ControlInst>)> = BTreeMap::new();
+        // In-progress outgoing migrations: each entry owns the extracted bin's
+        // fragmenter plus the capability of the migration's control time, held
+        // until the bin's final fragment has been shipped so downstream
+        // frontiers cannot pass the migration while state is still in flight.
+        let mut outgoing: Outgoing<T, S, D> = VecDeque::new();
 
         move |frontiers| {
             let data_frontier = &frontiers[0];
@@ -189,26 +213,63 @@ where
                         ControlInst::None => {}
                     }
                 }
-                let mut session = f_state_out.session(&capability);
                 for (bin, target) in moves {
                     // Only the worker currently hosting the bin extracts and
                     // ships it; everyone else only updates its routing table
                     // (already done in step 1).
-                    let extracted = f_store.borrow_mut().extract(bin);
-                    if let Some(contents) = extracted {
-                        if target == worker_index {
-                            f_store.borrow_mut().install(bin, contents);
-                        } else {
-                            let bytes = contents.encode_to_vec();
-                            session.give((target as u64, bin as u64, bytes));
+                    if target == worker_index {
+                        // A self-migration keeps the bin in place: re-install
+                        // without the encode round trip, preserving the load
+                        // accounting that extract() clears.
+                        let mut store = f_store.borrow_mut();
+                        let load = store.load(bin);
+                        if let Some(contents) = store.extract(bin) {
+                            store.install(bin, contents);
+                            store.set_load(bin, load);
+                        }
+                    } else {
+                        let extraction = f_store.borrow_mut().extract_chunked(bin);
+                        if let Some(extraction) = extraction {
+                            outgoing.push_back((capability.clone(), target as u64, extraction));
                         }
                     }
                 }
-                // Dropping the capability (end of scope) releases the operator's
-                // hold on `time`, allowing downstream frontiers to advance.
+                // Dropping this scope's `capability` clone releases the hold on
+                // `time` once every queued extraction of this step has also
+                // finished (each extraction retains its own clone).
             }
 
-            // 5. Retire configuration updates that can no longer be looked up.
+            // 5. Pump outgoing migrations: ship at most a bounded number of
+            //    encoded bytes per scheduling round, so large bins leave as a
+            //    stream of fragments interleaved with record processing rather
+            //    than one giant encode stalling the worker.
+            let mut budget = config.pump_bytes_per_step();
+            while budget > 0 {
+                let Some((capability, target, extraction)) = outgoing.front_mut() else {
+                    break;
+                };
+                let mut session = f_state_out.session(capability);
+                let target = *target;
+                loop {
+                    let (bytes, last) = extraction.next_fragment(config.chunk_bytes);
+                    budget = budget.saturating_sub(bytes.len().max(1));
+                    session.give((
+                        target,
+                        StateFragment { bin: extraction.bin() as u64, bytes, last },
+                    ));
+                    if last || budget == 0 {
+                        break;
+                    }
+                }
+                drop(session);
+                if outgoing.front().expect("front just used").2.is_finished() {
+                    let (_capability, _target, extraction) =
+                        outgoing.pop_front().expect("front just used");
+                    f_store.borrow_mut().recycle(extraction);
+                }
+            }
+
+            // 6. Retire configuration updates that can no longer be looked up.
             routing.compact(data_frontier);
         }
     });
@@ -216,11 +277,18 @@ where
     // ------------------------------------------------------------------ S ---
     let mut s_builder = OperatorBuilder::new(&format!("{name}::S"), scope);
     let mut s_data_in = s_builder.new_input(&routed_stream, Pact::exchange(|r: &Routed<D>| r.0));
-    let mut s_state_in =
-        s_builder.new_input(&migrated_stream, Pact::exchange(|m: &Migrated| m.0));
+    let mut s_state_in = s_builder.new_input(
+        &migrated_stream,
+        // Fragments are kilobytes of payload behind a thin header: give the
+        // channel a real byte estimate so the adaptive flush budget sees them.
+        Pact::exchange_sized(
+            |m: &Migrated| m.0,
+            |m: &Migrated| std::mem::size_of::<Migrated>() + m.1.bytes.len(),
+        ),
+    );
     let (mut s_output, output_stream) = s_builder.new_output::<O>();
 
-    let s_store = store;
+    let s_store = store.clone();
     let mut fold = fold;
     s_builder.build(move |_initial_capability| {
         // Received data bundles, released in timestamp order once both input
@@ -233,16 +301,25 @@ where
             let data_frontier = &frontiers[0];
             let state_frontier = &frontiers[1];
 
-            // Install migrated bins immediately, registering wake-ups for any
-            // pending records they carry.
+            // Absorb migration fragments immediately; a bin is installed once
+            // its final fragment arrives, registering wake-ups for any pending
+            // records it carried. Decoding happens fragment by fragment, so a
+            // multi-megabyte bin never triggers one monolithic decode stall.
             s_state_in.for_each(|capability, migrations| {
-                for (_target, bin, bytes) in migrations {
-                    let bin = bin as BinId;
-                    let contents = Bin::<T, S, D>::decode_from_slice(&bytes);
-                    for (time, _record) in &contents.pending {
-                        wakeups.push_at(time.clone(), &capability, bin);
+                for (_target, fragment) in migrations {
+                    let bin = fragment.bin as BinId;
+                    let installed =
+                        s_store.borrow_mut().install_fragment(bin, &fragment.bytes, fragment.last);
+                    if installed {
+                        let store = s_store.borrow();
+                        let contents = store.try_bin(bin).expect("bin just installed");
+                        let times: Vec<T> =
+                            contents.pending.iter().map(|(time, _)| time.clone()).collect();
+                        drop(store);
+                        for time in times {
+                            wakeups.push_at(time, &capability, bin);
+                        }
                     }
-                    s_store.borrow_mut().install(bin, contents);
                 }
             });
 
@@ -307,7 +384,13 @@ where
     });
 
     let stream = output_stream.probe_with(&mut probe);
-    StatefulOutput { stream, probe }
+    let snapshot_store = store.clone();
+    let bytes_store = store;
+    let stats = StatsHandle::new(
+        std::rc::Rc::new(move || snapshot_store.borrow().stats()),
+        std::rc::Rc::new(move || bytes_store.borrow().tracked_bytes()),
+    );
+    StatefulOutput { stream, probe, stats }
 }
 
 /// Applies `fold` to one bin at one time: due post-dated records first, then the
@@ -357,10 +440,17 @@ fn process_bin<T, D, S, O, F>(
         return;
     }
 
+    let folded = all_records.len() as u64;
     let Bin { state, pending } = contents;
     let mut notificator = Notificator::new(time, bin, pending, wakeups, capability);
     let outputs = fold(time, all_records, state, &mut notificator);
     if !outputs.is_empty() {
         output.session(capability).give_iterator(outputs);
+    }
+    // Per-bin load accounting behind `BinStats`: every fold application counts
+    // as observed load, with the record's in-memory size standing in for its
+    // (unknown without encoding) serialized growth.
+    if folded > 0 {
+        store.note_records(bin, folded, folded * std::mem::size_of::<D>() as u64);
     }
 }

@@ -10,7 +10,7 @@
 //! groups). The planner is pure: it produces the step sequence; the
 //! [`controller`](crate::controller) issues the steps against a live dataflow.
 
-use crate::bins::BinId;
+use crate::bins::{BinId, BinStats};
 use crate::control::Command;
 
 /// The migration strategies evaluated in the paper.
@@ -163,6 +163,57 @@ pub fn balanced_assignment(bins: usize, peers: usize) -> Vec<usize> {
     (0..bins).map(|bin| bin % peers).collect()
 }
 
+/// Computes a *load-aware* target assignment from observed per-bin loads.
+///
+/// Round-robin assignments balance bin *counts*; under key skew that leaves
+/// some workers carrying far more records and state than others. This planner
+/// balances the observed load scores instead, using the classic longest-
+/// processing-time greedy heuristic: bins are placed in decreasing load order,
+/// each onto the worker with the smallest load placed so far. Ties prefer the
+/// bin's current owner, so an already balanced system plans no movement.
+///
+/// `loads` is a dense per-bin score vector, typically
+/// [`BinStats::score_vector`] over the merged per-worker snapshots.
+pub fn load_balanced_assignment(current: &[usize], loads: &[u64], peers: usize) -> Vec<usize> {
+    assert_eq!(current.len(), loads.len(), "one load score per bin required");
+    assert!(peers > 0, "at least one worker is required");
+    let mut order: Vec<BinId> = (0..current.len()).collect();
+    // Decreasing load, stable in bin id so planning is deterministic.
+    order.sort_by_key(|&bin| std::cmp::Reverse(loads[bin]));
+    let mut placed = vec![0u64; peers];
+    let mut target = current.to_vec();
+    for bin in order {
+        // `best` starts at the bin's current owner and only a strictly
+        // smaller placed load displaces it, so ties keep bins where they are
+        // and an already balanced system plans no movement.
+        let mut best = current[bin];
+        for worker in 0..peers {
+            if placed[worker] < placed[best] {
+                best = worker;
+            }
+        }
+        target[bin] = best;
+        placed[best] += loads[bin].max(1);
+    }
+    target
+}
+
+/// Plans a migration that rebalances observed load: the target assignment is
+/// computed with [`load_balanced_assignment`] from the (merged) [`BinStats`]
+/// snapshot, then revealed under `strategy`. Returns the plan together with
+/// the target assignment (the caller's new "current" once the plan completes).
+pub fn plan_rebalance(
+    strategy: MigrationStrategy,
+    current: &[usize],
+    stats: &BinStats,
+    peers: usize,
+) -> (MigrationPlan, Vec<usize>) {
+    let scores = stats.score_vector(current.len());
+    let target = load_balanced_assignment(current, &scores, peers);
+    let plan = plan_migration(strategy, current, &target);
+    (plan, target)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +314,61 @@ mod tests {
     #[should_panic(expected = "must cover the same bins")]
     fn mismatched_assignments_rejected() {
         let _ = plan_migration(MigrationStrategy::Fluid, &[0, 1], &[0]);
+    }
+
+    #[test]
+    fn balanced_loads_plan_no_movement() {
+        let current = balanced_assignment(16, 4);
+        let loads = vec![10u64; 16];
+        let target = load_balanced_assignment(&current, &loads, 4);
+        assert_eq!(target, current, "uniform load must not trigger migrations");
+    }
+
+    #[test]
+    fn skewed_loads_produce_a_different_plan_than_round_robin() {
+        // Worker 0's bins are hot: round-robin says "already balanced" (every
+        // worker hosts the same number of bins), the load-aware planner must
+        // disagree and move hot bins off worker 0.
+        let peers = 4;
+        let bins = 16;
+        let current = balanced_assignment(bins, peers);
+        let mut loads = vec![1u64; bins];
+        for bin in 0..bins {
+            if current[bin] == 0 {
+                loads[bin] = 1_000;
+            }
+        }
+        let target = load_balanced_assignment(&current, &loads, peers);
+        assert_ne!(target, current, "skew must change the assignment");
+        // Round-robin planning sees no difference between `current` and the
+        // count-balanced assignment, so its plan is empty…
+        let round_robin_plan =
+            plan_migration(MigrationStrategy::AllAtOnce, &current, &balanced_assignment(bins, peers));
+        assert!(round_robin_plan.is_empty());
+        // …while the load-aware plan moves at least one hot bin.
+        let load_plan = plan_migration(MigrationStrategy::AllAtOnce, &current, &target);
+        assert!(load_plan.moved_bins() > 0);
+        // And the load split must actually improve: worker 0 no longer carries
+        // all four hot bins.
+        let hot_on_zero =
+            (0..bins).filter(|&bin| loads[bin] == 1_000 && target[bin] == 0).count();
+        assert!(hot_on_zero <= 1, "hot bins must spread out, got {hot_on_zero} on worker 0");
+    }
+
+    #[test]
+    fn load_balanced_assignment_spreads_total_load_evenly() {
+        let peers = 3;
+        let bins = 12;
+        let current = balanced_assignment(bins, peers);
+        let loads: Vec<u64> = (0..bins as u64).map(|bin| (bin + 1) * 7).collect();
+        let target = load_balanced_assignment(&current, &loads, peers);
+        let mut per_worker = vec![0u64; peers];
+        for (bin, &worker) in target.iter().enumerate() {
+            per_worker[worker] += loads[bin];
+        }
+        let max = *per_worker.iter().max().unwrap();
+        let min = *per_worker.iter().min().unwrap();
+        // LPT guarantees a 4/3 bound; assert a loose version of it.
+        assert!(max <= min * 2, "load split too uneven: {per_worker:?}");
     }
 }

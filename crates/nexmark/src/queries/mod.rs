@@ -30,6 +30,10 @@ pub struct QueryOutput {
     pub stream: Stream<Time, String>,
     /// Probe on the final operator's output.
     pub probe: ProbeHandle<Time>,
+    /// Per-bin load snapshots of the final stateful operator's bin store
+    /// (`None` for stateless and native queries), letting experiment drivers
+    /// probe tracked state size and feed load-aware controllers.
+    pub stats: Option<StatsHandle>,
 }
 
 impl QueryOutput {
@@ -37,12 +41,25 @@ impl QueryOutput {
     pub fn from_stream(stream: Stream<Time, String>) -> Self {
         let mut probe = ProbeHandle::new();
         let stream = stream.probe_with(&mut probe);
-        QueryOutput { stream, probe }
+        QueryOutput { stream, probe, stats: None }
     }
 
-    /// Wraps a Megaphone stateful output.
+    /// Wraps a Megaphone stateful output, propagating its bin-store stats.
     pub fn from_stateful(output: StatefulOutput<Time, String>) -> Self {
-        QueryOutput { stream: output.stream, probe: output.probe }
+        let stats = output.stats.clone();
+        QueryOutput { stream: output.stream, probe: output.probe, stats: Some(stats) }
+    }
+
+    /// A [`BinStats`] snapshot of the final stateful operator's hosted bins,
+    /// or an empty snapshot for stateless/native queries.
+    pub fn stats(&self) -> BinStats {
+        self.stats.as_ref().map(StatsHandle::snapshot).unwrap_or_default()
+    }
+
+    /// The final stateful operator's total tracked state bytes,
+    /// allocation-free (zero for stateless/native queries).
+    pub fn tracked_bytes(&self) -> u64 {
+        self.stats.as_ref().map_or(0, StatsHandle::tracked_bytes)
     }
 }
 

@@ -45,12 +45,21 @@ pub fn shared_changes<T: Ord + Clone>() -> SharedChanges<T> {
     Rc::new(RefCell::new(ChangeBatch::new()))
 }
 
+/// A routing function mapping each record to a worker (modulo peers).
+pub type RouteFn<D> = Rc<dyn Fn(&D) -> u64>;
+/// An estimator of a record's real bytes (heap payload included), used by the
+/// adaptive flush accounting.
+pub type SizeFn<D> = Rc<dyn Fn(&D) -> usize>;
+
 /// A data parallelization contract for one channel.
 pub enum Pact<D> {
     /// Records stay on the producing worker.
     Pipeline,
-    /// Each record is routed to worker `route(record) % peers`.
-    Exchange(Rc<dyn Fn(&D) -> u64>),
+    /// Each record is routed to worker `route(record) % peers`. The second
+    /// component optionally estimates a record's bytes for the adaptive flush
+    /// accounting; without it, records count as `size_of::<D>()`, which
+    /// understates heap-backed payloads.
+    Exchange(RouteFn<D>, Option<SizeFn<D>>),
     /// Every record is delivered to every worker.
     Broadcast,
 }
@@ -58,7 +67,18 @@ pub enum Pact<D> {
 impl<D> Pact<D> {
     /// Convenience constructor for an exchange pact from a routing closure.
     pub fn exchange<F: Fn(&D) -> u64 + 'static>(route: F) -> Self {
-        Pact::Exchange(Rc::new(route))
+        Pact::Exchange(Rc::new(route), None)
+    }
+
+    /// An exchange pact whose records carry heap payloads: `size` estimates a
+    /// record's real bytes so the adaptive flush budget sees them (used by the
+    /// migration channel, whose fragments are kilobytes behind a thin header).
+    pub fn exchange_sized<F, G>(route: F, size: G) -> Self
+    where
+        F: Fn(&D) -> u64 + 'static,
+        G: Fn(&D) -> usize + 'static,
+    {
+        Pact::Exchange(Rc::new(route), Some(Rc::new(size)))
     }
 }
 
@@ -66,7 +86,9 @@ impl<D> Clone for Pact<D> {
     fn clone(&self) -> Self {
         match self {
             Pact::Pipeline => Pact::Pipeline,
-            Pact::Exchange(route) => Pact::Exchange(Rc::clone(route)),
+            Pact::Exchange(route, size) => {
+                Pact::Exchange(Rc::clone(route), size.as_ref().map(Rc::clone))
+            }
             Pact::Broadcast => Pact::Broadcast,
         }
     }
@@ -76,7 +98,7 @@ impl<D> std::fmt::Debug for Pact<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Pact::Pipeline => write!(f, "Pipeline"),
-            Pact::Exchange(_) => write!(f, "Exchange"),
+            Pact::Exchange(_, _) => write!(f, "Exchange"),
             Pact::Broadcast => write!(f, "Broadcast"),
         }
     }
@@ -102,8 +124,31 @@ pub struct Pusher<T: Timestamp, D> {
     produced: SharedChanges<T>,
     /// Scratch per-worker buffers for exchange routing.
     buffers: Vec<Vec<D>>,
+    /// Scratch per-worker byte estimates accumulated alongside `buffers`.
+    size_scratch: Vec<usize>,
     /// Staged outgoing batches per target worker, coalesced across pushes.
     staged: Vec<MultiBatch<T, D>>,
+    /// Estimated staged bytes per target worker.
+    staged_bytes: Vec<usize>,
+    /// Adaptive flush threshold: once a target's estimated staged bytes exceed
+    /// this budget, its envelope leaves mid-step instead of waiting for the
+    /// step-boundary flush, bounding staging-buffer memory and the latency of
+    /// large transfers (e.g. migration fragments) under heavy fan-in.
+    flush_budget: usize,
+}
+
+/// Default adaptive flush budget: 1 MiB of estimated staged bytes per target.
+const DEFAULT_FLUSH_BUDGET: usize = 1 << 20;
+
+/// Environment variable overriding the adaptive flush budget, in bytes.
+const FLUSH_BUDGET_ENV: &str = "TIMELITE_FLUSH_BUDGET_BYTES";
+
+fn flush_budget_from_env() -> usize {
+    std::env::var(FLUSH_BUDGET_ENV)
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .filter(|&bytes| bytes > 0)
+        .unwrap_or(DEFAULT_FLUSH_BUDGET)
 }
 
 impl<T: Timestamp, D: Data> Pusher<T, D> {
@@ -129,7 +174,10 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
             senders,
             produced,
             buffers: (0..peers).map(|_| Vec::new()).collect(),
+            size_scratch: vec![0; peers],
             staged: (0..peers).map(|_| Vec::new()).collect(),
+            staged_bytes: vec![0; peers],
+            flush_budget: flush_budget_from_env(),
         }
     }
 
@@ -138,19 +186,52 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
         self.channel
     }
 
-    /// Delivers `batch` at `time` to `target`: the local queue for this worker,
-    /// the target's staging buffer otherwise (coalescing with the previous
-    /// staged batch when the time matches).
-    fn deliver(&mut self, time: &T, target: usize, mut batch: Vec<D>) {
+    /// Overrides the adaptive flush budget (estimated staged bytes per target
+    /// above which the target is flushed mid-step).
+    pub fn set_flush_budget(&mut self, bytes: usize) {
+        assert!(bytes > 0, "flush budget must be positive");
+        self.flush_budget = bytes;
+    }
+
+    /// Delivers `batch` (estimated at `bytes` bytes) at `time` to `target`:
+    /// the local queue for this worker, the target's staging buffer otherwise
+    /// (coalescing with the previous staged batch when the time matches). A
+    /// target whose estimated staged bytes exceed the flush budget is flushed
+    /// immediately rather than at the next step boundary.
+    fn deliver(&mut self, time: &T, target: usize, mut batch: Vec<D>, bytes: usize) {
         if target == self.index {
             self.local.borrow_mut().push_back((time.clone(), batch));
             return;
         }
+        self.staged_bytes[target] += bytes;
         let staged = &mut self.staged[target];
         match staged.last_mut() {
             Some((last_time, last_batch)) if last_time == time => last_batch.append(&mut batch),
             _ => staged.push((time.clone(), batch)),
         }
+        if self.staged_bytes[target] >= self.flush_budget {
+            self.flush_target(target);
+        }
+    }
+
+    /// Sends every batch staged for `target` as one coalesced envelope.
+    fn flush_target(&mut self, target: usize) {
+        if self.staged[target].is_empty() {
+            return;
+        }
+        let batches = std::mem::take(&mut self.staged[target]);
+        self.staged_bytes[target] = 0;
+        let message: Box<MultiBatch<T, D>> = Box::new(batches);
+        send_to(
+            &self.senders,
+            target,
+            Envelope {
+                dataflow: self.dataflow,
+                channel: self.channel,
+                from: self.index,
+                payload: Payload::Data(message),
+            },
+        );
     }
 
     /// Pushes a batch of records at `time`, consuming the batch.
@@ -169,23 +250,34 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
                 self.produced
                     .borrow_mut()
                     .update(time.clone(), (data.len() * self.peers) as i64);
+                // `size_of::<D>()` understates records owning heap data; the
+                // budget bounds *estimated* bytes, which is enough to keep
+                // staging memory in check for broadcast (control) traffic.
+                let estimate = data.len() * std::mem::size_of::<D>();
                 // Clone for all targets but the last, which consumes the batch.
                 let last = self.peers - 1;
                 for target in 0..last {
                     let copy = data.clone();
-                    self.deliver(time, target, copy);
+                    self.deliver(time, target, copy, estimate);
                 }
-                self.deliver(time, last, data);
+                self.deliver(time, last, data, estimate);
             }
-            Pact::Exchange(route) => {
+            Pact::Exchange(route, size) => {
                 self.produced.borrow_mut().update(time.clone(), data.len() as i64);
                 if self.peers == 1 {
                     self.local.borrow_mut().push_back((time.clone(), data));
                     return;
                 }
                 let route = Rc::clone(route);
+                let size = size.as_ref().map(Rc::clone);
                 for record in data {
                     let target = (route(&record) % self.peers as u64) as usize;
+                    // With an estimator, account each record's real payload;
+                    // otherwise fall back to its in-memory size.
+                    self.size_scratch[target] += match &size {
+                        Some(size) => size(&record),
+                        None => std::mem::size_of::<D>(),
+                    };
                     self.buffers[target].push(record);
                 }
                 for target in 0..self.peers {
@@ -193,7 +285,8 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
                         continue;
                     }
                     let batch = std::mem::take(&mut self.buffers[target]);
-                    self.deliver(time, target, batch);
+                    let estimate = std::mem::take(&mut self.size_scratch[target]);
+                    self.deliver(time, target, batch, estimate);
                 }
             }
         }
@@ -202,21 +295,7 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
     /// Sends every staged batch as one coalesced envelope per target worker.
     pub fn flush(&mut self) {
         for target in 0..self.peers {
-            if self.staged[target].is_empty() {
-                continue;
-            }
-            let batches = std::mem::take(&mut self.staged[target]);
-            let message: Box<MultiBatch<T, D>> = Box::new(batches);
-            send_to(
-                &self.senders,
-                target,
-                Envelope {
-                    dataflow: self.dataflow,
-                    channel: self.channel,
-                    from: self.index,
-                    payload: Payload::Data(message),
-                },
-            );
+            self.flush_target(target);
         }
     }
 }
@@ -391,6 +470,80 @@ mod tests {
         assert_eq!(delivered.1, vec![4, 5]);
         assert_eq!(delivered.1.as_ptr(), original_ptr, "last target must consume the batch");
         assert!(allocs[0].try_recv().is_some());
+    }
+
+    #[test]
+    fn adaptive_flush_triggers_mid_step_once_budget_exceeded() {
+        let (mut pusher, _local, produced, allocs) = pusher_with(Pact::exchange(|x: &u64| *x), 2);
+        // Budget of three u64 records: the fourth staged record must force an
+        // envelope out without any explicit flush() call.
+        pusher.set_flush_budget(3 * std::mem::size_of::<u64>());
+        pusher.push(&1, vec![1]);
+        pusher.push(&1, vec![3]);
+        assert!(allocs[1].try_recv().is_none(), "two records stay under the budget");
+        pusher.push(&1, vec![5, 7]);
+        let envelope = allocs[1].try_recv().expect("budget overflow must flush mid-step");
+        let batches = *envelope.payload_into::<MultiBatch<u64, u64>>();
+        assert_eq!(batches, vec![(1, vec![1, 3, 5, 7])]);
+        // The staging buffer restarts empty: a fresh push stays staged again…
+        pusher.push(&2, vec![9]);
+        assert!(allocs[1].try_recv().is_none());
+        // …until the step-boundary flush drains it.
+        pusher.flush();
+        let envelope = allocs[1].try_recv().expect("boundary flush still works");
+        let batches = *envelope.payload_into::<MultiBatch<u64, u64>>();
+        assert_eq!(batches, vec![(2, vec![9])]);
+        // Progress was accounted at push time, before either envelope left.
+        assert_eq!(produced.borrow_mut().clone_inner(), vec![(1, 4), (2, 1)]);
+    }
+
+    #[test]
+    fn adaptive_flush_is_per_target() {
+        let (mut pusher, _local, _produced, allocs) =
+            pusher_with(Pact::exchange(|x: &u64| *x), 3);
+        pusher.set_flush_budget(3 * std::mem::size_of::<u64>());
+        // One record each for workers 1 and 2: both stay under the budget.
+        pusher.push(&1, vec![1, 2]);
+        assert!(allocs[1].try_recv().is_none());
+        assert!(allocs[2].try_recv().is_none());
+        // Two more for worker 1 push it over budget; worker 2 stays staged.
+        pusher.push(&1, vec![4, 7]);
+        assert!(allocs[1].try_recv().is_some(), "worker 1 exceeded its budget");
+        assert!(allocs[2].try_recv().is_none(), "worker 2 stayed under its budget");
+    }
+
+    #[test]
+    fn sized_exchange_accounts_heap_payloads_against_the_budget() {
+        // Records are (route key, payload) pairs whose real weight lives on
+        // the heap; size_of::<(u64, Vec<u8>)>() would count ~32 bytes and
+        // never trip a kilobyte budget.
+        let allocs = allocate(2);
+        let local: SharedQueue<u64, (u64, Vec<u8>)> = shared_queue();
+        let produced = shared_changes();
+        let mut pusher = Pusher::new(
+            Pact::exchange_sized(
+                |record: &(u64, Vec<u8>)| record.0,
+                |record: &(u64, Vec<u8>)| std::mem::size_of::<(u64, Vec<u8>)>() + record.1.len(),
+            ),
+            0,
+            0,
+            0,
+            2,
+            Rc::clone(&local),
+            allocs[0].senders(),
+            produced,
+        );
+        pusher.set_flush_budget(1024);
+        // 300-byte payloads: the fourth record for worker 1 crosses 1024.
+        pusher.push(&1, vec![(1, vec![0u8; 300])]);
+        pusher.push(&1, vec![(3, vec![0u8; 300])]);
+        pusher.push(&1, vec![(5, vec![0u8; 300])]);
+        assert!(allocs[1].try_recv().is_none(), "three payloads stay under 1024 estimated bytes");
+        pusher.push(&1, vec![(7, vec![0u8; 300])]);
+        assert!(
+            allocs[1].try_recv().is_some(),
+            "heap payload estimate must trigger the mid-step flush"
+        );
     }
 
     #[test]

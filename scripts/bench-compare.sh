@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Compares two bench CSVs produced by scripts/bench-to-csv.sh and fails (exit 1)
+# when any tracked hot-path benchmark regressed by more than the allowed factor.
+#
+#   Usage: scripts/bench-compare.sh previous.csv current.csv [max-factor]
+#
+# Tracked benchmarks are matched by group prefix (the part before the first
+# '/'); the default set covers the hot paths CI guards:
+# routing_lookup, key_to_bin, bin_encode, exchange_throughput. Override with
+# BENCH_COMPARE_GROUPS (comma-separated). The factor defaults to 2.0.
+set -euo pipefail
+
+previous="${1:?usage: bench-compare.sh previous.csv current.csv [max-factor]}"
+current="${2:?usage: bench-compare.sh previous.csv current.csv [max-factor]}"
+factor="${3:-2.0}"
+groups="${BENCH_COMPARE_GROUPS:-routing_lookup,key_to_bin,bin_encode,exchange_throughput}"
+
+awk -F, -v factor="$factor" -v groups="$groups" '
+    BEGIN {
+        split(groups, tracked_list, ",")
+        for (i in tracked_list) tracked[tracked_list[i]] = 1
+        failures = 0
+        compared = 0
+    }
+    FNR == 1 { next }                      # skip the header of each file
+    {
+        bench = $2
+        mean = $3 + 0
+        split(bench, parts, "/")
+        if (!(parts[1] in tracked)) next
+        if (NR == FNR) {                   # first file: the previous commit
+            previous[bench] = mean
+            next
+        }
+        if (!(bench in previous)) {
+            printf "new benchmark %s: %.1f ns/iter (no baseline)\n", bench, mean
+            next
+        }
+        compared += 1
+        base = previous[bench]
+        if (base > 0 && mean > base * factor) {
+            printf "REGRESSION %s: %.1f -> %.1f ns/iter (%.2fx > %.2fx allowed)\n", \
+                bench, base, mean, mean / base, factor
+            failures += 1
+        } else {
+            printf "ok %s: %.1f -> %.1f ns/iter\n", bench, base, mean
+        }
+    }
+    END {
+        if (compared == 0) {
+            print "warning: no tracked benchmarks in common; nothing compared"
+        }
+        if (failures > 0) {
+            printf "%d tracked benchmark(s) regressed beyond %.2fx\n", failures, factor
+            exit 1
+        }
+    }
+' "$previous" "$current"

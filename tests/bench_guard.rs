@@ -1,0 +1,107 @@
+//! Exercises `scripts/bench-compare.sh`, the CI regression gate over the
+//! per-commit bench CSVs: within-threshold drift passes, a >2x regression of a
+//! tracked hot path fails, and untracked benchmarks are ignored.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_csv(dir: &std::path::Path, name: &str, rows: &[(&str, f64)]) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut file = std::fs::File::create(&path).expect("create fixture csv");
+    writeln!(file, "commit,benchmark,mean_ns_per_iter,iterations").unwrap();
+    for (bench, mean) in rows {
+        writeln!(file, "deadbeef,{bench},{mean:.3},1000").unwrap();
+    }
+    path
+}
+
+fn run_compare(previous: &std::path::Path, current: &std::path::Path) -> (bool, String) {
+    let script = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scripts/bench-compare.sh");
+    let output = Command::new("bash")
+        .arg(&script)
+        .arg(previous)
+        .arg(current)
+        .output()
+        .expect("run bench-compare.sh");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.success(), text)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-guard-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn within_threshold_drift_passes() {
+    let dir = temp_dir("pass");
+    let previous = write_csv(
+        &dir,
+        "prev.csv",
+        &[("routing_lookup/0", 100.0), ("key_to_bin/12", 10.0), ("bin_encode/1000", 5000.0)],
+    );
+    let current = write_csv(
+        &dir,
+        "curr.csv",
+        &[("routing_lookup/0", 180.0), ("key_to_bin/12", 9.0), ("bin_encode/1000", 9000.0)],
+    );
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(ok, "sub-2x drift must pass, got:\n{text}");
+    assert!(text.contains("ok routing_lookup/0"), "unexpected output:\n{text}");
+}
+
+#[test]
+fn large_regression_of_tracked_path_fails() {
+    let dir = temp_dir("fail");
+    let previous = write_csv(
+        &dir,
+        "prev.csv",
+        &[("exchange_throughput/4", 1000.0), ("key_to_bin/12", 10.0)],
+    );
+    let current = write_csv(
+        &dir,
+        "curr.csv",
+        &[("exchange_throughput/4", 2500.0), ("key_to_bin/12", 10.0)],
+    );
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(!ok, "a 2.5x regression must fail the gate, got:\n{text}");
+    assert!(text.contains("REGRESSION exchange_throughput/4"), "unexpected output:\n{text}");
+}
+
+#[test]
+fn untracked_benchmarks_do_not_gate() {
+    let dir = temp_dir("untracked");
+    // `plan_migration` regresses 10x but is not in the tracked set.
+    let previous = write_csv(
+        &dir,
+        "prev.csv",
+        &[("plan_migration/fluid", 100.0), ("bin_encode/1000", 100.0)],
+    );
+    let current = write_csv(
+        &dir,
+        "curr.csv",
+        &[("plan_migration/fluid", 1000.0), ("bin_encode/1000", 110.0)],
+    );
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(ok, "untracked benchmarks must not fail the gate, got:\n{text}");
+    assert!(!text.contains("plan_migration"), "untracked bench leaked into output:\n{text}");
+}
+
+#[test]
+fn new_benchmark_without_baseline_passes() {
+    let dir = temp_dir("new");
+    let previous = write_csv(&dir, "prev.csv", &[("key_to_bin/12", 10.0)]);
+    let current = write_csv(
+        &dir,
+        "curr.csv",
+        &[("key_to_bin/12", 11.0), ("bin_encode/1000", 5000.0)],
+    );
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(ok, "a benchmark with no baseline cannot regress, got:\n{text}");
+    assert!(text.contains("no baseline"), "unexpected output:\n{text}");
+}

@@ -1,0 +1,125 @@
+//! Doc-drift guard: README's workspace documentation must stay in sync with
+//! the Cargo workspace. Every workspace member needs a section or mention in
+//! the README, the bench binaries table must list exactly the binaries that
+//! exist, and the megaphone module table must cover the crate's real modules.
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(repo_root().join(path))
+        .unwrap_or_else(|error| panic!("cannot read {path}: {error}"))
+}
+
+/// The member paths of `[workspace] members` in the root Cargo.toml.
+fn workspace_members() -> Vec<String> {
+    let manifest = read("Cargo.toml");
+    // Not `default-members`: the canonical list is the `members` key.
+    let start = manifest.find("\nmembers = [").expect("workspace members list");
+    let list = &manifest[start..];
+    let end = list.find(']').expect("members list closes");
+    list[..end]
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let path = line.trim_matches('"');
+            (line.starts_with('"')).then(|| path.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn every_workspace_member_is_documented_in_the_readme() {
+    let readme = read("README.md");
+    let members = workspace_members();
+    assert!(!members.is_empty(), "no workspace members parsed from Cargo.toml");
+    for member in &members {
+        assert!(
+            readme.contains(member),
+            "workspace member `{member}` is missing from README.md — update the crate tables"
+        );
+    }
+}
+
+#[test]
+fn readme_crate_sections_only_name_real_members() {
+    // Every `crates/...` or `vendor/...` path the README links as a section
+    // heading must be an actual workspace member.
+    let readme = read("README.md");
+    let members = workspace_members();
+    for line in readme.lines() {
+        if !line.starts_with("### [") {
+            continue;
+        }
+        let Some(start) = line.find("](") else { continue };
+        let rest = &line[start + 2..];
+        let Some(end) = rest.find(')') else { continue };
+        let path = &rest[..end];
+        if path.starts_with("crates/") || path.starts_with("vendor/") {
+            assert!(
+                members.iter().any(|member| member == path),
+                "README section links `{path}`, which is not a workspace member"
+            );
+        }
+    }
+}
+
+#[test]
+fn readme_bench_binary_table_matches_the_sources() {
+    let readme = read("README.md");
+    let bins = std::fs::read_dir(repo_root().join("crates/bench/src/bin"))
+        .expect("bench binaries directory")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect::<Vec<_>>();
+    assert!(!bins.is_empty());
+    for bin in &bins {
+        assert!(
+            readme.contains(&format!("`{bin}`")),
+            "experiment binary `{bin}` is missing from README's figure table"
+        );
+    }
+}
+
+#[test]
+fn readme_megaphone_module_table_matches_the_sources() {
+    let readme = read("README.md");
+    let modules = std::fs::read_dir(repo_root().join("crates/megaphone/src"))
+        .expect("megaphone sources")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .filter(|name| name != "lib")
+        .collect::<Vec<_>>();
+    assert!(modules.len() >= 8, "megaphone module list looks truncated: {modules:?}");
+    for module in &modules {
+        assert!(
+            readme.contains(&format!("`{module}`")),
+            "megaphone module `{module}` is missing from README's module table"
+        );
+    }
+}
+
+#[test]
+fn readme_criterion_bench_list_matches_the_sources() {
+    let readme = read("README.md");
+    let benches = std::fs::read_dir(repo_root().join("crates/bench/benches"))
+        .expect("bench sources")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect::<Vec<_>>();
+    for bench in &benches {
+        assert!(
+            readme.contains(&format!("`{bench}`")),
+            "criterion bench `{bench}` is missing from README's bench list"
+        );
+    }
+}
