@@ -1,0 +1,77 @@
+//! Criterion benches of the closed-loop reaction hot paths: the zipfian
+//! workload sampler feeding the adversarial generator, and the controller's
+//! observe→plan step (delta computation, imbalance scoring, load-aware
+//! rebalance planning) over a skewed snapshot — the per-sample cost of
+//! running the control loop against a live dataflow.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use megaphone::prelude::*;
+use megaphone::{BinStore, ClosedLoopController};
+use nexmark::{NexmarkConfig, Workload, WorkloadGenerator, ZipfSkew};
+
+/// A merged snapshot of `bins` bins over `peers` workers whose loads follow a
+/// zipf-ish skew (bin b carries ~total/(b+1) records).
+fn skewed_stats(bins: usize) -> BinStats {
+    let config = MegaphoneConfig::new(bins.trailing_zeros());
+    let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+    for bin in 0..bins {
+        let records = 1_000_000 / (bin as u64 + 1);
+        store.note_records(bin, records, records * 8);
+    }
+    store.stats()
+}
+
+fn bench_observe_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skew_reaction");
+    for bins in [256usize, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("observe_plan", bins),
+            &bins,
+            |bencher, &bins| {
+                let stats = skewed_stats(bins);
+                let initial = balanced_assignment(bins, 4);
+                bencher.iter_batched(
+                    || {
+                        ClosedLoopController::<u64>::new(
+                            MigrationStrategy::Batched(16),
+                            initial.clone(),
+                            4,
+                            false,
+                            1.1,
+                            1,
+                        )
+                    },
+                    |mut controller| controller.observe(black_box(&stats)),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_zipf_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skew_reaction");
+    let workload = Workload {
+        skew: Some(ZipfSkew {
+            exponent_hundredths: 120,
+            pool: 256,
+            onset_ms: 0,
+            rotate_every_ms: 1_000,
+        }),
+        ..Workload::default()
+    };
+    group.bench_function("zipf_event", |bencher| {
+        let mut generator =
+            WorkloadGenerator::new(NexmarkConfig::with_rate(1_000_000).with_workload(workload));
+        let mut position = 0u64;
+        bencher.iter(|| {
+            position += 1;
+            generator.event_at(black_box(position))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_plan, bench_zipf_event);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! The closed-loop reaction experiment: Figure 5–12-style before/during/after
+//! latency series under zipf(1.2) bid skew with hot-key rotation, where the
+//! rebalancing migration is not scripted but *reactive* — detected and
+//! submitted by the [`ClosedLoopController`](megaphone::ClosedLoopController)
+//! from the bin store's own load accounting, DS2-style.
+//!
+//! Prints the milestone timeline (skew onset → detection → migration →
+//! recovery) and the 250 ms latency series, and writes the phase-annotated
+//! reaction CSV (`--csv path`, default `target/skew_timeline.csv`).
+
+use megaphone::prelude::MigrationStrategy;
+use mp_bench::args::Args;
+use mp_bench::skew_run::{run, Params};
+use mp_harness::{timeline_rows, write_csv, ReactionEvent, ReactionTimeline};
+
+fn main() {
+    let args = Args::from_env();
+    let query: &'static str =
+        Box::leak(args.get_str("query").unwrap_or("bidcount").to_string().into_boxed_str());
+    let strategy = match args.get_str("strategy").unwrap_or("batched") {
+        "all-at-once" => MigrationStrategy::AllAtOnce,
+        "fluid" => MigrationStrategy::Fluid,
+        "optimized" => MigrationStrategy::Optimized,
+        _ => MigrationStrategy::Batched(args.get("batch", 16)),
+    };
+    let params = Params {
+        query,
+        workers: args.get("workers", 4),
+        bin_shift: args.get("bin-shift", 8),
+        rate: args.get("rate", 200_000),
+        runtime_ms: args.get("runtime-ms", 8_000),
+        epoch_ms: args.get("epoch-ms", 50),
+        zipf_hundredths: args.get("zipf", 120),
+        zipf_pool: args.get("pool", 256),
+        skew_at_ms: args.get("skew-at-ms", 2_000),
+        rotate_every_ms: args.get("rotate-every-ms", 0),
+        ooo_lag_ms: args.get("ooo-lag-ms", 0),
+        burst: (
+            args.get("burst-period-ms", 0),
+            args.get("burst-ms", 0),
+            args.get("burst-factor", 1),
+        ),
+        strategy,
+        sample_every_ms: args.get("sample-every-ms", 250),
+        warmup_ms: args.get("warmup-ms", 1_000),
+        // --no-react disables the controller (open-loop baseline): the
+        // imbalance threshold becomes unreachable.
+        threshold: if args.has("no-react") { f64::INFINITY } else { args.get("threshold", 1.25) },
+        min_records: args.get("min-records", 1_000),
+        paced: true,
+    };
+    let csv_path =
+        args.get_str("csv").map(str::to_string).unwrap_or_else(|| "target/skew_timeline.csv".into());
+
+    println!("# Closed-loop reaction timeline: {} under zipf({:.2}) skew", params.query, params.zipf_hundredths as f64 / 100.0);
+    println!(
+        "# rate={}/s workers={} bins=2^{} pool={} skew-at={}ms rotate-every={}ms ooo-lag={}ms threshold={:.2}",
+        params.rate,
+        params.workers,
+        params.bin_shift,
+        params.zipf_pool,
+        params.skew_at_ms,
+        params.rotate_every_ms,
+        params.ooo_lag_ms,
+        params.threshold,
+    );
+
+    let result = run(params);
+
+    println!("\n## reaction milestones");
+    println!("{}", result.reaction.rows());
+    println!(
+        "migrations: {} started, {} completed, {} step batches; detection imbalance {:.3}, settled imbalance {:.3}",
+        result.migrations_started,
+        result.migrations_completed,
+        result.steps_issued,
+        result.detection_imbalance,
+        result.final_imbalance,
+    );
+    if let Some(recovered) = result.reaction.first(ReactionEvent::Recovered) {
+        let onset = result.reaction.first(ReactionEvent::SkewOnset).unwrap_or(0);
+        println!(
+            "reaction time (skew onset -> latency recovered): {:.3} s",
+            (recovered.saturating_sub(onset)) as f64 / 1e9
+        );
+    } else {
+        println!("latency did not return to baseline within the run");
+    }
+
+    println!("\n## latency timeline (before / during / after)");
+    println!("{}", timeline_rows(&result.points));
+
+    let rows = result.reaction.csv_rows(&result.points);
+    match write_csv(&csv_path, &ReactionTimeline::CSV_HEADER, &rows) {
+        Ok(()) => println!("reaction CSV written to {csv_path}"),
+        Err(error) => eprintln!("failed to write {csv_path}: {error}"),
+    }
+}

@@ -428,6 +428,475 @@ pub mod nexmark_run {
     }
 }
 
+pub mod skew_run {
+    //! The closed-loop adversarial-skew experiment: a NEXMark-fed stateful
+    //! operator under zipfian bid skew (with optional hot-key rotation,
+    //! out-of-order replay and rate bursts), while a [`ClosedLoopController`]
+    //! samples the live bin loads, detects the imbalance, and submits
+    //! corrective migrations through the control stream — producing the
+    //! DS2-style reaction timeline (skew onset → detection → migration →
+    //! recovery) of the `skew_timeline` driver.
+    //!
+    //! Two pacing modes share the code path:
+    //!
+    //! * **paced** (`paced: true`): wall-clock open-loop load, as in the
+    //!   paper's experiments; latency timelines are meaningful, controller
+    //!   sampling is asynchronous and best-effort.
+    //! * **logical** (`paced: false`): one epoch per loop iteration, stepping
+    //!   to quiescence each epoch, with barrier-synchronized stat sampling —
+    //!   every controller decision is a pure function of the configuration
+    //!   and seed, so tests can assert migration counts and final balance
+    //!   deterministically.
+
+    use std::sync::{Arc, Barrier, Mutex};
+
+    use megaphone::prelude::*;
+    use megaphone::ClosedLoopController;
+    use mp_harness::{
+        Clock, EpochDriver, LatencyHistogram, LatencyTimeline, ReactionEvent, ReactionTimeline,
+        TimelinePoint,
+    };
+    use nexmark::{build_query, NexmarkConfig, Workload, WorkloadGenerator, ZipfSkew};
+    use timelite::hashing::{hash_code, FxHashMap};
+    use timelite::prelude::*;
+
+    /// Parameters of one closed-loop skew run.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// The dataflow to run: `"bidcount"` (a single stateful operator
+        /// counting bids per auction — the cleanest load signal) or any
+        /// NEXMark query name, whose *final* stateful operator feeds the
+        /// controller.
+        pub query: &'static str,
+        /// Number of worker threads.
+        pub workers: usize,
+        /// Base-2 logarithm of the bin count.
+        pub bin_shift: u32,
+        /// Offered load in events per second.
+        pub rate: u64,
+        /// Total run time in milliseconds (logical mode: epochs × epoch_ms).
+        pub runtime_ms: u64,
+        /// Epoch granularity in milliseconds.
+        pub epoch_ms: u64,
+        /// Zipf exponent in hundredths (`120` = 1.2); `0` disables the skew.
+        pub zipf_hundredths: u32,
+        /// Number of auctions in the zipf pool.
+        pub zipf_pool: u64,
+        /// Event time at which the skew switches on.
+        pub skew_at_ms: u64,
+        /// Hot-key rotation period in event-time ms (`0` = never).
+        pub rotate_every_ms: u64,
+        /// Out-of-order replay lag in ms (`0` = in-order).
+        pub ooo_lag_ms: u64,
+        /// Rate burst `(period_ms, burst_ms, factor)`; period `0` disables.
+        pub burst: (u64, u64, u64),
+        /// Migration strategy for controller-submitted rebalances.
+        pub strategy: MigrationStrategy,
+        /// Controller sampling cadence in milliseconds.
+        pub sample_every_ms: u64,
+        /// Warmup: samples before this time only update the controller's
+        /// baseline, never trigger (the stream's startup transient — few
+        /// auctions, all of them "recent" and hot — is not signal).
+        pub warmup_ms: u64,
+        /// Imbalance trigger: max/mean per-worker load ratio.
+        pub threshold: f64,
+        /// Minimum records per sampling delta before it counts as signal.
+        pub min_records: u64,
+        /// Wall-clock pacing (`true`) or deterministic logical stepping.
+        pub paced: bool,
+    }
+
+    impl Default for Params {
+        fn default() -> Self {
+            Params {
+                query: "bidcount",
+                workers: 4,
+                bin_shift: 8,
+                rate: 200_000,
+                runtime_ms: 8_000,
+                epoch_ms: 50,
+                zipf_hundredths: 120,
+                zipf_pool: 256,
+                skew_at_ms: 2_000,
+                rotate_every_ms: 0,
+                ooo_lag_ms: 0,
+                burst: (0, 0, 1),
+                strategy: MigrationStrategy::Batched(16),
+                sample_every_ms: 250,
+                warmup_ms: 1_000,
+                threshold: 1.4,
+                min_records: 1_000,
+                paced: true,
+            }
+        }
+    }
+
+    /// The measurements of one closed-loop run.
+    #[derive(Clone, Debug)]
+    pub struct RunResult {
+        /// Per-interval latency timeline (worker 0).
+        pub points: Vec<TimelinePoint>,
+        /// Histogram over all epoch latencies.
+        pub overall: LatencyHistogram,
+        /// The milestone record: onset, rotations, detections, migrations,
+        /// recovery.
+        pub reaction: ReactionTimeline,
+        /// Migrations the controller initiated.
+        pub migrations_started: usize,
+        /// Initiated migrations that completed within the run.
+        pub migrations_completed: usize,
+        /// Migration step batches submitted on the control stream.
+        pub steps_issued: usize,
+        /// The bin-to-worker assignment the run ended with.
+        pub final_assignment: Vec<usize>,
+        /// Max/mean per-worker load ratio under the final assignment of the
+        /// work observed from the first stat sample at/after the last
+        /// completed migration (a final sample is always taken at the last
+        /// epoch) to the end of the run — the whole run's load if nothing
+        /// migrated. If the last migration only completed in the drain phase,
+        /// after the final records, no post-migration load exists and the
+        /// window falls back to the last pre-completion sample.
+        pub final_imbalance: f64,
+        /// The imbalance ratio that triggered the last detection (1.0 if
+        /// none).
+        pub detection_imbalance: f64,
+    }
+
+    /// The per-run state worker 0 reports out of the dataflow.
+    struct MainOutcome {
+        points: Vec<TimelinePoint>,
+        overall: LatencyHistogram,
+        reaction: ReactionTimeline,
+        migrations_started: usize,
+        migrations_completed: usize,
+        steps_issued: usize,
+        final_assignment: Vec<usize>,
+        post_migration_baseline: Option<BinStats>,
+        detection_imbalance: f64,
+    }
+
+    /// Milestone/counter state threaded through the controller pump.
+    struct PumpState {
+        /// A detection happened; the next issued step is the migration start.
+        awaiting_first_step: bool,
+        /// Migration step batches submitted on the control stream.
+        steps_issued: usize,
+        /// A migration completed; the next merged sample becomes the
+        /// post-migration baseline.
+        baseline_pending: bool,
+    }
+
+    /// Pumps the in-flight migration one round: issues the next step when the
+    /// previous one completed, and records the migration start/end milestones.
+    /// The single decision point for completion bookkeeping — called from the
+    /// epoch loop and the drain phase alike.
+    fn pump_controller(
+        controller: &mut ClosedLoopController<u64>,
+        probe: &ProbeHandle<u64>,
+        control: &mut InputHandle<u64, ControlInst>,
+        reaction: &mut ReactionTimeline,
+        state: &mut PumpState,
+        now: u64,
+    ) {
+        let completed_before = controller.migrations_completed();
+        if controller.advance(probe, control) == ControllerStatus::Issued {
+            state.steps_issued += 1;
+            if state.awaiting_first_step {
+                reaction.record(now, ReactionEvent::MigrationStart);
+                state.awaiting_first_step = false;
+            }
+        }
+        if controller.migrations_completed() > completed_before {
+            reaction.record(now, ReactionEvent::MigrationEnd);
+            state.baseline_pending = true;
+        }
+    }
+
+    /// Runs the configured closed-loop experiment.
+    pub fn run(params: Params) -> RunResult {
+        let peers = params.workers;
+        let deposits: Arc<Mutex<Vec<Option<BinStats>>>> =
+            Arc::new(Mutex::new(vec![None; peers]));
+        let barrier = Arc::new(Barrier::new(peers));
+
+        let results = timelite::execute(Config::process(peers), move |worker| {
+            let index = worker.index();
+            let peers = worker.peers();
+            let config = MegaphoneConfig::new(params.bin_shift);
+
+            let (mut control, mut input, probe, stats) = worker.dataflow::<u64, _, _>(|scope| {
+                let (control_input, control) = scope.new_input::<ControlInst>();
+                let (event_input, events) = scope.new_input::<nexmark::Event>();
+                let (probe, stats) = if params.query == "bidcount" {
+                    let bids = events
+                        .flat_map(|event: nexmark::Event| event.bid())
+                        .map(|bid| (bid.auction, bid.date_time));
+                    let counts = stateful_unary::<_, (u64, u64), FxHashMap<u64, u64>, (), _, _>(
+                        config,
+                        &control,
+                        &bids,
+                        "BidCount",
+                        |record| hash_code(&record.0),
+                        |_time, records, state, _notificator| {
+                            for (auction, _) in records {
+                                *state.entry(auction).or_insert(0) += 1;
+                            }
+                            Vec::new()
+                        },
+                    );
+                    (counts.probe, counts.stats)
+                } else {
+                    let output = build_query(params.query, config, &control, &events);
+                    let stats = output
+                        .stats
+                        .clone()
+                        .expect("closed-loop runs need a stateful query");
+                    (output.probe, stats)
+                };
+                (control_input, event_input, probe, stats)
+            });
+
+            let workload = Workload {
+                skew: (params.zipf_hundredths > 0).then_some(ZipfSkew {
+                    exponent_hundredths: params.zipf_hundredths,
+                    pool: params.zipf_pool,
+                    onset_ms: params.skew_at_ms,
+                    rotate_every_ms: params.rotate_every_ms,
+                }),
+                out_of_order: (params.ooo_lag_ms > 0)
+                    .then_some(nexmark::OutOfOrder { lag_ms: params.ooo_lag_ms }),
+                bursts: (params.burst.0 > 0).then_some(nexmark::RateBurst {
+                    period_ms: params.burst.0,
+                    burst_ms: params.burst.1,
+                    factor: params.burst.2,
+                }),
+            };
+            let nex_config = NexmarkConfig::with_rate(params.rate).with_workload(workload);
+            let mut generator = WorkloadGenerator::new(nex_config);
+
+            let mut closed_loop = (index == 0).then(|| {
+                ClosedLoopController::<u64>::new(
+                    params.strategy,
+                    config.initial_assignment(peers),
+                    peers,
+                    false,
+                    params.threshold,
+                    params.min_records,
+                )
+            });
+            let mut reaction = ReactionTimeline::new();
+            let mut pump =
+                PumpState { awaiting_first_step: false, steps_issued: 0, baseline_pending: false };
+            let mut post_migration_baseline: Option<BinStats> = None;
+            let mut detection_imbalance = 1.0f64;
+            let mut last_merged: Option<BinStats> = None;
+
+            let clock = Clock::start();
+            let epoch_nanos = params.epoch_ms * 1_000_000;
+            let mut driver = EpochDriver::new(params.rate, epoch_nanos);
+            let mut timeline = LatencyTimeline::new();
+            let total_epochs = (params.runtime_ms / params.epoch_ms).max(1);
+            let sample_epochs = (params.sample_every_ms / params.epoch_ms).max(1);
+            let per_epoch = params.rate * params.epoch_ms / 1_000;
+            let mut cursor = 0u64; // next emission position of the stream
+            let mut current_epoch = 0u64;
+            let mut completed_epoch = 0u64;
+            let mut skew_onset_recorded = params.zipf_hundredths == 0;
+            let mut rotations_recorded = 0u64;
+
+            while current_epoch < total_epochs || completed_epoch < current_epoch {
+                let due = if params.paced {
+                    driver.due_epochs(clock.elapsed_nanos())
+                } else {
+                    current_epoch..(current_epoch + 1).min(total_epochs)
+                };
+                for epoch in due {
+                    if epoch >= total_epochs {
+                        continue;
+                    }
+                    let epoch_time_ms = epoch * params.epoch_ms;
+                    let now = clock.elapsed_nanos();
+                    // Milestones of the workload itself (worker 0 narrates).
+                    if index == 0 && !skew_onset_recorded {
+                        let event_ms = generator.config().event_time(cursor);
+                        if event_ms >= params.skew_at_ms {
+                            reaction.record(now, ReactionEvent::SkewOnset);
+                            skew_onset_recorded = true;
+                        }
+                    }
+                    if index == 0 && params.rotate_every_ms > 0 {
+                        let event_ms = generator.config().event_time(cursor);
+                        let rotation = event_ms / params.rotate_every_ms;
+                        if rotation > rotations_recorded {
+                            reaction.record(now, ReactionEvent::HotKeyRotation);
+                            rotations_recorded = rotation;
+                        }
+                    }
+                    // Pump the in-flight migration every epoch.
+                    if let Some(controller) = closed_loop.as_mut() {
+                        pump_controller(controller, &probe, &mut control, &mut reaction, &mut pump, now);
+                    }
+                    // Emit this epoch's events (burst factor applies).
+                    let factor = generator.config().workload.burst_factor(epoch_time_ms);
+                    let quota = per_epoch * factor;
+                    for position in cursor..cursor + quota {
+                        if position % peers as u64 == index as u64 {
+                            input.send(generator.event_at(position));
+                        }
+                    }
+                    cursor += quota;
+                    let next_ms = (epoch + 1) * params.epoch_ms;
+                    control.advance_to(next_ms + params.epoch_ms);
+                    input.advance_to(next_ms);
+                    current_epoch = epoch + 1;
+                    // Logical mode runs lock-step: every epoch is stepped to
+                    // global quiescence, so the probe state the controller
+                    // sees at each epoch — and with it every completion and
+                    // detection decision — is independent of thread timing.
+                    if !params.paced {
+                        worker.step_while(|| probe.less_than(&next_ms));
+                    }
+
+                    // Controller sampling: deposit local stats, merge on
+                    // worker 0, observe. Logical mode synchronizes with
+                    // barriers (on top of the per-epoch quiescence) so the
+                    // merged snapshot is deterministic. The last epoch always
+                    // samples, so a migration completing between the last
+                    // cadence sample and the end of the run still gets its
+                    // post-migration baseline captured.
+                    if current_epoch.is_multiple_of(sample_epochs) || current_epoch == total_epochs
+                    {
+                        if !params.paced {
+                            barrier.wait();
+                        }
+                        deposits.lock().expect("deposit lock")[index] = Some(stats.snapshot());
+                        if !params.paced {
+                            barrier.wait();
+                        }
+                        if index == 0 {
+                            let mut merged = BinStats::default();
+                            let slots = deposits.lock().expect("merge lock");
+                            for slot in slots.iter().flatten() {
+                                merged.merge(slot);
+                            }
+                            drop(slots);
+                            if let Some(controller) = closed_loop.as_mut() {
+                                if pump.baseline_pending {
+                                    post_migration_baseline = Some(merged.clone());
+                                    pump.baseline_pending = false;
+                                }
+                                if current_epoch * params.epoch_ms <= params.warmup_ms {
+                                    controller.observe_baseline(&merged);
+                                } else if controller.observe(&merged) {
+                                    reaction
+                                        .record(clock.elapsed_nanos(), ReactionEvent::Detection);
+                                    detection_imbalance = controller.last_imbalance();
+                                    pump.awaiting_first_step = true;
+                                }
+                            }
+                            last_merged = Some(merged);
+                        }
+                        if !params.paced {
+                            barrier.wait();
+                        }
+                    }
+                }
+                if !worker.step() {
+                    std::thread::yield_now();
+                }
+                let now = clock.elapsed_nanos();
+                while completed_epoch < current_epoch
+                    && !probe.less_than(&(completed_epoch * params.epoch_ms + params.epoch_ms))
+                {
+                    let latency = driver.epoch_latency(completed_epoch, now);
+                    timeline.record(now, latency);
+                    completed_epoch += 1;
+                }
+            }
+
+            // Drain phase: if a migration is still in flight, keep the clocks
+            // moving (without new records) until it completes, so the run
+            // always ends in a settled configuration.
+            let mut extra = 0u64;
+            while closed_loop.as_ref().is_some_and(ClosedLoopController::migration_in_progress)
+                && extra < 1_000
+            {
+                extra += 1;
+                let next_ms = (total_epochs + extra) * params.epoch_ms;
+                control.advance_to(next_ms + params.epoch_ms);
+                input.advance_to(next_ms);
+                worker.step_while(|| probe.less_than(&next_ms));
+                if let Some(controller) = closed_loop.as_mut() {
+                    let now = clock.elapsed_nanos();
+                    pump_controller(controller, &probe, &mut control, &mut reaction, &mut pump, now);
+                }
+            }
+            // A completion in the drain phase happens after the final records:
+            // there is no post-migration load to measure, so fall back to the
+            // last pre-completion sample as the baseline (see RunResult docs).
+            if pump.baseline_pending {
+                post_migration_baseline = last_merged.clone();
+                pump.baseline_pending = false;
+            }
+
+            drop(control);
+            drop(input);
+            worker.step_until_complete();
+
+            let final_stats = stats.snapshot();
+            let outcome = closed_loop.map(|controller| {
+                let (points, overall) = timeline.finish();
+                MainOutcome {
+                    points,
+                    overall,
+                    reaction,
+                    migrations_started: controller.migrations_started(),
+                    migrations_completed: controller.migrations_completed(),
+                    steps_issued: pump.steps_issued,
+                    final_assignment: controller.current_assignment().to_vec(),
+                    post_migration_baseline,
+                    detection_imbalance,
+                }
+            });
+            (final_stats, outcome)
+        });
+
+        // Merge the per-worker final snapshots and derive the run's verdicts.
+        let mut final_merged = BinStats::default();
+        let mut outcome = None;
+        for (stats, main) in results {
+            final_merged.merge(&stats);
+            if main.is_some() {
+                outcome = main;
+            }
+        }
+        let mut outcome = outcome.expect("worker 0 must report an outcome");
+        let baseline = outcome.post_migration_baseline.take().unwrap_or_default();
+        let settled = final_merged.delta_since(&baseline);
+        let final_imbalance = settled.imbalance(&outcome.final_assignment, peers);
+        // Recovery: latency back to (twice) the pre-onset baseline after the
+        // last completed migration.
+        if let (Some(onset), Some(end)) = (
+            outcome.reaction.first(ReactionEvent::SkewOnset),
+            outcome.reaction.last(ReactionEvent::MigrationEnd),
+        ) {
+            let points = outcome.points.clone();
+            outcome.reaction.mark_recovery(&points, onset, end, 2.0, 2_000_000);
+        }
+        RunResult {
+            points: outcome.points,
+            overall: outcome.overall,
+            reaction: outcome.reaction,
+            migrations_started: outcome.migrations_started,
+            migrations_completed: outcome.migrations_completed,
+            steps_issued: outcome.steps_issued,
+            final_assignment: outcome.final_assignment,
+            final_imbalance,
+            detection_imbalance: outcome.detection_imbalance,
+        }
+    }
+}
+
 /// Minimal command-line flag parsing for the experiment drivers:
 /// `--flag value` pairs plus boolean `--flag` switches.
 pub mod args {

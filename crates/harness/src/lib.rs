@@ -11,6 +11,8 @@
 //! * [`timeline`]: 250 ms-bucketed latency timelines reporting max/p99/p50/p25
 //!   (Figures 1 and 5–12).
 //! * [`memory`]: RSS and tracked-state sampling over time (Figure 20).
+//! * [`reaction`]: milestone timelines of closed-loop rebalancing runs
+//!   (skew onset → detection → migration → latency recovery).
 //! * [`report`]: text and CSV rendering of the tables and series.
 
 #![warn(missing_docs)]
@@ -18,11 +20,13 @@
 pub mod histogram;
 pub mod memory;
 pub mod openloop;
+pub mod reaction;
 pub mod report;
 pub mod timeline;
 
 pub use histogram::{nanos_to_millis, LatencyHistogram};
 pub use memory::{current_rss_bytes, format_bytes, MemorySample, MemorySeries};
 pub use openloop::{Clock, EpochDriver, OpenLoopSchedule};
+pub use reaction::{ReactionEvent, ReactionTimeline};
 pub use report::{ccdf_rows, migration_rows, percentile_table, timeline_rows, write_csv, MigrationSummary};
 pub use timeline::{LatencyTimeline, TimelinePoint};

@@ -1,0 +1,243 @@
+//! Reaction timelines: the milestone record of a closed-loop rebalancing
+//! experiment, from the moment a workload shifts to the moment service
+//! latency recovers.
+//!
+//! DS2-style controllers are judged by their reaction timeline — how long
+//! after a workload change the controller detects it, how long the corrective
+//! migration takes, and when the system's latency returns to its baseline.
+//! [`ReactionTimeline`] collects those milestones alongside the ordinary
+//! 250 ms latency timeline, derives the recovery point from the latency
+//! series itself, and renders everything as rows/CSV for the experiment
+//! drivers.
+
+use crate::timeline::TimelinePoint;
+
+/// A milestone of a closed-loop rebalancing run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReactionEvent {
+    /// The workload's key skew switched on.
+    SkewOnset,
+    /// The hot key set rotated mid-run.
+    HotKeyRotation,
+    /// The controller observed an imbalance above its threshold and adopted a
+    /// migration plan.
+    Detection,
+    /// The first migration step was submitted on the control stream.
+    MigrationStart,
+    /// The last migration step completed (observed through the probe).
+    MigrationEnd,
+    /// Service latency returned to its pre-shift baseline.
+    Recovered,
+}
+
+impl ReactionEvent {
+    /// The milestone's name as used in reports and CSV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReactionEvent::SkewOnset => "skew-onset",
+            ReactionEvent::HotKeyRotation => "hot-key-rotation",
+            ReactionEvent::Detection => "detection",
+            ReactionEvent::MigrationStart => "migration-start",
+            ReactionEvent::MigrationEnd => "migration-end",
+            ReactionEvent::Recovered => "recovered",
+        }
+    }
+}
+
+/// The milestone record of one closed-loop run: `(at_nanos, event)` pairs in
+/// the order they were observed.
+#[derive(Clone, Debug, Default)]
+pub struct ReactionTimeline {
+    events: Vec<(u64, ReactionEvent)>,
+}
+
+impl ReactionTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `event` at `at_nanos` since the start of the experiment.
+    pub fn record(&mut self, at_nanos: u64, event: ReactionEvent) {
+        self.events.push((at_nanos, event));
+    }
+
+    /// The recorded milestones, in recording order.
+    pub fn events(&self) -> &[(u64, ReactionEvent)] {
+        &self.events
+    }
+
+    /// The first occurrence of `event`, if any.
+    pub fn first(&self, event: ReactionEvent) -> Option<u64> {
+        self.events.iter().find(|(_, e)| *e == event).map(|(at, _)| *at)
+    }
+
+    /// The last occurrence of `event`, if any.
+    pub fn last(&self, event: ReactionEvent) -> Option<u64> {
+        self.events.iter().rev().find(|(_, e)| *e == event).map(|(at, _)| *at)
+    }
+
+    /// Derives the recovery milestone from a latency timeline: the start of
+    /// the first reporting interval at or after `after_nanos` whose p99 falls
+    /// back to `multiplier` times the baseline p99 (the median p99 of the
+    /// intervals before `baseline_until_nanos`, plus `slack_nanos` to absorb
+    /// near-zero baselines). Records and returns it, or `None` if latency
+    /// never recovers within the series.
+    pub fn mark_recovery(
+        &mut self,
+        points: &[TimelinePoint],
+        baseline_until_nanos: u64,
+        after_nanos: u64,
+        multiplier: f64,
+        slack_nanos: u64,
+    ) -> Option<u64> {
+        let mut baseline: Vec<u64> = points
+            .iter()
+            .filter(|point| point.at_nanos < baseline_until_nanos)
+            .map(|point| point.p99)
+            .collect();
+        if baseline.is_empty() {
+            return None;
+        }
+        baseline.sort_unstable();
+        let median = baseline[baseline.len() / 2];
+        let bound = (median as f64 * multiplier) as u64 + slack_nanos;
+        let recovered = points
+            .iter()
+            .find(|point| point.at_nanos >= after_nanos && point.p99 <= bound)
+            .map(|point| point.at_nanos)?;
+        self.record(recovered, ReactionEvent::Recovered);
+        Some(recovered)
+    }
+
+    /// The phase label active at `at_nanos`: the name of the latest milestone
+    /// at or before it, or `"baseline"` before the first milestone. Used to
+    /// annotate latency timeline rows.
+    pub fn phase_at(&self, at_nanos: u64) -> &'static str {
+        self.events
+            .iter()
+            .filter(|(at, _)| *at <= at_nanos)
+            .max_by_key(|(at, _)| *at)
+            .map(|(_, event)| event.name())
+            .unwrap_or("baseline")
+    }
+
+    /// Renders the milestones as `event time_s` rows.
+    pub fn rows(&self) -> String {
+        let mut output = String::new();
+        output.push_str(&format!("{:<18} {:>10}\n", "milestone", "time[s]"));
+        for (at, event) in &self.events {
+            output.push_str(&format!("{:<18} {:>10.3}\n", event.name(), *at as f64 / 1e9));
+        }
+        output
+    }
+
+    /// Renders a latency timeline annotated with reaction phases as CSV rows
+    /// (`time_s,max_ms,p99_ms,p50_ms,p25_ms,phase`) for
+    /// [`write_csv`](crate::report::write_csv).
+    pub fn csv_rows(&self, points: &[TimelinePoint]) -> Vec<Vec<String>> {
+        use crate::histogram::nanos_to_millis;
+        points
+            .iter()
+            .map(|point| {
+                vec![
+                    format!("{:.3}", point.at_nanos as f64 / 1e9),
+                    format!("{:.3}", nanos_to_millis(point.max)),
+                    format!("{:.3}", nanos_to_millis(point.p99)),
+                    format!("{:.3}", nanos_to_millis(point.p50)),
+                    format!("{:.3}", nanos_to_millis(point.p25)),
+                    self.phase_at(point.at_nanos).to_string(),
+                ]
+            })
+            .collect()
+    }
+
+    /// The CSV header matching [`csv_rows`](Self::csv_rows).
+    pub const CSV_HEADER: [&'static str; 6] =
+        ["time_s", "max_ms", "p99_ms", "p50_ms", "p25_ms", "phase"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(at_nanos: u64, p99: u64) -> TimelinePoint {
+        TimelinePoint { at_nanos, max: p99 * 2, p99, p50: p99 / 2, p25: p99 / 4, samples: 10 }
+    }
+
+    #[test]
+    fn milestones_are_recorded_in_order() {
+        let mut timeline = ReactionTimeline::new();
+        timeline.record(1_000, ReactionEvent::SkewOnset);
+        timeline.record(2_000, ReactionEvent::Detection);
+        timeline.record(2_500, ReactionEvent::MigrationStart);
+        timeline.record(4_000, ReactionEvent::MigrationEnd);
+        assert_eq!(timeline.first(ReactionEvent::Detection), Some(2_000));
+        assert_eq!(timeline.last(ReactionEvent::MigrationEnd), Some(4_000));
+        assert_eq!(timeline.first(ReactionEvent::Recovered), None);
+        assert_eq!(timeline.events().len(), 4);
+    }
+
+    #[test]
+    fn phases_partition_the_run() {
+        let mut timeline = ReactionTimeline::new();
+        timeline.record(1_000, ReactionEvent::SkewOnset);
+        timeline.record(3_000, ReactionEvent::MigrationStart);
+        assert_eq!(timeline.phase_at(0), "baseline");
+        assert_eq!(timeline.phase_at(1_000), "skew-onset");
+        assert_eq!(timeline.phase_at(2_999), "skew-onset");
+        assert_eq!(timeline.phase_at(10_000), "migration-start");
+    }
+
+    #[test]
+    fn recovery_is_derived_from_the_latency_series() {
+        // Baseline p99 ~1ms; latency spikes after the shift at 2s and falls
+        // back under 2x baseline at 4s.
+        let points = vec![
+            point(0, 1_000_000),
+            point(250_000_000, 1_100_000),
+            point(500_000_000, 900_000),
+            point(2_000_000_000, 50_000_000),
+            point(3_000_000_000, 30_000_000),
+            point(4_000_000_000, 1_500_000),
+        ];
+        let mut timeline = ReactionTimeline::new();
+        timeline.record(2_000_000_000, ReactionEvent::SkewOnset);
+        timeline.record(3_500_000_000, ReactionEvent::MigrationEnd);
+        let recovered = timeline.mark_recovery(
+            &points,
+            2_000_000_000, // baseline: everything before the shift
+            3_500_000_000, // search after the migration completed
+            2.0,
+            0,
+        );
+        assert_eq!(recovered, Some(4_000_000_000));
+        assert_eq!(timeline.first(ReactionEvent::Recovered), Some(4_000_000_000));
+    }
+
+    #[test]
+    fn recovery_requires_a_baseline_and_an_actual_recovery() {
+        let spiky = vec![point(1_000_000_000, 80_000_000), point(2_000_000_000, 90_000_000)];
+        let mut timeline = ReactionTimeline::new();
+        assert_eq!(timeline.mark_recovery(&spiky, 0, 0, 2.0, 0), None, "no baseline points");
+        let baseline_only = vec![point(0, 1_000_000), point(1_000_000_000, 70_000_000)];
+        assert_eq!(
+            timeline.mark_recovery(&baseline_only, 500_000_000, 1_000_000_000, 2.0, 0),
+            None,
+            "latency never recovered"
+        );
+        assert!(timeline.events().is_empty());
+    }
+
+    #[test]
+    fn csv_rows_carry_phases() {
+        let mut timeline = ReactionTimeline::new();
+        timeline.record(250_000_000, ReactionEvent::SkewOnset);
+        let rows = timeline.csv_rows(&[point(0, 1_000_000), point(250_000_000, 2_000_000)]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][5], "baseline");
+        assert_eq!(rows[1][5], "skew-onset");
+        assert_eq!(rows[1][2], "2.000");
+        assert_eq!(ReactionTimeline::CSV_HEADER.len(), rows[0].len());
+    }
+}

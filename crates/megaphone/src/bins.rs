@@ -274,12 +274,82 @@ impl BinStats {
         self.loads.iter().map(|(_, load)| load.bytes).sum()
     }
 
-    /// Merges another worker's snapshot into this one. Bins are disjoint
-    /// between workers (each bin is hosted exactly once), so merging the
-    /// per-worker snapshots yields the global per-bin load picture.
+    /// Merges another snapshot into this one, summing the loads of bins
+    /// appearing in both. Merging the per-worker snapshots (whose bins are
+    /// disjoint: each bin is hosted exactly once) yields the global per-bin
+    /// load picture; merging snapshots of different operators sharing one bin
+    /// space yields the per-bin total across operators.
     pub fn merge(&mut self, other: &BinStats) {
         self.loads.extend_from_slice(&other.loads);
         self.loads.sort_by_key(|(bin, _)| *bin);
+        self.loads.dedup_by(|next, kept| {
+            if next.0 == kept.0 {
+                kept.1.records += next.1.records;
+                kept.1.bytes += next.1.bytes;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    /// The per-bin load observed since `previous` was taken: for every bin,
+    /// the increase of its counters, treating a counter that *shrank* as a
+    /// re-hosted bin whose accounting restarted (extraction clears loads), in
+    /// which case the new counter value itself is the observed load.
+    ///
+    /// Controllers plan on deltas rather than cumulative loads so that a
+    /// workload *shift* (a hot-key rotation) shows up immediately instead of
+    /// being averaged into history.
+    pub fn delta_since(&self, previous: &BinStats) -> BinStats {
+        let mut loads = Vec::with_capacity(self.loads.len());
+        let mut prev = previous.loads.iter().peekable();
+        for (bin, now) in &self.loads {
+            while prev.peek().is_some_and(|(b, _)| b < bin) {
+                prev.next();
+            }
+            let before = match prev.peek() {
+                Some((b, load)) if b == bin => *load,
+                _ => BinLoad::default(),
+            };
+            let delta = BinLoad {
+                records: if now.records >= before.records {
+                    now.records - before.records
+                } else {
+                    now.records
+                },
+                bytes: if now.bytes >= before.bytes { now.bytes - before.bytes } else { now.bytes },
+            };
+            loads.push((*bin, delta));
+        }
+        BinStats { loads }
+    }
+
+    /// The total load score hosted by each of `peers` workers under
+    /// `assignment` (bins outside the assignment are ignored).
+    pub fn worker_scores(&self, assignment: &[usize], peers: usize) -> Vec<u64> {
+        let mut scores = vec![0u64; peers];
+        for (bin, load) in &self.loads {
+            if let Some(&worker) = assignment.get(*bin) {
+                if worker < peers {
+                    scores[worker] += load.score();
+                }
+            }
+        }
+        scores
+    }
+
+    /// The max/mean ratio of the per-worker load scores under `assignment`:
+    /// `1.0` is perfect balance, `peers as f64` is everything on one worker.
+    /// Returns `1.0` when no load has been observed.
+    pub fn imbalance(&self, assignment: &[usize], peers: usize) -> f64 {
+        let scores = self.worker_scores(assignment, peers);
+        let total: u64 = scores.iter().sum();
+        if total == 0 || peers == 0 {
+            return 1.0;
+        }
+        let max = *scores.iter().max().expect("peers > 0") as f64;
+        max / (total as f64 / peers as f64)
     }
 
     /// Renders the snapshot as a dense per-bin score vector of length `bins`
@@ -1015,5 +1085,63 @@ mod tests {
         assert_eq!(merged.total_records(), 10);
         let bins: Vec<BinId> = merged.loads().iter().map(|(bin, _)| *bin).collect();
         assert_eq!(bins, vec![0, 1, 2, 3], "merged snapshot is sorted by bin");
+    }
+
+    #[test]
+    fn stats_merge_sums_overlapping_bins() {
+        // Two operators sharing one bin space on the same worker: merging
+        // their snapshots sums per-bin loads instead of duplicating entries.
+        let config = MegaphoneConfig::new(2);
+        let mut a: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+        let mut b: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+        a.note_records(1, 3, 30);
+        b.note_records(1, 4, 40);
+        b.note_records(2, 5, 50);
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged.len(), 4, "one entry per bin, not per source");
+        let scores = merged.score_vector(4);
+        assert_eq!(merged.loads()[1].1, BinLoad { records: 7, bytes: 70 });
+        assert_eq!(merged.total_records(), 12);
+        assert!(scores[1] > scores[2]);
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_detects_resets() {
+        let config = MegaphoneConfig::new(2);
+        let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+        store.note_records(0, 10, 100);
+        store.note_records(1, 5, 50);
+        let before = store.stats();
+        store.note_records(0, 7, 70);
+        // Bin 1 migrates away and back: its counter restarts below `before`.
+        let contents = store.extract(1).expect("hosted");
+        store.install(1, contents);
+        store.note_records(1, 2, 20);
+        let delta = store.stats().delta_since(&before);
+        let by_bin: std::collections::HashMap<BinId, BinLoad> =
+            delta.loads().iter().copied().collect();
+        assert_eq!(by_bin[&0], BinLoad { records: 7, bytes: 70 });
+        assert_eq!(by_bin[&1], BinLoad { records: 2, bytes: 20 }, "reset uses the new counter");
+        assert_eq!(by_bin[&2], BinLoad::default(), "untouched bins have zero delta");
+    }
+
+    #[test]
+    fn worker_scores_and_imbalance_follow_the_assignment() {
+        let stats = BinStats {
+            loads: vec![
+                (0, BinLoad { records: 900, bytes: 0 }),
+                (1, BinLoad { records: 100, bytes: 0 }),
+                (2, BinLoad { records: 0, bytes: 0 }),
+                (3, BinLoad { records: 0, bytes: 0 }),
+            ],
+        };
+        let skewed = vec![0usize, 0, 1, 1];
+        assert_eq!(stats.worker_scores(&skewed, 2), vec![1_000, 0]);
+        assert!((stats.imbalance(&skewed, 2) - 2.0).abs() < 1e-9);
+        let balanced = vec![0usize, 1, 0, 1];
+        assert_eq!(stats.worker_scores(&balanced, 2), vec![900, 100]);
+        assert!((stats.imbalance(&balanced, 2) - 1.8).abs() < 1e-9);
+        assert_eq!(BinStats::default().imbalance(&balanced, 2), 1.0, "no load is balanced");
     }
 }

@@ -134,6 +134,144 @@ impl<T: Timestamp + TotalOrder> MigrationController<T> {
     }
 }
 
+/// A closed-loop, load-aware rebalancing controller: the feedback system the
+/// paper leaves to external controllers (DS2, Chi), closed over the bin
+/// store's own load accounting.
+///
+/// The driver periodically feeds it merged [`BinStats`] snapshots
+/// ([`observe`](Self::observe)); the controller plans on the *delta* since the
+/// previous snapshot (so a workload shift registers immediately), and when the
+/// max/mean per-worker load ratio exceeds its threshold it computes a
+/// [`plan_rebalance`] migration and submits it through the control stream,
+/// step by step, via an inner [`MigrationController`]
+/// ([`advance`](Self::advance)). While a migration is in flight no new plan is
+/// adopted; once it completes, the target assignment becomes current and
+/// observation resumes.
+pub struct ClosedLoopController<T: Timestamp + TotalOrder> {
+    strategy: MigrationStrategy,
+    peers: usize,
+    gap: bool,
+    /// Trigger threshold on the max/mean per-worker load-score ratio.
+    threshold: f64,
+    /// Minimum records in a delta before it is considered signal, not noise.
+    min_records: u64,
+    current: Vec<usize>,
+    target: Option<Vec<usize>>,
+    previous: BinStats,
+    inner: Option<MigrationController<T>>,
+    migrations_started: usize,
+    migrations_completed: usize,
+    last_imbalance: f64,
+}
+
+impl<T: Timestamp + TotalOrder> ClosedLoopController<T> {
+    /// Creates a controller over `initial` (the live bin-to-worker
+    /// assignment), triggering whenever an observed delta's max/mean worker
+    /// load ratio exceeds `threshold` and covers at least `min_records`
+    /// records.
+    pub fn new(
+        strategy: MigrationStrategy,
+        initial: Vec<usize>,
+        peers: usize,
+        gap: bool,
+        threshold: f64,
+        min_records: u64,
+    ) -> Self {
+        assert!(threshold >= 1.0, "an imbalance ratio below 1.0 is unreachable");
+        assert!(peers > 0, "at least one worker is required");
+        ClosedLoopController {
+            strategy,
+            peers,
+            gap,
+            threshold,
+            min_records,
+            current: initial,
+            target: None,
+            previous: BinStats::default(),
+            inner: None,
+            migrations_started: 0,
+            migrations_completed: 0,
+            last_imbalance: 1.0,
+        }
+    }
+
+    /// The assignment the controller believes is live (the last completed
+    /// migration's target, or the initial assignment).
+    pub fn current_assignment(&self) -> &[usize] {
+        &self.current
+    }
+
+    /// Returns `true` while a submitted migration has unfinished steps.
+    pub fn migration_in_progress(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The number of migrations the controller has initiated.
+    pub fn migrations_started(&self) -> usize {
+        self.migrations_started
+    }
+
+    /// The number of initiated migrations that have completed.
+    pub fn migrations_completed(&self) -> usize {
+        self.migrations_completed
+    }
+
+    /// The max/mean worker load ratio of the most recent observed delta.
+    pub fn last_imbalance(&self) -> f64 {
+        self.last_imbalance
+    }
+
+    /// Advances the delta baseline without considering a migration: the next
+    /// [`observe`](Self::observe) measures load from this snapshot onward.
+    /// Drivers use this during warmup so a stream's startup transient never
+    /// counts as signal.
+    pub fn observe_baseline(&mut self, stats: &BinStats) {
+        self.previous = stats.clone();
+    }
+
+    /// Feeds a merged (cumulative) snapshot of every worker's bin loads.
+    /// Returns `true` iff this observation initiated a migration.
+    pub fn observe(&mut self, stats: &BinStats) -> bool {
+        let delta = stats.delta_since(&self.previous);
+        self.previous = stats.clone();
+        if self.inner.is_some() || delta.total_records() < self.min_records.max(1) {
+            return false;
+        }
+        self.last_imbalance = delta.imbalance(&self.current, self.peers);
+        if self.last_imbalance <= self.threshold {
+            return false;
+        }
+        let (plan, target) = plan_rebalance(self.strategy, &self.current, &delta, self.peers);
+        if plan.is_empty() {
+            return false;
+        }
+        self.inner = Some(MigrationController::new(plan, self.gap));
+        self.target = Some(target);
+        self.migrations_started += 1;
+        true
+    }
+
+    /// Pumps the in-flight migration (if any) against the live dataflow:
+    /// issues the next step once the previous one completed, and promotes the
+    /// target assignment to current when the plan finishes.
+    pub fn advance(
+        &mut self,
+        probe: &ProbeHandle<T>,
+        control: &mut InputHandle<T, ControlInst>,
+    ) -> ControllerStatus {
+        let Some(inner) = self.inner.as_mut() else {
+            return ControllerStatus::Idle;
+        };
+        let status = inner.advance(probe, control);
+        if inner.is_complete() {
+            self.current = self.target.take().expect("a migration always has a target");
+            self.inner = None;
+            self.migrations_completed += 1;
+        }
+        status
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +354,79 @@ mod tests {
             MigrationController::rebalance(MigrationStrategy::Fluid, &current, &uniform, peers, false);
         assert!(idle.is_complete());
         assert_eq!(unchanged, current);
+    }
+
+    /// Builds a merged two-worker snapshot where worker 0's bins carry
+    /// `hot` records each and worker 1's carry `cold`.
+    fn two_worker_snapshot(config: &crate::bins::MegaphoneConfig, hot: u64, cold: u64) -> BinStats {
+        use crate::bins::BinStore;
+        let mut store0: BinStore<u64, u64, ()> = BinStore::new(config, 0, 2);
+        let mut store1: BinStore<u64, u64, ()> = BinStore::new(config, 1, 2);
+        for (bin, _) in store0.stats().loads().to_vec() {
+            store0.note_records(bin, hot, hot * 8);
+        }
+        for (bin, _) in store1.stats().loads().to_vec() {
+            store1.note_records(bin, cold, cold * 8);
+        }
+        let mut merged = store0.stats();
+        merged.merge(&store1.stats());
+        merged
+    }
+
+    #[test]
+    fn closed_loop_triggers_on_skew_and_stays_quiet_on_balance() {
+        use crate::bins::MegaphoneConfig;
+        use crate::strategies::balanced_assignment;
+
+        let config = MegaphoneConfig::new(4);
+        let peers = 2;
+        let current = balanced_assignment(config.bins(), peers);
+        let mut controller: ClosedLoopController<u64> = ClosedLoopController::new(
+            MigrationStrategy::AllAtOnce,
+            current.clone(),
+            peers,
+            false,
+            1.5,
+            10,
+        );
+
+        // A balanced delta does not trigger.
+        assert!(!controller.observe(&two_worker_snapshot(&config, 100, 100)));
+        assert_eq!(controller.migrations_started(), 0);
+        assert!((controller.last_imbalance() - 1.0).abs() < 0.05);
+
+        // A skewed delta (on top of the balanced cumulative history) does.
+        assert!(controller.observe(&two_worker_snapshot(&config, 1_100, 101)));
+        assert!(controller.migration_in_progress());
+        assert_eq!(controller.migrations_started(), 1);
+        assert!(controller.last_imbalance() > 1.5);
+
+        // While the migration is in flight, further skew is not re-planned.
+        assert!(!controller.observe(&two_worker_snapshot(&config, 9_000, 102)));
+        assert_eq!(controller.migrations_started(), 1);
+    }
+
+    #[test]
+    fn closed_loop_ignores_noise_below_min_records() {
+        use crate::bins::MegaphoneConfig;
+        use crate::strategies::balanced_assignment;
+
+        let config = MegaphoneConfig::new(3);
+        let current = balanced_assignment(config.bins(), 2);
+        let mut controller: ClosedLoopController<u64> =
+            ClosedLoopController::new(MigrationStrategy::Fluid, current, 2, false, 1.2, 1_000);
+        // Heavily skewed but tiny: below the record floor, so no reaction.
+        assert!(!controller.observe(&two_worker_snapshot(&config, 40, 0)));
+        assert_eq!(controller.migrations_started(), 0);
+        // Re-observing identical cumulative stats is a zero delta: still quiet.
+        assert!(!controller.observe(&two_worker_snapshot(&config, 40, 0)));
+        assert_eq!(controller.migrations_started(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn closed_loop_rejects_impossible_thresholds() {
+        let _: ClosedLoopController<u64> =
+            ClosedLoopController::new(MigrationStrategy::Fluid, vec![0], 1, false, 0.5, 1);
     }
 }

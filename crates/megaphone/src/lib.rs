@@ -104,7 +104,7 @@ pub use bins::{
 };
 pub use codec::{Assembler, ChunkedCodec, Codec, Fragmenter};
 pub use control::{Command, ControlInst};
-pub use controller::{ControllerStatus, MigrationController};
+pub use controller::{ClosedLoopController, ControllerStatus, MigrationController};
 pub use interface::{state_machine, stateful_binary, Either, MegaphoneStream};
 pub use notificator::{Notificator, PendingQueue};
 pub use operator::{stateful_unary, StatefulOutput};
@@ -119,7 +119,7 @@ pub mod prelude {
     pub use crate::bins::{BinId, BinLoad, BinStats, MegaphoneConfig, StatsHandle};
     pub use crate::codec::{ChunkedCodec, Codec};
     pub use crate::control::ControlInst;
-    pub use crate::controller::{ControllerStatus, MigrationController};
+    pub use crate::controller::{ClosedLoopController, ControllerStatus, MigrationController};
     pub use crate::interface::{state_machine, stateful_binary, Either, MegaphoneStream};
     pub use crate::notificator::Notificator;
     pub use crate::operator::{stateful_unary, StatefulOutput};

@@ -86,6 +86,20 @@ impl<T: Timestamp + TotalOrder, P> PendingQueue<T, P> {
         self.heap.push(Reverse(Pending { time, capability, payload }));
     }
 
+    /// Enqueues `payload` at `time`, or — when `time` is already closed (not
+    /// in advance of the capability) — at the capability's own time, the
+    /// earliest still-open time. Used for wake-ups derived from out-of-order
+    /// input or migrated pending records, whose requested times may already
+    /// have been passed by the frontier: the entry becomes deliverable as soon
+    /// as the capability's time closes, instead of panicking.
+    pub fn push_at_clamped(&mut self, time: T, capability: &Capability<T>, payload: P) {
+        if capability.time().less_equal(&time) {
+            self.push_at(time, capability, payload);
+        } else {
+            self.push(capability.clone(), payload);
+        }
+    }
+
     /// The earliest pending time, if any.
     pub fn next_time(&self) -> Option<&T> {
         self.heap.peek().map(|Reverse(entry)| &entry.time)
@@ -164,16 +178,14 @@ impl<'a, T: Timestamp + TotalOrder, D> Notificator<'a, T, D> {
 
     /// Schedules `record` to be re-presented to the operator at `time`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `time` is not in advance of the time currently being processed.
+    /// If `time` is *not* in advance of the time currently being processed —
+    /// which out-of-order input makes routine, e.g. an event-time window whose
+    /// end has already been passed by the processing clock — the record is
+    /// delivered at the current time instead: it is re-presented exactly once,
+    /// in the operator's next scheduling round, rather than panicking or being
+    /// dropped.
     pub fn notify_at(&mut self, time: T, record: D) {
-        assert!(
-            self.time.less_equal(&time),
-            "cannot schedule a record at {:?}, before the current time {:?}",
-            time,
-            self.time
-        );
+        let time = if self.time.less_equal(&time) { time } else { self.time.clone() };
         self.bin_pending.push((time.clone(), record));
         self.wakeups.push_at(time, self.capability, self.bin);
     }
@@ -271,12 +283,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot schedule")]
-    fn notifying_in_the_past_panics() {
+    fn notifying_in_the_past_delivers_at_the_current_time() {
+        // A request for an already-closed time is clamped to the current time:
+        // the record is queued once, at time 5, and released as soon as the
+        // frontier passes 5 — immediate delivery, exactly once.
         let mut pending: Vec<(u64, ())> = Vec::new();
         let mut wakeups = PendingQueue::new();
         let cap = test_capability(5);
-        let mut notificator = Notificator::new(&5, 0, &mut pending, &mut wakeups, &cap);
-        notificator.notify_at(3, ());
+        {
+            let mut notificator = Notificator::new(&5, 3, &mut pending, &mut wakeups, &cap);
+            notificator.notify_at(3, ());
+        }
+        assert_eq!(pending, vec![(5, ())]);
+        assert_eq!(wakeups.next_time(), Some(&5));
+        assert!(wakeups.drain_ready(&Antichain::from_elem(5)).is_empty(), "time 5 still open");
+        let ready = wakeups.drain_ready(&Antichain::from_elem(6));
+        assert_eq!(ready.len(), 1, "released exactly once");
+        assert_eq!(ready[0].0, 5);
+        assert!(wakeups.is_empty());
+    }
+
+    #[test]
+    fn clamped_push_falls_back_to_the_capability_time() {
+        // Requests in advance of the capability keep their time; requests for
+        // closed times land at the capability's time instead of panicking —
+        // the path taken when a migrated bin carries already-due pending
+        // records.
+        let mut queue = PendingQueue::new();
+        let cap = test_capability(10);
+        queue.push_at_clamped(15, &cap, "future");
+        queue.push_at_clamped(4, &cap, "past");
+        let ready = queue.drain_ready(&Antichain::from_elem(11));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].0, 10, "closed time is clamped to the capability");
+        assert_eq!(ready[0].2, "past");
+        let rest = queue.drain_ready(&Antichain::new());
+        assert_eq!(rest[0].0, 15);
     }
 }

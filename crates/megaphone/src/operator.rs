@@ -317,7 +317,12 @@ where
                             contents.pending.iter().map(|(time, _)| time.clone()).collect();
                         drop(store);
                         for time in times {
-                            wakeups.push_at(time, &capability, bin);
+                            // Pending times can trail the migration's control
+                            // time when out-of-order input post-dated records
+                            // to already-closed times: clamp those to the
+                            // fragment's capability so they deliver
+                            // immediately after installation, exactly once.
+                            wakeups.push_at_clamped(time, &capability, bin);
                         }
                     }
                 }

@@ -1,0 +1,70 @@
+//! Out-of-order input support in the notificator: a post-dated record whose
+//! requested time is *already closed* (routine once drivers replay events out
+//! of order) must be delivered immediately — at the current time — and exactly
+//! once, through the full F/S operator stack.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use megaphone::prelude::*;
+
+/// Runs a stateful operator whose fold, on each fresh record, requests a
+/// notification at `now - offset`, and records every delivery `(time, count)`.
+fn run_with_offset(offset: u64) -> Vec<(u64, u64)> {
+    timelite::execute_single(move |worker| {
+        let log_in: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log_out = log_in.clone();
+        let (mut control, mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (data_input, data) = scope.new_input::<(u64, u64)>();
+            let log = log_in.clone();
+            let out = stateful_unary::<_, (u64, u64), u64, u64, _, _>(
+                MegaphoneConfig::new(2),
+                &control,
+                &data,
+                "PastNotify",
+                |record| timelite::hashing::hash_code(&record.0),
+                move |time, records, state, notificator| {
+                    let mut outputs = Vec::new();
+                    for (key, replayed) in records {
+                        if replayed == 0 {
+                            notificator.notify_at(time.saturating_sub(offset), (key, 1));
+                        } else {
+                            *state += 1;
+                            log.borrow_mut().push((*time, *state));
+                            outputs.push(*state);
+                        }
+                    }
+                    outputs
+                },
+            );
+            (control_input, data_input, out.probe)
+        });
+
+        control.advance_to(100);
+        input.advance_to(100);
+        worker.step();
+        input.send((7, 0));
+        control.advance_to(200);
+        input.advance_to(200);
+        worker.step_while(|| probe.less_than(&200));
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let log = log_out.borrow().clone();
+        log
+    })
+}
+
+#[test]
+fn past_time_notification_delivers_exactly_once_at_the_current_time() {
+    let deliveries = run_with_offset(10);
+    assert_eq!(deliveries, vec![(100, 1)], "one delivery, at the requesting record's time");
+}
+
+#[test]
+fn present_time_notification_also_delivers_exactly_once() {
+    // The boundary case: a notification for exactly the current time.
+    let deliveries = run_with_offset(0);
+    assert_eq!(deliveries, vec![(100, 1)]);
+}

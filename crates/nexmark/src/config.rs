@@ -1,4 +1,95 @@
-//! NEXMark generator configuration.
+//! NEXMark generator configuration, including the adversarial
+//! [`Workload`] modes (zipfian key skew, out-of-order replay, rate bursts).
+
+/// Zipfian key skew over the bid stream: bids concentrate on a fixed pool of
+/// auctions with zipf-distributed popularity, optionally rotating which
+/// auctions are hot mid-run.
+///
+/// The skew targets the *earliest* auctions (which exist from the start of the
+/// stream), so the hot key set is stable over time — exactly the workload
+/// under which a static round-robin bin assignment accumulates imbalance and a
+/// load-aware controller has something to react to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZipfSkew {
+    /// Zipf exponent in hundredths: `120` means `s = 1.20`.
+    pub exponent_hundredths: u32,
+    /// Number of distinct auctions the zipf ranks map onto (clamped to the
+    /// auctions generated so far, preserving referential integrity).
+    pub pool: u64,
+    /// Event time (ms) at which the skew switches on; bids before it stay
+    /// uniform, so a run has an unskewed baseline phase.
+    pub onset_ms: u64,
+    /// Rotate the rank-to-auction mapping every this many ms of event time
+    /// (`0` = never): the hot auctions jump to a different subset of the pool,
+    /// invalidating whatever placement a controller had converged to.
+    pub rotate_every_ms: u64,
+}
+
+impl Default for ZipfSkew {
+    fn default() -> Self {
+        ZipfSkew { exponent_hundredths: 120, pool: 256, onset_ms: 0, rotate_every_ms: 0 }
+    }
+}
+
+/// Bounded out-of-order replay: events are emitted in a deterministic shuffle
+/// of the in-order stream such that no event appears more than `lag_ms` of
+/// event time away from its in-order position (a watermark-lagged window).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfOrder {
+    /// Maximum event-time displacement, in milliseconds.
+    pub lag_ms: u64,
+}
+
+/// Periodic rate bursts: every `period_ms` of the driver's clock, the offered
+/// rate is multiplied by `factor` for `burst_ms`.
+///
+/// Bursts are a *driver-side* mode: the driver multiplies its per-epoch
+/// emission quota by [`Workload::burst_factor`], sampled with its epoch
+/// (processing) time. Because extra events consume extra stream positions,
+/// the stream's event time runs ahead of the epoch clock during a burst —
+/// a burst is a flood of data arriving earlier than its event time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RateBurst {
+    /// Distance between burst starts, in milliseconds of the driver's clock.
+    pub period_ms: u64,
+    /// Length of each burst, in milliseconds.
+    pub burst_ms: u64,
+    /// Rate multiplier during a burst (`1` disables the mode).
+    pub factor: u64,
+}
+
+/// Composable adversarial workload modes layered on the core generator.
+///
+/// Each mode is independent and optional; the default ([`Workload::default`])
+/// enables none of them, reproducing the uniform, in-order stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Workload {
+    /// Zipfian bid skew with optional mid-run hot-key rotation.
+    pub skew: Option<ZipfSkew>,
+    /// Bounded out-of-order replay.
+    pub out_of_order: Option<OutOfOrder>,
+    /// Periodic rate bursts.
+    pub bursts: Option<RateBurst>,
+}
+
+impl Workload {
+    /// The offered-rate multiplier at driver (epoch) time `at_ms` (1 outside
+    /// bursts).
+    pub fn burst_factor(&self, at_ms: u64) -> u64 {
+        match self.bursts {
+            Some(burst) if burst.period_ms > 0 && at_ms % burst.period_ms < burst.burst_ms => {
+                burst.factor.max(1)
+            }
+            _ => 1,
+        }
+    }
+
+    /// Returns `true` iff no mode is enabled (the stream is uniform, in-order
+    /// and unbursty).
+    pub fn is_plain(&self) -> bool {
+        self.skew.is_none() && self.out_of_order.is_none() && self.bursts.is_none()
+    }
+}
 
 /// Configuration of the NEXMark event generator.
 ///
@@ -29,6 +120,9 @@ pub struct NexmarkConfig {
     pub time_dilation: u64,
     /// Random seed for deterministic generation.
     pub seed: u64,
+    /// Adversarial workload modes (skew, out-of-order, bursts); the default
+    /// enables none of them.
+    pub workload: Workload,
 }
 
 impl Default for NexmarkConfig {
@@ -44,6 +138,7 @@ impl Default for NexmarkConfig {
             hot_auction_ratio: 2,
             time_dilation: 1,
             seed: 0x5eed_cafe,
+            workload: Workload::default(),
         }
     }
 }
@@ -52,6 +147,12 @@ impl NexmarkConfig {
     /// A configuration producing `events_per_second` events per second.
     pub fn with_rate(events_per_second: u64) -> Self {
         NexmarkConfig { events_per_second, ..Default::default() }
+    }
+
+    /// Replaces the workload modes.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
     }
 
     /// The event time (milliseconds) of event `index`.
@@ -83,5 +184,31 @@ mod tests {
         assert_eq!(config.event_time(0), 0);
         assert_eq!(config.event_time(1_000), 1_000);
         assert_eq!(config.event_time(500), 500);
+    }
+
+    #[test]
+    fn default_workload_is_plain() {
+        assert!(NexmarkConfig::default().workload.is_plain());
+        assert_eq!(Workload::default().burst_factor(123), 1);
+    }
+
+    #[test]
+    fn burst_factor_follows_the_period() {
+        let workload = Workload {
+            bursts: Some(RateBurst { period_ms: 1_000, burst_ms: 200, factor: 4 }),
+            ..Workload::default()
+        };
+        assert!(!workload.is_plain());
+        assert_eq!(workload.burst_factor(0), 4);
+        assert_eq!(workload.burst_factor(199), 4);
+        assert_eq!(workload.burst_factor(200), 1);
+        assert_eq!(workload.burst_factor(999), 1);
+        assert_eq!(workload.burst_factor(1_050), 4);
+        // A degenerate factor never slows the stream below the base rate.
+        let degenerate = Workload {
+            bursts: Some(RateBurst { period_ms: 100, burst_ms: 100, factor: 0 }),
+            ..Workload::default()
+        };
+        assert_eq!(degenerate.burst_factor(50), 1);
     }
 }

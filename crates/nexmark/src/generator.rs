@@ -18,13 +18,9 @@ const CITIES: [&str; 8] =
 const STATES: [&str; 6] = ["OR", "ID", "CA", "WA", "NV", "AZ"];
 
 /// A deterministic pseudo-random permutation used to pick sellers, bidders and
-/// auctions without shared state (splitmix64).
-fn mix(seed: u64, value: u64) -> u64 {
-    let mut z = seed.wrapping_add(value).wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+/// auctions without shared state (splitmix64); the workload engine draws from
+/// the same primitive on salted seed channels.
+use crate::workload::mix;
 
 /// The deterministic NEXMark event generator.
 #[derive(Clone, Copy, Debug)]
@@ -114,6 +110,90 @@ impl NexmarkGenerator {
     /// Generates the events with indices in `range`.
     pub fn events(&self, range: std::ops::Range<u64>) -> impl Iterator<Item = Event> + '_ {
         range.map(move |index| self.event(index))
+    }
+}
+
+/// The adversarial generator: the core [`NexmarkGenerator`] with the
+/// configuration's [`Workload`](crate::config::Workload) modes applied.
+///
+/// * **Zipfian skew** rewrites the auction of each bid past the skew's onset
+///   to a zipf-sampled member of a stable pool of early auctions (rotated on
+///   hot-key rotation boundaries). Everything else about the event — bidder,
+///   price, event time — is untouched, so referential integrity and the
+///   stream's time structure are preserved.
+/// * **Out-of-order replay** permutes which event is emitted at each stream
+///   position, bounded by the mode's lag; [`WorkloadGenerator::event_at`]
+///   takes an emission *position* and resolves the (possibly displaced)
+///   source event itself.
+/// * **Rate bursts** do not change individual events; drivers multiply their
+///   per-epoch emission quota by
+///   [`Workload::burst_factor`](crate::config::Workload::burst_factor).
+///
+/// Like the core generator, the whole construction is a deterministic pure
+/// function of `(config, position)` — two instances over the same
+/// configuration emit bit-identical streams.
+#[derive(Clone, Debug)]
+pub struct WorkloadGenerator {
+    inner: NexmarkGenerator,
+    zipf: Option<crate::workload::ZipfSampler>,
+    replay: Option<crate::workload::OutOfOrderReplay>,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for `config`, wiring up its workload modes.
+    pub fn new(config: NexmarkConfig) -> Self {
+        let zipf = config
+            .workload
+            .skew
+            .map(|skew| crate::workload::ZipfSampler::new(skew, config.seed));
+        let replay = config.workload.out_of_order.map(|mode| {
+            crate::workload::OutOfOrderReplay::new(mode, config.events_per_second, config.seed)
+        });
+        WorkloadGenerator { inner: NexmarkGenerator::new(config), zipf, replay }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &NexmarkConfig {
+        self.inner.config()
+    }
+
+    /// The in-order generator beneath the workload modes.
+    pub fn inner(&self) -> &NexmarkGenerator {
+        &self.inner
+    }
+
+    /// The in-order event index emitted at stream `position` (identity unless
+    /// out-of-order replay is enabled).
+    pub fn source_index(&mut self, position: u64) -> u64 {
+        match self.replay.as_mut() {
+            Some(replay) => replay.source_index(position),
+            None => position,
+        }
+    }
+
+    /// The event emitted at stream `position`: the out-of-order permutation
+    /// picks the source event, then the zipfian skew (if active at the event's
+    /// time) rewrites bid targets.
+    pub fn event_at(&mut self, position: u64) -> Event {
+        let index = self.source_index(position);
+        let mut event = self.inner.event(index);
+        if let (Some(zipf), Event::Bid(bid)) = (self.zipf.as_ref(), &mut event) {
+            if zipf.active_at(bid.date_time) {
+                let available = self
+                    .inner
+                    .auctions_before(index)
+                    .max(1)
+                    .min(zipf.skew().pool.max(1));
+                bid.auction =
+                    FIRST_AUCTION_ID + zipf.key_offset(index, bid.date_time, available);
+            }
+        }
+        event
+    }
+
+    /// The events emitted at the positions in `range`, in emission order.
+    pub fn events_at(&mut self, range: std::ops::Range<u64>) -> Vec<Event> {
+        range.map(|position| self.event_at(position)).collect()
     }
 }
 

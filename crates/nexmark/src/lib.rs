@@ -5,6 +5,9 @@
 //! 5.1 of the Megaphone paper). This crate provides:
 //!
 //! * a deterministic, rate-controlled [event generator](generator),
+//! * composable adversarial [`Workload`] modes — zipfian key skew with
+//!   hot-key rotation, bounded out-of-order replay, rate bursts — applied by
+//!   the [`WorkloadGenerator`] over the pure-integer [`workload`] engine,
 //! * the eight queries implemented with Megaphone's migrateable operators
 //!   ([`queries`]), and
 //! * hand-tuned "native" implementations on plain `timelite` operators
@@ -17,8 +20,10 @@ pub mod config;
 pub mod event;
 pub mod generator;
 pub mod queries;
+pub mod workload;
 
-pub use config::NexmarkConfig;
+pub use config::{NexmarkConfig, OutOfOrder, RateBurst, Workload, ZipfSkew};
 pub use event::{Auction, Bid, Event, Person};
-pub use generator::NexmarkGenerator;
+pub use generator::{NexmarkGenerator, WorkloadGenerator};
+pub use workload::{OutOfOrderReplay, ZipfSampler};
 pub use queries::{build_native_query, build_query, QueryOutput, Time, QUERIES};

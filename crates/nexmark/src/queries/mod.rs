@@ -120,3 +120,11 @@ pub const Q5_SLIDE_MS: u64 = 1_000;
 pub const Q7_WINDOW_MS: u64 = 1_000;
 /// Window length used by the 12-hour windowed join Q8, dilated by 79x.
 pub const Q8_WINDOW_MS: u64 = 60_000;
+/// Allowed lateness of Q8's state expiry: how far the *processing* clock may
+/// run ahead of an event's timestamp before the window state the event needs
+/// is dropped. Q8's join windows are keyed purely on event timestamps (the
+/// person's registration window); under bounded out-of-order replay an event
+/// can be processed up to the replay lag after its event time, so expiry waits
+/// this long past the window's event-time end. Out-of-order replay within this
+/// bound produces exactly the in-order results.
+pub const Q8_LATENESS_MS: u64 = 10_000;

@@ -1,11 +1,22 @@
 //! Query 8: monitor new users — people who registered and opened an auction
 //! within the same (12-hour, time-dilated) tumbling window.
+//!
+//! Window semantics follow the NEXMark reference: a seller is "new" for the
+//! tumbling window containing their *registration* timestamp, and an auction
+//! joins iff its own event time falls inside that registration window. Both
+//! sides are keyed purely on event timestamps — never on arrival/processing
+//! time — so a bounded out-of-order replay of the stream yields exactly the
+//! in-order results. State expiry grants
+//! [`Q8_LATENESS_MS`] of allowed lateness past each
+//! window's event-time end before dropping its registrations and pending
+//! auction windows, covering events the replay delivers after the processing
+//! clock has passed their window.
 
 use megaphone::prelude::*;
 use timelite::hashing::{hash_code, FxHashMap};
 use timelite::prelude::*;
 
-use super::{split, QueryOutput, Time, Q8_WINDOW_MS};
+use super::{split, QueryOutput, Time, Q8_LATENESS_MS, Q8_WINDOW_MS};
 use crate::event::{Auction, Event, Person};
 
 /// Per-bin state, keyed by person (seller) id: `(registration window, name)` if
@@ -19,16 +30,24 @@ pub type Q8State = FxHashMap<u64, (Option<(u64, String)>, Vec<u64>)>;
 /// within its own window, so it is dead weight afterwards.
 const Q8_EXPIRY: u64 = u64::MAX;
 
-/// Drops the parts of `seller`'s state whose tumbling window has passed by
-/// `time`, and the whole entry once nothing current remains.
+/// The processing time at which state of `window` may be dropped: the
+/// window's event-time end plus the allowed lateness, so records of the
+/// window that a bounded out-of-order replay delivers late still find it.
+fn expiry_time(window: u64) -> u64 {
+    (window + 1) * Q8_WINDOW_MS + Q8_LATENESS_MS
+}
+
+/// Drops the parts of `seller`'s state whose tumbling window (plus allowed
+/// lateness) has passed by `time`, and the whole entry once nothing current
+/// remains.
 fn expire_seller(state: &mut Q8State, seller: u64, time: u64) {
     let Some(entry) = state.get_mut(&seller) else { return };
     if let Some((window, _)) = &entry.0 {
-        if (window + 1) * Q8_WINDOW_MS <= time {
+        if expiry_time(*window) <= time {
             entry.0 = None;
         }
     }
-    entry.1.retain(|window| (window + 1) * Q8_WINDOW_MS > time);
+    entry.1.retain(|window| expiry_time(*window) > time);
     if entry.0.is_none() && entry.1.is_empty() {
         state.remove(&seller);
     }
@@ -53,6 +72,8 @@ pub fn join_fold(
             expire_seller(state, person.id, *time);
             continue;
         }
+        // The join window is anchored on the *person's* timestamp: this
+        // registration window is what auctions (early or late) match against.
         let window = person.date_time / Q8_WINDOW_MS;
         let entry = state.entry(person.id).or_default();
         entry.0 = Some((window, person.name.clone()));
@@ -61,10 +82,13 @@ pub fn join_fold(
                 outputs.push(format!("new_seller={} window={}", person.name, window));
             }
         }
-        // Expire the registration once its window has passed.
+        // Expire the registration once its window — plus the allowed lateness
+        // for out-of-order auctions still referencing it — has passed. A
+        // window that is already stale notifies at the current time and is
+        // dropped in the next round.
         let mut reminder = person.clone();
         reminder.date_time = Q8_EXPIRY;
-        notificator.notify_at(((window + 1) * Q8_WINDOW_MS).max(*time), Either::Left(reminder));
+        notificator.notify_at(expiry_time(window), Either::Left(reminder));
     }
     for auction in auctions {
         if auction.date_time == Q8_EXPIRY {
@@ -74,8 +98,10 @@ pub fn join_fold(
         let window = auction.date_time / Q8_WINDOW_MS;
         let entry = state.entry(auction.seller).or_default();
         match &entry.0 {
+            // The auction joins iff its event time falls inside the seller's
+            // registration window; the reported window is the registration's.
             Some((registered, name)) if *registered == window => {
-                outputs.push(format!("new_seller={} window={}", name, window));
+                outputs.push(format!("new_seller={} window={}", name, registered));
             }
             Some(_) => {}
             None => {
@@ -84,8 +110,7 @@ pub fn join_fold(
                 if !entry.1.contains(&window) {
                     let mut reminder = auction.clone();
                     reminder.date_time = Q8_EXPIRY;
-                    notificator
-                        .notify_at(((window + 1) * Q8_WINDOW_MS).max(*time), Either::Right(reminder));
+                    notificator.notify_at(expiry_time(window), Either::Right(reminder));
                 }
                 entry.1.push(window);
             }

@@ -1,0 +1,316 @@
+//! The adversarial workload engine: deterministic zipfian sampling and
+//! bounded out-of-order replay behind the [`Workload`](crate::config::Workload)
+//! modes.
+//!
+//! Everything here is pure integer arithmetic — the zipf weights are computed
+//! with a fixed-point `log2`/`exp2` pair rather than floating-point `powf` —
+//! so streams are bit-identical across platforms and the golden-stream
+//! snapshot tests can pin exact fingerprints.
+
+use crate::config::{OutOfOrder, ZipfSkew};
+
+/// Seed salt separating the skew channel from the core generator's draws.
+const SKEW_SALT: u64 = 0x5ca1_ab1e_0000_0001;
+/// Seed salt for the out-of-order block permutations.
+const SHUFFLE_SALT: u64 = 0x0ff0_0f0f_0000_0002;
+
+/// The deterministic splitmix64 mix shared with the core generator: one
+/// definition, drawn from on salted seed channels per use.
+pub(crate) fn mix(seed: u64, value: u64) -> u64 {
+    let mut z = seed.wrapping_add(value).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `floor(log2(x) * 2^16)` for `x >= 1`, computed by iterated squaring of the
+/// mantissa — exact integer arithmetic, no floating point.
+fn log2_q16(x: u64) -> u64 {
+    debug_assert!(x >= 1, "log2 of zero");
+    let int_part = (63 - x.leading_zeros()) as u64;
+    // Mantissa in [1, 2) as Q32 fixed point.
+    let mut m: u128 = ((x as u128) << 32) >> int_part;
+    let mut result = int_part << 16;
+    for bit in (0..16).rev() {
+        m = (m * m) >> 32; // still Q32; m now in [1, 4)
+        if m >= 2u128 << 32 {
+            m >>= 1;
+            result |= 1 << bit;
+        }
+    }
+    result
+}
+
+/// `floor(2^(x / 2^16))`, the inverse of [`log2_q16`]: the largest `y` with
+/// `log2_q16(y) <= x`, found by binary search (monotone, so exact and
+/// platform-independent).
+fn exp2_floor_q16(x: u64) -> u64 {
+    let int_part = x >> 16;
+    debug_assert!(int_part < 63, "exp2 overflow");
+    let mut lo = 1u64 << int_part; // 2^floor(x) <= answer
+    let mut hi = (lo << 1) - 1; // answer < 2^(floor(x)+1)
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if log2_q16(mid) <= x {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Scale shift of the zipf rank weights: rank 1 weighs `2^30`.
+const WEIGHT_SHIFT: u64 = 30;
+
+/// A deterministic zipfian sampler over ranks `0..pool`, with exponent given
+/// in hundredths, plus the hot-key rotation of [`ZipfSkew`].
+///
+/// The cumulative weight table is built once (`O(pool log pool)` integer ops)
+/// and sampling is a binary search over it.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    skew: ZipfSkew,
+    /// Cumulative rank weights: `cumulative[r]` = total weight of ranks `0..=r`.
+    cumulative: Vec<u64>,
+    seed: u64,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `skew`, drawing from `seed`'s skew channel.
+    pub fn new(skew: ZipfSkew, seed: u64) -> Self {
+        let pool = skew.pool.max(1) as usize;
+        // weight(rank r, 1-based) = 2^WEIGHT_SHIFT / r^s, via
+        // r^-s = 2^(-s * log2 r) in Q16 fixed point.
+        let s_q16 = (skew.exponent_hundredths as u64 * 65_536) / 100;
+        let mut cumulative = Vec::with_capacity(pool);
+        let mut total = 0u64;
+        for rank in 1..=pool as u64 {
+            let exponent_q16 = ((s_q16 as u128 * log2_q16(rank) as u128) >> 16) as u64;
+            let weight = exp2_floor_q16((WEIGHT_SHIFT << 16).saturating_sub(exponent_q16)).max(1);
+            total += weight;
+            cumulative.push(total);
+        }
+        ZipfSampler { skew, cumulative, seed: seed ^ SKEW_SALT }
+    }
+
+    /// The configured skew.
+    pub fn skew(&self) -> &ZipfSkew {
+        &self.skew
+    }
+
+    /// Returns `true` iff the skew is active at event time `at_ms`.
+    pub fn active_at(&self, at_ms: u64) -> bool {
+        at_ms >= self.skew.onset_ms
+    }
+
+    /// Samples a zipf rank (0 = hottest) for the event at `index`.
+    pub fn rank(&self, index: u64) -> u64 {
+        let total = *self.cumulative.last().expect("non-empty weight table");
+        let draw = mix(self.seed, index) % total;
+        self.cumulative.partition_point(|&c| c <= draw) as u64
+    }
+
+    /// The rotation offset at event time `at_ms`: a deterministic jump of the
+    /// rank-to-key mapping per rotation period.
+    pub fn rotation_offset(&self, at_ms: u64) -> u64 {
+        if self.skew.rotate_every_ms == 0 {
+            return 0;
+        }
+        let rotation = at_ms / self.skew.rotate_every_ms;
+        if rotation == 0 {
+            0
+        } else {
+            mix(self.seed ^ 0x0000_0000_0070_7a7e, rotation)
+        }
+    }
+
+    /// Maps the event at `index` (event time `at_ms`) to a key offset in
+    /// `0..available`: the sampled rank, rotated by the current rotation, and
+    /// clamped to the keys that exist so far.
+    pub fn key_offset(&self, index: u64, at_ms: u64, available: u64) -> u64 {
+        let available = available.max(1);
+        let rank = self.rank(index) % available;
+        // Reduce the (full-range) rotation offset before adding so the sum
+        // cannot overflow; modular arithmetic makes the result identical.
+        (rank + self.rotation_offset(at_ms) % available) % available
+    }
+}
+
+/// Bounded out-of-order replay: a deterministic permutation of the event
+/// stream in which every event stays within `lag_ms` of event time of its
+/// in-order position.
+///
+/// The permutation shuffles each consecutive block of
+/// `lag_ms * events_per_second / 1000` indices independently (seeded
+/// Fisher–Yates per block), so displacement is bounded by one block — i.e. by
+/// `lag_ms` — and any suffix of blocks is reproducible without generating the
+/// prefix. The replayer caches the most recent block's permutation, making
+/// sequential drivers O(1) amortized per event.
+#[derive(Clone, Debug)]
+pub struct OutOfOrderReplay {
+    block_len: u64,
+    seed: u64,
+    /// The most recently materialized block: `(block index, permutation)`.
+    cached: Option<(u64, Vec<u32>)>,
+}
+
+impl OutOfOrderReplay {
+    /// Builds a replayer for `mode` at `events_per_second`, drawing from
+    /// `seed`'s shuffle channel.
+    pub fn new(mode: OutOfOrder, events_per_second: u64, seed: u64) -> Self {
+        // A block spans at most `lag_ms` of event time; at least 2 events so
+        // the mode is never a silent no-op.
+        let block_len = (mode.lag_ms * events_per_second / 1_000).max(2);
+        OutOfOrderReplay { block_len, seed: seed ^ SHUFFLE_SALT, cached: None }
+    }
+
+    /// The number of events shuffled together (one lag window).
+    pub fn block_len(&self) -> u64 {
+        self.block_len
+    }
+
+    /// The in-order event index emitted at stream `position`.
+    pub fn source_index(&mut self, position: u64) -> u64 {
+        let block = position / self.block_len;
+        let offset = (position % self.block_len) as usize;
+        if self.cached.as_ref().map(|(b, _)| *b) != Some(block) {
+            self.cached = Some((block, self.permutation(block)));
+        }
+        let (_, permutation) = self.cached.as_ref().expect("block just cached");
+        block * self.block_len + permutation[offset] as u64
+    }
+
+    /// The seeded Fisher–Yates permutation of one block.
+    fn permutation(&self, block: u64) -> Vec<u32> {
+        let len = self.block_len as usize;
+        let mut permutation: Vec<u32> = (0..len as u32).collect();
+        let seed = mix(self.seed, block);
+        for i in (1..len).rev() {
+            let j = (mix(seed, i as u64) % (i as u64 + 1)) as usize;
+            permutation.swap(i, j);
+        }
+        permutation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference log2 via f64, used only to sanity-bound the integer version.
+    fn log2_reference(x: u64) -> f64 {
+        (x as f64).log2()
+    }
+
+    #[test]
+    fn log2_q16_matches_reference_within_one_ulp16() {
+        for x in [1u64, 2, 3, 7, 10, 100, 1_000, 65_535, 1 << 40] {
+            let got = log2_q16(x) as f64 / 65_536.0;
+            let want = log2_reference(x);
+            assert!((got - want).abs() < 2.0 / 65_536.0, "log2({x}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exp2_inverts_log2() {
+        // exp2_floor(log2_q16(x)) is the largest integer sharing x's Q16 log:
+        // at least x, and within one Q16 quantization step of it.
+        for x in [1u64, 2, 3, 10, 1_000, 123_456] {
+            let y = exp2_floor_q16(log2_q16(x));
+            assert!(y >= x, "exp2(log2({x})) = {y} fell below x");
+            assert_eq!(log2_q16(y), log2_q16(x), "exp2(log2({x})) = {y} left the bucket");
+        }
+        assert_eq!(exp2_floor_q16(0), 1);
+        assert_eq!(exp2_floor_q16(3 << 16), 8);
+    }
+
+    #[test]
+    fn zipf_weights_decrease_and_dominate() {
+        let sampler = ZipfSampler::new(
+            ZipfSkew { exponent_hundredths: 120, pool: 64, onset_ms: 0, rotate_every_ms: 0 },
+            42,
+        );
+        // Rank weights decrease.
+        let weights: Vec<u64> = sampler
+            .cumulative
+            .iter()
+            .scan(0u64, |prev, &c| {
+                let w = c - *prev;
+                *prev = c;
+                Some(w)
+            })
+            .collect();
+        for pair in weights.windows(2) {
+            assert!(pair[0] >= pair[1], "weights must be non-increasing: {pair:?}");
+        }
+        // Rank 0 takes a dominant share under s = 1.2 over 64 keys.
+        let total = *sampler.cumulative.last().unwrap();
+        assert!(weights[0] as f64 / total as f64 > 0.2, "rank 0 share too small");
+        // Sampling concentrates on the head.
+        let mut head = 0u64;
+        for index in 0..10_000u64 {
+            if sampler.rank(index) < 4 {
+                head += 1;
+            }
+        }
+        assert!(head > 4_000, "top-4 ranks must absorb a large share, got {head}");
+    }
+
+    #[test]
+    fn rotation_changes_the_hot_keys() {
+        let sampler = ZipfSampler::new(
+            ZipfSkew { exponent_hundredths: 150, pool: 128, onset_ms: 0, rotate_every_ms: 1_000 },
+            7,
+        );
+        assert_eq!(sampler.rotation_offset(500), 0, "rotation 0 is the identity");
+        let first = sampler.rotation_offset(1_500) % 128;
+        let second = sampler.rotation_offset(2_500) % 128;
+        assert_ne!(first, 0);
+        assert_ne!(first, second, "consecutive rotations must move the hot set");
+        // Same event, same available pool, different rotation epoch => new key.
+        assert_ne!(sampler.key_offset(3, 500, 128), sampler.key_offset(3, 1_500, 128));
+    }
+
+    #[test]
+    fn key_offsets_respect_the_available_pool() {
+        let sampler = ZipfSampler::new(ZipfSkew { pool: 1_000, ..ZipfSkew::default() }, 1);
+        for index in 0..1_000u64 {
+            assert!(sampler.key_offset(index, 0, 10) < 10);
+            assert!(sampler.key_offset(index, 0, 1) == 0);
+        }
+    }
+
+    #[test]
+    fn replay_is_a_bounded_block_permutation() {
+        let mut replay = OutOfOrderReplay::new(OutOfOrder { lag_ms: 100 }, 1_000, 99);
+        assert_eq!(replay.block_len(), 100);
+        let n = 1_000u64;
+        let mut sources: Vec<u64> = (0..n).map(|p| replay.source_index(p)).collect();
+        for (position, &source) in sources.iter().enumerate() {
+            assert_eq!(position as u64 / 100, source / 100, "sources stay in their block");
+        }
+        sources.sort_unstable();
+        assert_eq!(sources, (0..n).collect::<Vec<u64>>(), "replay must be a permutation");
+    }
+
+    #[test]
+    fn replay_random_access_matches_sequential() {
+        let mut a = OutOfOrderReplay::new(OutOfOrder { lag_ms: 50 }, 2_000, 5);
+        let mut b = OutOfOrderReplay::new(OutOfOrder { lag_ms: 50 }, 2_000, 5);
+        let sequential: Vec<u64> = (0..500).map(|p| a.source_index(p)).collect();
+        // Access out of cache order: backwards.
+        for position in (0..500u64).rev() {
+            assert_eq!(b.source_index(position), sequential[position as usize]);
+        }
+    }
+
+    #[test]
+    fn tiny_lags_still_shuffle() {
+        let mut replay = OutOfOrderReplay::new(OutOfOrder { lag_ms: 0 }, 1_000, 3);
+        assert_eq!(replay.block_len(), 2, "lag below one event still permutes pairs");
+        let mut sources: Vec<u64> = (0..10).map(|p| replay.source_index(p)).collect();
+        sources.sort_unstable();
+        assert_eq!(sources, (0..10).collect::<Vec<u64>>());
+    }
+}

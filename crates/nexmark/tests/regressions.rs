@@ -6,6 +6,10 @@
 //! * Q5 and Q8 must not retain state forever: emptied per-auction count
 //!   vectors are dropped, and Q8 pending auction windows / registrations
 //!   expire once their tumbling window has passed.
+//! * Q8's join windows are keyed on event timestamps (the person's
+//!   registration window), never on arrival time: a bounded out-of-order
+//!   replay must reproduce the in-order results exactly, and auctions
+//!   arriving within the allowed lateness of their window still join.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -13,8 +17,10 @@ use std::rc::Rc;
 
 use megaphone::prelude::*;
 use nexmark::event::{Auction, Bid, Event, Person};
-use nexmark::queries::{q5, q8, Q5_SLIDE_MS, Q5_WINDOW_MS, Q8_WINDOW_MS};
-use nexmark::{build_native_query, build_query};
+use nexmark::queries::{q5, q8, Q5_SLIDE_MS, Q5_WINDOW_MS, Q8_LATENESS_MS, Q8_WINDOW_MS};
+use nexmark::{
+    build_native_query, build_query, NexmarkConfig, OutOfOrder, Workload, WorkloadGenerator,
+};
 
 fn bid(auction: u64, date_time: u64) -> Event {
     Event::Bid(Bid { auction, bidder: 1, price: 100, date_time })
@@ -263,4 +269,134 @@ fn q8_state_expires_with_its_window() {
         final_state, 0,
         "registrations and pending windows must expire with their tumbling window"
     );
+}
+
+/// Runs Q8 over the events of one hand-built scenario, each `(event, at)`
+/// delivered at processing time `at`, and returns the output rows.
+fn run_q8_events(events: Vec<(Event, u64)>) -> Vec<String> {
+    timelite::execute_single(move |worker| {
+        let collected_in = Rc::new(RefCell::new(Vec::new()));
+        let collected_out = collected_in.clone();
+        let (mut control, mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (event_input, stream) = scope.new_input::<Event>();
+            let output = build_query("q8", MegaphoneConfig::new(4), &control, &stream);
+            let collected = collected_in.clone();
+            output.stream.inspect(move |_t, row| collected.borrow_mut().push(row.clone()));
+            (control_input, event_input, output.probe)
+        });
+        let mut at = 0u64;
+        for (event, deliver_at) in &events {
+            if *deliver_at > at {
+                at = *deliver_at;
+                input.advance_to(at);
+                control.advance_to(at);
+                worker.step_while(|| probe.less_than(&at));
+            }
+            input.send(event.clone());
+        }
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let rows = collected_out.borrow().clone();
+        rows
+    })
+}
+
+/// An auction whose event time lies in the seller's registration window but
+/// which *arrives* after the window's end — within the allowed lateness —
+/// must still join. (Regression: expiry used to fire at the window's end in
+/// arrival time, dropping the registration before the late auction landed.)
+#[test]
+fn q8_joins_late_auctions_within_the_allowed_lateness() {
+    let events = vec![
+        // Registration early in window 0.
+        (Event::Person(person(3, "late-seller", 20)), 0),
+        // The auction's event time is inside window 0, but it is delivered
+        // after the window closed, within the lateness allowance.
+        (Event::Auction(auction(3, Q8_WINDOW_MS - 1_000)), Q8_WINDOW_MS + Q8_LATENESS_MS / 2),
+    ];
+    assert_eq!(run_q8_events(events), ["new_seller=late-seller window=0"]);
+}
+
+/// The mirrored arrival order: the auction (of window 0) arrives first, the
+/// registration is delivered late, within the allowed lateness. The pending
+/// auction window must survive until the registration lands.
+#[test]
+fn q8_joins_late_registrations_within_the_allowed_lateness() {
+    let events = vec![
+        (Event::Auction(auction(4, Q8_WINDOW_MS - 500)), 0),
+        (
+            Event::Person(person(4, "late-reg", Q8_WINDOW_MS - 900)),
+            Q8_WINDOW_MS + Q8_LATENESS_MS / 2,
+        ),
+    ];
+    assert_eq!(run_q8_events(events), ["new_seller=late-reg window=0"]);
+}
+
+/// Runs Q8 (megaphone or native) over `events_total` generated events,
+/// replayed through the workload engine with out-of-order lag `lag_ms`
+/// (0 = in-order), and returns the sorted rows.
+fn run_q8_replay(native: bool, lag_ms: u64) -> Vec<String> {
+    let events_total: u64 = 20_000;
+    let outputs = timelite::execute(timelite::Config::process(2), move |worker| {
+        let index = worker.index();
+        let peers = worker.peers();
+        let (mut control, mut input, probe, collected) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (event_input, events) = scope.new_input::<Event>();
+            let collected = Rc::new(RefCell::new(Vec::new()));
+            let collected_inner = collected.clone();
+            let output = if native {
+                build_native_query("q8", &events)
+            } else {
+                build_query("q8", MegaphoneConfig::new(4), &control, &events)
+            };
+            output.stream.inspect(move |_t, row| collected_inner.borrow_mut().push(row.clone()));
+            (control_input, event_input, output.probe, collected)
+        });
+
+        let workload = Workload {
+            out_of_order: (lag_ms > 0).then_some(OutOfOrder { lag_ms }),
+            ..Workload::default()
+        };
+        let mut generator =
+            WorkloadGenerator::new(NexmarkConfig::with_rate(10_000).with_workload(workload));
+        let epoch_ms = 100u64;
+        let events_per_epoch = 10_000 * epoch_ms / 1_000;
+        let epochs = events_total / events_per_epoch;
+        for epoch in 0..epochs {
+            let start = epoch * events_per_epoch;
+            for position in start..start + events_per_epoch {
+                if position % peers as u64 == index as u64 {
+                    input.send(generator.event_at(position));
+                }
+            }
+            let next = (epoch + 1) * epoch_ms;
+            control.advance_to(next + epoch_ms);
+            input.advance_to(next);
+            worker.step_while(|| probe.less_than(&next));
+        }
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let rows = collected.borrow().clone();
+        rows
+    });
+    let mut rows: Vec<String> = outputs.into_iter().flatten().collect();
+    rows.sort();
+    rows
+}
+
+/// The pinned Q8 out-of-order property: a bounded out-of-order replay produces
+/// exactly the in-order rows, and the megaphone implementation agrees with the
+/// (order-insensitive, never-expiring) native oracle under the same replay.
+#[test]
+fn q8_out_of_order_replay_matches_in_order_and_native() {
+    let in_order = run_q8_replay(false, 0);
+    let replayed = run_q8_replay(false, 1_000);
+    let native_replayed = run_q8_replay(true, 1_000);
+    assert!(!in_order.is_empty(), "the generated stream must produce Q8 joins");
+    assert_eq!(replayed, in_order, "out-of-order replay changed Q8's results");
+    assert_eq!(replayed, native_replayed, "megaphone and native Q8 diverged under replay");
 }

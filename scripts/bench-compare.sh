@@ -6,14 +6,15 @@
 #
 # Tracked benchmarks are matched by group prefix (the part before the first
 # '/'); the default set covers the hot paths CI guards:
-# routing_lookup, key_to_bin, bin_encode, exchange_throughput. Override with
-# BENCH_COMPARE_GROUPS (comma-separated). The factor defaults to 2.0.
+# routing_lookup, key_to_bin, bin_encode, exchange_throughput, skew_reaction.
+# Override with BENCH_COMPARE_GROUPS (comma-separated). The factor defaults
+# to 2.0.
 set -euo pipefail
 
 previous="${1:?usage: bench-compare.sh previous.csv current.csv [max-factor]}"
 current="${2:?usage: bench-compare.sh previous.csv current.csv [max-factor]}"
 factor="${3:-2.0}"
-groups="${BENCH_COMPARE_GROUPS:-routing_lookup,key_to_bin,bin_encode,exchange_throughput}"
+groups="${BENCH_COMPARE_GROUPS:-routing_lookup,key_to_bin,bin_encode,exchange_throughput,skew_reaction}"
 
 awk -F, -v factor="$factor" -v groups="$groups" '
     BEGIN {

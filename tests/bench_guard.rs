@@ -93,6 +93,27 @@ fn untracked_benchmarks_do_not_gate() {
 }
 
 #[test]
+fn skew_reaction_is_in_the_tracked_set() {
+    // The closed-loop reaction benches joined the guarded hot paths: a large
+    // regression of the controller's observe→plan step must fail the gate.
+    let dir = temp_dir("skew");
+    let previous = write_csv(
+        &dir,
+        "prev.csv",
+        &[("skew_reaction/observe_plan/256", 5_000.0), ("skew_reaction/zipf_event", 50.0)],
+    );
+    let current = write_csv(
+        &dir,
+        "curr.csv",
+        &[("skew_reaction/observe_plan/256", 15_000.0), ("skew_reaction/zipf_event", 55.0)],
+    );
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(!ok, "a 3x observe_plan regression must fail the gate, got:\n{text}");
+    assert!(text.contains("REGRESSION skew_reaction/observe_plan/256"), "output:\n{text}");
+    assert!(text.contains("ok skew_reaction/zipf_event"), "output:\n{text}");
+}
+
+#[test]
 fn new_benchmark_without_baseline_passes() {
     let dir = temp_dir("new");
     let previous = write_csv(&dir, "prev.csv", &[("key_to_bin/12", 10.0)]);

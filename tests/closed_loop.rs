@@ -1,0 +1,184 @@
+//! Closed-loop rebalancing under adversarial skew, end to end and
+//! deterministic: the NEXMark workload engine drives zipfian bid skew into a
+//! stateful operator, the controller samples live bin loads, detects the
+//! imbalance, submits a migration through the control stream, and the run
+//! ends balanced. Logical (unpaced) mode steps the dataflow to quiescence
+//! every epoch and barrier-synchronizes stat sampling, so every controller
+//! decision is a pure function of the configuration — the assertions hold on
+//! every run, not just on a quiet machine.
+
+use megaphone::prelude::MigrationStrategy;
+use mp_bench::skew_run::{run, Params};
+use mp_harness::ReactionEvent;
+
+/// The deterministic base configuration: small but realistic scale.
+fn base_params() -> Params {
+    Params {
+        query: "bidcount",
+        workers: 2,
+        bin_shift: 6,
+        rate: 50_000,
+        runtime_ms: 6_000,
+        epoch_ms: 50,
+        zipf_hundredths: 120,
+        zipf_pool: 64,
+        skew_at_ms: 1_000,
+        rotate_every_ms: 0,
+        ooo_lag_ms: 0,
+        burst: (0, 0, 1),
+        strategy: MigrationStrategy::Batched(8),
+        sample_every_ms: 500,
+        warmup_ms: 500,
+        threshold: 1.2,
+        min_records: 500,
+        paced: false,
+    }
+}
+
+#[test]
+fn skewed_run_triggers_a_migration_and_ends_balanced() {
+    let result = run(base_params());
+    assert!(
+        result.migrations_started >= 1,
+        "zipf skew must trigger at least one controller migration, got {}",
+        result.migrations_started
+    );
+    assert!(
+        result.migrations_completed >= 1,
+        "the triggered migration must complete within the run"
+    );
+    assert!(result.steps_issued >= 1);
+    assert!(
+        result.detection_imbalance > 1.2,
+        "the detection must have seen the skew, got ratio {}",
+        result.detection_imbalance
+    );
+    assert!(
+        result.final_imbalance < 1.25,
+        "post-migration load must be balanced, got max/mean {}",
+        result.final_imbalance
+    );
+    assert!(
+        result.reaction.first(ReactionEvent::SkewOnset).is_some()
+            && result.reaction.first(ReactionEvent::Detection).is_some()
+            && result.reaction.first(ReactionEvent::MigrationStart).is_some()
+            && result.reaction.first(ReactionEvent::MigrationEnd).is_some(),
+        "the reaction timeline must carry the full milestone sequence: {:?}",
+        result.reaction.events()
+    );
+    // The milestones appear in causal order.
+    let onset = result.reaction.first(ReactionEvent::SkewOnset).unwrap();
+    let detection = result.reaction.first(ReactionEvent::Detection).unwrap();
+    let start = result.reaction.first(ReactionEvent::MigrationStart).unwrap();
+    let end = result.reaction.first(ReactionEvent::MigrationEnd).unwrap();
+    assert!(onset <= detection && detection <= start && start <= end);
+}
+
+#[test]
+fn unskewed_run_triggers_no_migration() {
+    let params = Params { zipf_hundredths: 0, ..base_params() };
+    let result = run(params);
+    assert_eq!(
+        result.migrations_started, 0,
+        "uniform load must not trigger the controller (last imbalance {})",
+        result.detection_imbalance
+    );
+    assert_eq!(result.steps_issued, 0);
+    assert!(result.reaction.first(ReactionEvent::Detection).is_none());
+    // Uniform load under round-robin is balanced on its own.
+    assert!(
+        result.final_imbalance < 1.25,
+        "uniform load should be balanced, got {}",
+        result.final_imbalance
+    );
+}
+
+#[test]
+fn hot_key_rotation_re_triggers_the_loop() {
+    // A mid-run rotation moves the hot keys; the controller must react to the
+    // new phase too (the assignment it converged to is now wrong).
+    let params = Params {
+        runtime_ms: 9_000,
+        rotate_every_ms: 4_000,
+        ..base_params()
+    };
+    let result = run(params);
+    assert!(
+        result.reaction.first(ReactionEvent::HotKeyRotation).is_some(),
+        "the rotation milestone must be recorded"
+    );
+    assert!(
+        result.migrations_started >= 2,
+        "skew onset and hot-key rotation must each trigger a migration, got {} ({:?})",
+        result.migrations_started,
+        result.reaction.events()
+    );
+    assert!(
+        result.final_imbalance < 1.25,
+        "the loop must re-balance after the rotation, got {}",
+        result.final_imbalance
+    );
+}
+
+/// Tier-1 smoke test of the `skew_timeline` experiment driver: a tiny paced
+/// run must exit cleanly, print the milestone/timeline report, and emit the
+/// phase-annotated reaction CSV.
+#[test]
+fn skew_timeline_driver_runs_at_tiny_scale() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let csv = std::env::temp_dir().join(format!("skew-timeline-smoke-{}.csv", std::process::id()));
+    let output = std::process::Command::new(&cargo)
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "mp-bench",
+            "--bin",
+            "skew_timeline",
+            "--",
+            "--workers",
+            "2",
+            "--bin-shift",
+            "5",
+            "--rate",
+            "20000",
+            "--runtime-ms",
+            "1500",
+            "--skew-at-ms",
+            "500",
+            "--warmup-ms",
+            "250",
+            "--csv",
+            csv.to_str().expect("utf-8 temp path"),
+        ])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("cargo is runnable from tests");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "skew_timeline exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        stdout,
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(stdout.contains("reaction milestones"), "missing milestone report:\n{stdout}");
+    assert!(stdout.contains("latency timeline"), "missing timeline report:\n{stdout}");
+    let contents = std::fs::read_to_string(&csv).expect("reaction CSV must be written");
+    assert!(contents.starts_with("time_s,max_ms,p99_ms,p50_ms,p25_ms,phase"));
+    assert!(contents.lines().count() > 2, "CSV must carry timeline rows:\n{contents}");
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn closed_loop_decisions_are_deterministic() {
+    let first = run(base_params());
+    let second = run(base_params());
+    assert_eq!(first.migrations_started, second.migrations_started);
+    assert_eq!(first.migrations_completed, second.migrations_completed);
+    assert_eq!(first.steps_issued, second.steps_issued);
+    assert_eq!(first.final_assignment, second.final_assignment);
+    assert_eq!(first.detection_imbalance, second.detection_imbalance);
+    assert_eq!(first.final_imbalance, second.final_imbalance);
+}

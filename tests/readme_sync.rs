@@ -107,6 +107,48 @@ fn readme_megaphone_module_table_matches_the_sources() {
 }
 
 #[test]
+fn readme_nexmark_module_table_matches_the_sources() {
+    let readme = read("README.md");
+    let modules = std::fs::read_dir(repo_root().join("crates/nexmark/src"))
+        .expect("nexmark sources")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            let name = name.strip_suffix(".rs").unwrap_or(&name).to_string();
+            (name != "lib").then_some(name)
+        })
+        .collect::<Vec<_>>();
+    assert!(modules.len() >= 5, "nexmark module list looks truncated: {modules:?}");
+    for module in &modules {
+        assert!(
+            readme.contains(&format!("`{module}`")),
+            "nexmark module `{module}` is missing from README's module table"
+        );
+    }
+}
+
+#[test]
+fn readme_workload_mode_table_names_every_mode() {
+    // The workload-modes table documents each field of `nexmark::Workload`;
+    // the mode types must appear by name so the table cannot silently rot.
+    let readme = read("README.md");
+    let config = read("crates/nexmark/src/config.rs");
+    for mode in ["ZipfSkew", "OutOfOrder", "RateBurst"] {
+        assert!(
+            config.contains(&format!("pub struct {mode}")),
+            "workload mode `{mode}` vanished from nexmark::config — update this test and README"
+        );
+        assert!(
+            readme.contains(mode),
+            "workload mode `{mode}` is missing from README's workload-modes table"
+        );
+    }
+    assert!(
+        readme.to_lowercase().contains("closed-loop rebalancing"),
+        "README must keep the closed-loop rebalancing section"
+    );
+}
+
+#[test]
 fn readme_criterion_bench_list_matches_the_sources() {
     let readme = read("README.md");
     let benches = std::fs::read_dir(repo_root().join("crates/bench/benches"))
