@@ -1,0 +1,218 @@
+//! Multi-process cluster testing: fork the test binary into real OS processes.
+//!
+//! The thread-backed cluster tests in `timelite` prove the TCP transport; this
+//! module proves *process isolation* — separate address spaces, serialization
+//! on every cross-worker path — by re-running the currently executing test
+//! binary as the cluster's other processes (the classic env-var re-entry
+//! pattern):
+//!
+//! 1. The parent test process calls [`cluster_run`]. It picks loopback
+//!    addresses, spawns one child per additional process — `current_exe()`
+//!    re-invoked with `<test_name> --exact --nocapture` and the cluster role
+//!    described in `MP_CLUSTER_*` environment variables — and then joins the
+//!    cluster itself as process 0.
+//! 2. Each child runs the same test function from the top. Its
+//!    [`cluster_run`] call recognizes the environment, executes the dataflow
+//!    as its assigned process, writes its workers' `Codec`-encoded results to
+//!    the file the parent chose, and exits before the test would continue.
+//! 3. The parent waits for the children, decodes their result files, and
+//!    returns all workers' results in global worker order — so the caller can
+//!    compare them byte-for-byte against in-process runs of the same dataflow.
+//!
+//! Calls are matched between parent and child by a per-test sequence number:
+//! a child spawned for the N-th `cluster_run` of a test replays earlier calls
+//! as plain in-process runs (same worker topology, no sockets) so that
+//! intervening test logic still sees valid results, and services the N-th
+//! call as its cluster role. Tests should therefore issue their `cluster_run`
+//! calls before any expensive unrelated work.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use timelite::codec::Codec;
+use timelite::{Config, Worker};
+
+pub use timelite::communication::free_addresses;
+
+/// The test name the child must re-enter (also guards against env leakage).
+const ENV_TEST: &str = "MP_CLUSTER_TEST";
+/// The sequence number of the `cluster_run` call the child services.
+const ENV_CALL: &str = "MP_CLUSTER_CALL";
+/// The child's process index within the cluster.
+const ENV_PROCESS: &str = "MP_CLUSTER_PROCESS";
+/// Comma-separated listen addresses, one per process.
+const ENV_ADDRS: &str = "MP_CLUSTER_ADDRS";
+/// Workers per process.
+const ENV_WPP: &str = "MP_CLUSTER_WPP";
+/// File the child writes its encoded results to.
+const ENV_OUT: &str = "MP_CLUSTER_OUT";
+
+/// The cluster role a child process was spawned for.
+struct ChildRole {
+    test: String,
+    call: usize,
+    process: usize,
+    workers_per_process: usize,
+    addresses: Vec<String>,
+    out: PathBuf,
+}
+
+fn child_role() -> Option<ChildRole> {
+    let process = std::env::var(ENV_PROCESS).ok()?;
+    Some(ChildRole {
+        test: std::env::var(ENV_TEST).expect("child env incomplete: test name"),
+        call: std::env::var(ENV_CALL)
+            .expect("child env incomplete: call")
+            .parse()
+            .expect("malformed call number"),
+        process: process.parse().expect("malformed process index"),
+        workers_per_process: std::env::var(ENV_WPP)
+            .expect("child env incomplete: workers per process")
+            .parse()
+            .expect("malformed worker count"),
+        addresses: std::env::var(ENV_ADDRS)
+            .expect("child env incomplete: addresses")
+            .split(',')
+            .map(str::to_string)
+            .collect(),
+        out: PathBuf::from(std::env::var(ENV_OUT).expect("child env incomplete: output path")),
+    })
+}
+
+/// Per-test `cluster_run` sequence numbers. Children run a single test
+/// (`--exact`), so numbering per test name keeps parent and child counters
+/// aligned even when the parent binary runs many tests.
+fn next_call(test_name: &str) -> usize {
+    static CALLS: Mutex<Option<HashMap<String, usize>>> = Mutex::new(None);
+    let mut calls = CALLS.lock().expect("call counter poisoned");
+    let calls = calls.get_or_insert_with(HashMap::new);
+    let call = calls.entry(test_name.to_string()).or_insert(0);
+    let current = *call;
+    *call += 1;
+    current
+}
+
+/// Runs `func` as a `processes` × `workers_per_process` cluster of real OS
+/// processes and returns every worker's result in global worker order.
+///
+/// `test_name` must be the exact libtest name of the calling test function
+/// (what `cargo test <name> --exact` would run): the forked children re-enter
+/// the binary through it. See the module docs for the re-entry protocol.
+pub fn cluster_run<R, F>(
+    test_name: &str,
+    processes: usize,
+    workers_per_process: usize,
+    func: F,
+) -> Vec<R>
+where
+    F: Fn(&mut Worker) -> R + Send + Sync + 'static,
+    R: Codec + Send + 'static,
+{
+    assert!(processes > 0, "at least one process is required");
+    let call = next_call(test_name);
+
+    if let Some(role) = child_role() {
+        assert_eq!(
+            role.test, test_name,
+            "child re-entered the wrong test: spawned for {:?}, reached {:?}",
+            role.test, test_name
+        );
+        if call < role.call {
+            // An earlier cluster_run of this test (possibly of a different
+            // shape), replayed in-process so the test logic between the calls
+            // still sees valid results.
+            return timelite::execute(Config::process(processes * workers_per_process), func);
+        }
+        assert_eq!(
+            call, role.call,
+            "cluster_run call {} reached before call {} — calls must be deterministic",
+            call, role.call
+        );
+        assert_eq!(
+            role.workers_per_process, workers_per_process,
+            "child and parent disagree on the cluster shape"
+        );
+        let config = Config::cluster(role.process, role.workers_per_process, role.addresses);
+        let results = timelite::execute(config, func);
+        std::fs::write(&role.out, results.encode_to_vec())
+            .expect("child failed to write its results");
+        // The parent only needs this call; exiting skips the rest of the test.
+        std::process::exit(0);
+    }
+
+    // Parent: spawn processes 1..n, then join as process 0.
+    let addresses = free_addresses(processes);
+    let exe = std::env::current_exe().expect("current_exe unavailable");
+    let children: Vec<(Child, PathBuf)> = (1..processes)
+        .map(|process| {
+            let out = std::env::temp_dir().join(format!(
+                "mp-cluster-{test_name}-{call}-{process}-{}.bin",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&out);
+            let child = Command::new(&exe)
+                .arg(test_name)
+                .arg("--exact")
+                .arg("--nocapture")
+                .env(ENV_TEST, test_name)
+                .env(ENV_CALL, call.to_string())
+                .env(ENV_PROCESS, process.to_string())
+                .env(ENV_WPP, workers_per_process.to_string())
+                .env(ENV_ADDRS, addresses.join(","))
+                .env(ENV_OUT, &out)
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("failed to spawn cluster child process");
+            (child, out)
+        })
+        .collect();
+
+    // The parent now blocks inside the cluster computation; a child crashing
+    // mid-run would starve it of frames and hang it forever. A watchdog polls
+    // child liveness while the parent computes and aborts the whole test
+    // process on a failed child, turning a silent hang into a loud failure.
+    let children = Arc::new(Mutex::new(children));
+    let parent_done = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let children = Arc::clone(&children);
+        let parent_done = Arc::clone(&parent_done);
+        std::thread::spawn(move || {
+            while !parent_done.load(Ordering::Relaxed) {
+                for (child, _) in children.lock().expect("children poisoned").iter_mut() {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        if !status.success() {
+                            eprintln!(
+                                "cluster child exited with {status} while the parent was \
+                                 still computing; aborting instead of hanging"
+                            );
+                            std::process::exit(102);
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+
+    let config = Config::cluster(0, workers_per_process, addresses);
+    let mut results = timelite::execute(config, func);
+    parent_done.store(true, Ordering::Relaxed);
+    watchdog.join().expect("watchdog thread panicked");
+    let children =
+        Arc::try_unwrap(children).expect("watchdog joined").into_inner().expect("children poisoned");
+
+    for (mut child, out) in children {
+        // try_wait in the watchdog caches a reaped status; wait() returns it.
+        let status = child.wait().expect("failed to wait for cluster child");
+        assert!(status.success(), "cluster child exited with {status}");
+        let bytes = std::fs::read(&out).expect("cluster child left no results");
+        let _ = std::fs::remove_file(&out);
+        results.extend(Vec::<R>::decode_from_slice(&bytes));
+    }
+    results
+}

@@ -14,9 +14,13 @@
 //! * [`reaction`]: milestone timelines of closed-loop rebalancing runs
 //!   (skew onset → detection → migration → latency recovery).
 //! * [`report`]: text and CSV rendering of the tables and series.
+//! * [`cluster`]: multi-process cluster testing — forks the running test
+//!   binary into real OS processes (env-var re-entry) so the same dataflow can
+//!   be proven equivalent across thread, process and TCP cluster modes.
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod histogram;
 pub mod memory;
 pub mod openloop;
@@ -24,6 +28,7 @@ pub mod reaction;
 pub mod report;
 pub mod timeline;
 
+pub use cluster::{cluster_run, free_addresses};
 pub use histogram::{nanos_to_millis, LatencyHistogram};
 pub use memory::{current_rss_bytes, format_bytes, MemorySample, MemorySeries};
 pub use openloop::{Clock, EpochDriver, OpenLoopSchedule};

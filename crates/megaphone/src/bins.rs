@@ -796,6 +796,21 @@ pub struct StateFragment {
     pub last: bool,
 }
 
+impl Codec for StateFragment {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.bin.encode(bytes);
+        self.bytes.encode(bytes);
+        self.last.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        StateFragment {
+            bin: u64::decode(bytes),
+            bytes: Vec::decode(bytes),
+            last: bool::decode(bytes),
+        }
+    }
+}
+
 /// A bin store shared between the F and S operator instances of one worker.
 pub type SharedBinStore<T, S, D> = Rc<RefCell<BinStore<T, S, D>>>;
 
@@ -1124,6 +1139,101 @@ mod tests {
         assert_eq!(by_bin[&0], BinLoad { records: 7, bytes: 70 });
         assert_eq!(by_bin[&1], BinLoad { records: 2, bytes: 20 }, "reset uses the new counter");
         assert_eq!(by_bin[&2], BinLoad::default(), "untouched bins have zero delta");
+    }
+
+    #[test]
+    fn delta_since_survives_a_full_worker_restart() {
+        // A worker restart mid-window: every one of its counters restarts at
+        // zero and some bins are no longer hosted at all. The delta must use
+        // the fresh counters (never wrap below zero) and simply omit bins the
+        // new snapshot no longer covers.
+        let before = BinStats {
+            loads: vec![
+                (0, BinLoad { records: 100, bytes: 1_000 }),
+                (1, BinLoad { records: 50, bytes: 500 }),
+                (2, BinLoad { records: 7, bytes: 70 }),
+            ],
+        };
+        let after = BinStats {
+            loads: vec![
+                (0, BinLoad { records: 3, bytes: 30 }),
+                (2, BinLoad { records: 9, bytes: 90 }),
+            ],
+        };
+        let delta = after.delta_since(&before);
+        let by_bin: std::collections::HashMap<BinId, BinLoad> =
+            delta.loads().iter().copied().collect();
+        assert_eq!(by_bin[&0], BinLoad { records: 3, bytes: 30 }, "reset uses the new counter");
+        assert_eq!(by_bin[&2], BinLoad { records: 2, bytes: 20 }, "survivors subtract normally");
+        assert!(!by_bin.contains_key(&1), "bins absent from the new snapshot have no delta");
+        let live: std::collections::HashMap<BinId, BinLoad> =
+            after.loads().iter().copied().collect();
+        for (bin, load) in delta.loads() {
+            assert!(
+                load.records <= live[bin].records && load.bytes <= live[bin].bytes,
+                "bin {bin}: a delta larger than the live counter means a wrapped subtraction"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_since_clamps_mixed_direction_resets() {
+        // One counter shrank (restart) while the other grew past its old
+        // value (heavy traffic since): each field is clamped independently.
+        let before = BinStats { loads: vec![(4, BinLoad { records: 40, bytes: 100 })] };
+        let after = BinStats { loads: vec![(4, BinLoad { records: 6, bytes: 260 })] };
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.loads(), &[(4, BinLoad { records: 6, bytes: 160 })]);
+    }
+
+    #[test]
+    fn merged_snapshots_stay_clamped_across_a_restart() {
+        // The closed-loop controller observes *merged* per-worker snapshots.
+        // Worker 1 restarting between two observations shrinks the merged
+        // counters of its bins; the delta must fall back to the fresh merged
+        // counter instead of wrapping.
+        let mut before = BinStats { loads: vec![(0, BinLoad { records: 60, bytes: 600 })] };
+        before.merge(&BinStats { loads: vec![(0, BinLoad { records: 40, bytes: 400 })] });
+        assert_eq!(before.loads(), &[(0, BinLoad { records: 100, bytes: 1_000 })]);
+
+        let mut after = BinStats { loads: vec![(0, BinLoad { records: 70, bytes: 700 })] };
+        after.merge(&BinStats { loads: vec![(0, BinLoad { records: 2, bytes: 20 })] });
+        let delta = after.delta_since(&before);
+        assert_eq!(
+            delta.loads(),
+            &[(0, BinLoad { records: 72, bytes: 720 })],
+            "a merged counter that shrank is treated as a restarted bin"
+        );
+        assert!(delta.total_records() <= after.total_records());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_order_insensitive() {
+        let some = BinStats {
+            loads: vec![
+                (1, BinLoad { records: 5, bytes: 50 }),
+                (3, BinLoad { records: 7, bytes: 70 }),
+            ],
+        };
+        let mut merged = some.clone();
+        merged.merge(&BinStats::default());
+        assert_eq!(merged.loads(), some.loads());
+        let mut from_empty = BinStats::default();
+        from_empty.merge(&some);
+        assert_eq!(from_empty.loads(), some.loads());
+
+        let other = BinStats {
+            loads: vec![
+                (0, BinLoad { records: 1, bytes: 10 }),
+                (3, BinLoad { records: 2, bytes: 20 }),
+            ],
+        };
+        let mut ab = some.clone();
+        ab.merge(&other);
+        let mut ba = other.clone();
+        ba.merge(&some);
+        assert_eq!(ab.loads(), ba.loads(), "merge is order-insensitive");
+        assert_eq!(ab.loads()[2].1, BinLoad { records: 9, bytes: 90 }, "shared bin sums");
     }
 
     #[test]

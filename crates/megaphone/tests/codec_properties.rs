@@ -1,0 +1,179 @@
+//! Property-style tests for the chunked migration codec: over randomized
+//! (seeded, reproducible — the build is offline, so no `proptest`) payload
+//! shapes, sizes and fragment budgets, a [`Fragmenter`]'s output must
+//! concatenate byte-identically to the one-shot [`Codec`] encoding, and an
+//! [`Assembler`] must rebuild the original value from the fragments — the
+//! invariant migration (and, since cluster mode, every byte crossing a TCP
+//! socket) rests on.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use megaphone::codec::{encode_fragments, Assembler, Codec};
+use megaphone::prelude::*;
+use timelite::hashing::FxHashMap;
+
+/// A deterministic xorshift64* generator, reproducible from the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn string(&mut self, max_len: u64) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| match self.below(4) {
+                0 => char::from_u32(0x00a1 + self.below(0x4_0000) as u32).unwrap_or('\u{2603}'),
+                _ => char::from_u32(0x20 + self.below(0x5e) as u32).unwrap(),
+            })
+            .collect()
+    }
+}
+
+/// Checks the two chunking invariants for `value` under `budget`:
+/// concatenated fragments equal the one-shot encoding byte for byte, and the
+/// assembler rebuilds the value. Returns the fragments for extra checks.
+fn check<C>(value: C, budget: usize, seed: u64) -> Vec<Vec<u8>>
+where
+    C: ChunkedCodec + Clone + PartialEq + std::fmt::Debug,
+{
+    let whole = value.encode_to_vec();
+    let fragments = encode_fragments(value.clone(), budget);
+    let concatenated: Vec<u8> = fragments.iter().flatten().copied().collect();
+    assert_eq!(
+        concatenated, whole,
+        "seed {seed} budget {budget}: fragments diverge from the one-shot encoding"
+    );
+    // Feed the fragments exactly as migration does: one absorb per fragment,
+    // each of which must be fully consumed.
+    let mut assembler = C::assembler();
+    for fragment in &fragments {
+        let mut bytes = &fragment[..];
+        assembler.absorb(&mut bytes);
+        assert!(bytes.is_empty(), "seed {seed} budget {budget}: assembler left bytes unconsumed");
+    }
+    assert!(assembler.is_complete(), "seed {seed} budget {budget}: assembler incomplete");
+    assert_eq!(assembler.finish(), value, "seed {seed} budget {budget}: round-trip changed value");
+    fragments
+}
+
+const CASES: u64 = 128;
+
+/// Randomized `Vec<Vec<u8>>` payloads (the shape of encoded bin content)
+/// under randomized budgets.
+#[test]
+fn random_byte_payloads_fragment_byte_identically() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let value: Vec<Vec<u8>> = (0..rng.below(20))
+            .map(|_| {
+                let len = rng.below(200);
+                (0..len).map(|_| rng.next() as u8).collect()
+            })
+            .collect();
+        let budget = rng.below(300) as usize + 1;
+        check(value, budget, seed);
+    }
+}
+
+/// Randomized map payloads (the shape of real per-bin state: keys to vectors,
+/// strings with multi-byte characters) under randomized budgets.
+#[test]
+fn random_state_maps_fragment_byte_identically() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 3 + 1);
+        let value: FxHashMap<u64, (String, Vec<u64>)> = (0..rng.below(40))
+            .map(|_| {
+                let key = rng.next();
+                let text = rng.string(24);
+                let numbers = (0..rng.below(16)).map(|_| rng.next()).collect();
+                (key, (text, numbers))
+            })
+            .collect();
+        let budget = rng.below(256) as usize + 1;
+        check(value, budget, seed);
+    }
+}
+
+/// Randomized ordered collections: `BTreeMap` and `VecDeque` payloads.
+#[test]
+fn random_ordered_collections_fragment_byte_identically() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 5 + 1);
+        let tree: BTreeMap<u64, String> =
+            (0..rng.below(30)).map(|_| (rng.next(), rng.string(12))).collect();
+        let budget = rng.below(128) as usize + 1;
+        check(tree, budget, seed);
+        let deque: VecDeque<u64> = (0..rng.below(60)).map(|_| rng.next()).collect();
+        let budget = rng.below(64) as usize + 1;
+        check(deque, budget, seed);
+    }
+}
+
+/// The 0-byte edge: empty collections still produce a (header-only) fragment
+/// stream that concatenates and round-trips, at any budget — including a
+/// budget smaller than the header itself.
+#[test]
+fn zero_byte_payloads_roundtrip_at_any_budget() {
+    for budget in [1usize, 7, 8, 9, 1024] {
+        let fragments = check(Vec::<u8>::new(), budget, 0);
+        assert_eq!(fragments.len(), 1, "an empty vector is one header fragment");
+        check(FxHashMap::<u64, u64>::default(), budget, 0);
+        check(BTreeMap::<u64, u64>::new(), budget, 0);
+        check(VecDeque::<u64>::new(), budget, 0);
+        // A zero-length byte payload inside a record, as migration produces
+        // for an empty bin's encoded state.
+        check(vec![Vec::<u8>::new()], budget, 0);
+    }
+}
+
+/// The budget-equals-payload edge: when the budget exactly matches the full
+/// encoding's length, everything must land in a single fragment — and one
+/// byte less must force a split (for payloads whose last unit is splittable
+/// off).
+#[test]
+fn budget_equal_to_payload_is_a_single_fragment() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 7 + 1);
+        let value: Vec<u64> = (1..=rng.below(32) + 2).map(|_| rng.next()).collect();
+        let whole = value.encode_to_vec();
+        let fragments = check(value.clone(), whole.len(), seed);
+        assert_eq!(
+            fragments.len(),
+            1,
+            "seed {seed}: budget == encoded length must yield one fragment"
+        );
+        let fragments = check(value, whole.len() - 1, seed);
+        assert!(
+            fragments.len() > 1,
+            "seed {seed}: one byte under the encoded length must split"
+        );
+    }
+}
+
+/// Oversized single units (larger than the whole budget) land alone, and the
+/// stream still concatenates and round-trips.
+#[test]
+fn oversized_units_survive_tiny_budgets() {
+    for seed in 0..32 {
+        let mut rng = Rng::new(seed * 11 + 1);
+        let value: Vec<String> =
+            (0..rng.below(6) + 2).map(|_| rng.string(64)).collect();
+        for budget in [1usize, 2, 9] {
+            check(value.clone(), budget, seed);
+        }
+    }
+}

@@ -116,6 +116,13 @@ pub fn build_native_query(name: &str, events: &Stream<Time, Event>) -> QueryOutp
 pub const Q5_WINDOW_MS: u64 = 10_000;
 /// Slide of Q5's window.
 pub const Q5_SLIDE_MS: u64 = 1_000;
+/// Allowed lateness of Q5's slide reminders, mirroring [`Q8_LATENESS_MS`]'s
+/// treatment: a slide's close report (and the expiry that prunes it) fires
+/// this long *after* the slide's event-time end, so bids a bounded
+/// out-of-order replay delivers up to this lag past their event time are
+/// still counted in every window containing their slide. Out-of-order replay
+/// within this bound produces exactly the in-order results.
+pub const Q5_LATENESS_MS: u64 = 2_000;
 /// Window length used by the tumbling-window queries Q7 (per "minute", dilated).
 pub const Q7_WINDOW_MS: u64 = 1_000;
 /// Window length used by the 12-hour windowed join Q8, dilated by 79x.

@@ -1,15 +1,21 @@
 //! Query 5: hot items — the auctions with the most bids over a sliding window.
 //!
 //! The first operator, keyed by auction, counts bids per slide and reports
-//! `(window, auction, count)` when each slide closes, retracting counts that
-//! fall out of the window. The second operator, keyed by window, reports the
-//! auction with the highest count. Windows are time-dilated (Section 5.1).
+//! `(window, auction, count)` when each slide closes — [`Q5_LATENESS_MS`]
+//! after the slide's event-time end, so bids a bounded out-of-order replay
+//! delivers late are still counted — retracting counts that fall out of the
+//! window. The second operator, keyed by window, reports the auction with the
+//! highest count *once per window*, when the window's reports are complete
+//! (all stage-1 counts for a window share one logical time, so a notification
+//! at that time fires after the last of them): the output is deterministic
+//! regardless of worker count or record arrival order, with ties broken
+//! toward the lower auction id. Windows are time-dilated (Section 5.1).
 
 use megaphone::prelude::*;
 use timelite::hashing::{hash_code, FxHashMap};
 use timelite::prelude::*;
 
-use super::{split, QueryOutput, Time, Q5_SLIDE_MS, Q5_WINDOW_MS};
+use super::{split, QueryOutput, Time, Q5_LATENESS_MS, Q5_SLIDE_MS, Q5_WINDOW_MS};
 use crate::event::Event;
 
 /// Per-bin state, keyed by auction id: bid counts per slide index.
@@ -77,11 +83,93 @@ pub fn count_fold(
                     // Ask to be woken when this slide closes — once per
                     // (auction, slide), not once per bid — and again when it
                     // has left the last window that can count it.
-                    let close = (slide + 1) * Q5_SLIDE_MS;
+                    let close = (slide + 1) * Q5_SLIDE_MS + Q5_LATENESS_MS;
                     notificator.notify_at(close.max(*time), (auction, Q5_REMINDER + slide));
-                    let expire = (slide + Q5_WINDOW_MS / Q5_SLIDE_MS + 1) * Q5_SLIDE_MS;
+                    let expire =
+                        (slide + Q5_WINDOW_MS / Q5_SLIDE_MS + 1) * Q5_SLIDE_MS + Q5_LATENESS_MS;
                     notificator.notify_at(expire.max(*time), (auction, Q5_EXPIRE + slide));
                 }
+            }
+        }
+    }
+    outputs
+}
+
+/// Stage-2 per-bin state, keyed by window: the best `(count, auction)` seen so
+/// far (ties toward the lower auction id), or the `Q5_REPORTED` tombstone
+/// once the window's single row has been emitted.
+pub type HotWindows = FxHashMap<u64, (u64, u64)>;
+
+/// Marker in the auction field of a stage-2 record for the report reminder of
+/// the carried window. (Real stage-1 records never use this auction id.)
+const Q5_HOT_REPORT: u64 = u64::MAX;
+
+/// Tombstone state of a window whose row has been emitted. It absorbs counts
+/// that straggle in past the report (a migrated slide reminder clamped beyond
+/// its scheduled time) so a window can never report twice, and expires
+/// [`Q5_LATENESS_MS`] later. (Real best-entries always have `count > 0`.)
+const Q5_REPORTED: (u64, u64) = (0, u64::MAX);
+
+/// Stage-2 fold: folds `(window, (auction, count))` reports into the
+/// per-window best and emits one row per window when the window's reports are
+/// complete.
+///
+/// Every stage-1 count for a window is emitted at the window's close time (the
+/// slide reminder's logical time), so a notification at that same time fires
+/// after the last of them has been folded — making the single emitted row
+/// independent of worker count and arrival order. The reported window leaves a
+/// tombstone for [`Q5_LATENESS_MS`]: a count whose slide reminder a migration
+/// clamped past the report time is dropped (it cannot retroactively join the
+/// emitted row) instead of resurrecting the window and double-reporting. The
+/// tombstone's lifetime covers the clamp with room to spare: a pending
+/// reminder is only clamped when its bin is extracted in the same scheduling
+/// rounds in which the reminder came due (once the frontier passes the
+/// reminder's time it fires before the frontier can reach any later control
+/// time), so the clamped delivery lands within moments of the report — never
+/// a full lateness window behind it.
+pub fn hot_fold(
+    time: &Time,
+    records: Vec<(u64, (u64, u64))>,
+    state: &mut HotWindows,
+    notificator: &mut Notificator<Time, (u64, (u64, u64))>,
+) -> Vec<String> {
+    let mut outputs = Vec::new();
+    for (window, (auction, count)) in records {
+        if auction == Q5_HOT_REPORT {
+            match state.get(&window) {
+                // Second reminder: the tombstone's lifetime is over.
+                Some(&Q5_REPORTED) => {
+                    state.remove(&window);
+                }
+                // First reminder: the window is complete — report its maximum,
+                // leave the tombstone, and schedule the tombstone's expiry.
+                Some(&(best_count, best_auction)) => {
+                    outputs.push(format!(
+                        "window={} hot_auction={} bids={}",
+                        window, best_auction, best_count
+                    ));
+                    state.insert(window, Q5_REPORTED);
+                    notificator.notify_at(*time + Q5_LATENESS_MS, (window, (Q5_HOT_REPORT, 0)));
+                }
+                None => {}
+            }
+            continue;
+        }
+        match state.get_mut(&window) {
+            // A straggler behind the report (see the tombstone note above).
+            Some(best) if *best == Q5_REPORTED => {}
+            Some(best) => {
+                if count > best.0 || (count == best.0 && auction < best.1) {
+                    *best = (count, auction);
+                }
+            }
+            None => {
+                state.insert(window, (count, auction));
+                // First report of this window: schedule the (single) emission
+                // strictly after the window's report time, so it cannot be
+                // drained into a later same-time activation while reports from
+                // other workers are still arriving.
+                notificator.notify_at(*time + 1, (window, (Q5_HOT_REPORT, 0)));
             }
         }
     }
@@ -107,20 +195,14 @@ pub fn q5(
         count_fold,
     );
 
-    // Stage 2: per-window maximum.
-    let hot = state_machine::<_, u64, (u64, u64), (u64, u64), String, _>(
+    // Stage 2: per-window maximum, reported once when the window completes.
+    let hot = stateful_unary::<_, (u64, (u64, u64)), HotWindows, String, _, _>(
         config,
         control,
         &counts.stream.map(|(window, auction, count)| (window, (auction, count))),
         "Q5-Hot",
-        |window, (auction, count), best| {
-            if count > best.1 {
-                *best = (auction, count);
-                (false, vec![format!("window={} hot_auction={} bids={}", window, auction, count)])
-            } else {
-                (false, Vec::new())
-            }
-        },
+        |record| hash_code(&record.0),
+        hot_fold,
     );
     QueryOutput::from_stateful(hot)
 }

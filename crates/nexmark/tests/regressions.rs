@@ -188,6 +188,61 @@ fn q5_state_is_dropped_after_windows_close() {
     );
 }
 
+/// Drives the real Q5 stage-2 fold through `stateful_unary`, injecting a
+/// straggler count *after* the window's report fired — what a migrated slide
+/// reminder clamped past its scheduled time produces. The window must report
+/// exactly once (the straggler is absorbed by the tombstone, not allowed to
+/// resurrect the window), and the tombstone itself must expire.
+#[test]
+fn q5_hot_window_never_reports_twice() {
+    let rows = timelite::execute_single(move |worker| {
+        let collected_in = Rc::new(RefCell::new(Vec::new()));
+        let collected_out = collected_in.clone();
+        let (mut control, mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (count_input, counts) = scope.new_input::<(u64, (u64, u64))>();
+            let hot = stateful_unary::<_, (u64, (u64, u64)), q5::HotWindows, String, _, _>(
+                MegaphoneConfig::new(4),
+                &control,
+                &counts,
+                "Q5-Hot-Probe",
+                |record| timelite::hashing::hash_code(&record.0),
+                q5::hot_fold,
+            );
+            let collected = collected_in.clone();
+            hot.stream.inspect(move |_t, row| collected.borrow_mut().push(row.clone()));
+            (control_input, count_input, hot.probe)
+        });
+
+        // Two counts for window 1 at the window's report time.
+        let report_time = 4_000u64;
+        input.advance_to(report_time);
+        control.advance_to(report_time);
+        input.send((1, (10, 7)));
+        input.send((1, (11, 9)));
+        // Step past the report (scheduled one tick after the counts): the row
+        // for window 1 is emitted. A straggler count then arrives within the
+        // tombstone's lifetime (a clamped migrated reminder lands within the
+        // lateness bound of its scheduled time) — it must vanish into the
+        // tombstone rather than trigger a second report.
+        let late = report_time + 100;
+        input.advance_to(late);
+        control.advance_to(late);
+        worker.step_while(|| probe.less_than(&late));
+        input.send((1, (12, 50)));
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let rows = collected_out.borrow().clone();
+        rows
+    });
+    assert_eq!(
+        rows,
+        vec!["window=1 hot_auction=11 bids=9".to_string()],
+        "a straggler count behind the report must not produce a second row"
+    );
+}
+
 /// Drives the real Q8 fold through `stateful_binary` with a probe on the bin
 /// state: pending windows of never-registering sellers and stale
 /// registrations must expire with their tumbling window.
@@ -334,10 +389,10 @@ fn q8_joins_late_registrations_within_the_allowed_lateness() {
     assert_eq!(run_q8_events(events), ["new_seller=late-reg window=0"]);
 }
 
-/// Runs Q8 (megaphone or native) over `events_total` generated events,
+/// Runs `query` (megaphone or native) over `events_total` generated events,
 /// replayed through the workload engine with out-of-order lag `lag_ms`
 /// (0 = in-order), and returns the sorted rows.
-fn run_q8_replay(native: bool, lag_ms: u64) -> Vec<String> {
+fn run_query_replay(query: &'static str, native: bool, lag_ms: u64) -> Vec<String> {
     let events_total: u64 = 20_000;
     let outputs = timelite::execute(timelite::Config::process(2), move |worker| {
         let index = worker.index();
@@ -348,9 +403,9 @@ fn run_q8_replay(native: bool, lag_ms: u64) -> Vec<String> {
             let collected = Rc::new(RefCell::new(Vec::new()));
             let collected_inner = collected.clone();
             let output = if native {
-                build_native_query("q8", &events)
+                build_native_query(query, &events)
             } else {
-                build_query("q8", MegaphoneConfig::new(4), &control, &events)
+                build_query(query, MegaphoneConfig::new(4), &control, &events)
             };
             output.stream.inspect(move |_t, row| collected_inner.borrow_mut().push(row.clone()));
             (control_input, event_input, output.probe, collected)
@@ -393,10 +448,25 @@ fn run_q8_replay(native: bool, lag_ms: u64) -> Vec<String> {
 /// (order-insensitive, never-expiring) native oracle under the same replay.
 #[test]
 fn q8_out_of_order_replay_matches_in_order_and_native() {
-    let in_order = run_q8_replay(false, 0);
-    let replayed = run_q8_replay(false, 1_000);
-    let native_replayed = run_q8_replay(true, 1_000);
+    let in_order = run_query_replay("q8", false, 0);
+    let replayed = run_query_replay("q8", false, 1_000);
+    let native_replayed = run_query_replay("q8", true, 1_000);
     assert!(!in_order.is_empty(), "the generated stream must produce Q8 joins");
     assert_eq!(replayed, in_order, "out-of-order replay changed Q8's results");
     assert_eq!(replayed, native_replayed, "megaphone and native Q8 diverged under replay");
+}
+
+/// The mirrored Q5 out-of-order property: with the slide reminders granted
+/// `Q5_LATENESS_MS` of allowed lateness, a bounded out-of-order replay (lag
+/// within that bound) counts every bid in every window containing its slide,
+/// so the replay reproduces the in-order rows exactly — and the megaphone
+/// implementation agrees with the native one under the same replay.
+#[test]
+fn q5_out_of_order_replay_matches_in_order_and_native() {
+    let in_order = run_query_replay("q5", false, 0);
+    let replayed = run_query_replay("q5", false, 1_000);
+    let native_replayed = run_query_replay("q5", true, 1_000);
+    assert!(!in_order.is_empty(), "the generated stream must produce Q5 windows");
+    assert_eq!(replayed, in_order, "out-of-order replay changed Q5's results");
+    assert_eq!(replayed, native_replayed, "megaphone and native Q5 diverged under replay");
 }

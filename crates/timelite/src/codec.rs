@@ -1,0 +1,294 @@
+//! A compact, dependency-free binary codec for data crossing process
+//! boundaries.
+//!
+//! The trait originated in the Megaphone layer, where migrated state is
+//! serialized into byte buffers (Section 4.1 of the paper); the cluster mode of
+//! `timelite` reuses the exact same byte conventions — little-endian integers,
+//! `u64` length prefixes — for everything a [`TcpAllocator`] puts on the wire:
+//! coalesced data envelopes and progress updates alike. It lives here, at the
+//! bottom of the stack, so both the communication fabric and the state layer
+//! (`megaphone::codec`, which re-exports it and builds chunked encoding on
+//! top) speak one format.
+//!
+//! [`TcpAllocator`]: crate::communication::net
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::{BuildHasher, Hash};
+
+use crate::order::Product;
+use crate::progress::{Port, ProgressUpdates};
+
+/// Types that can be serialized into the wire format.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `bytes`.
+    fn encode(&self, bytes: &mut Vec<u8>);
+    /// Decodes a value from the front of `bytes`, advancing the slice.
+    fn decode(bytes: &mut &[u8]) -> Self;
+
+    /// Encodes `self` into a fresh buffer.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        self.encode(&mut bytes);
+        bytes
+    }
+
+    /// Decodes a value from a complete buffer, asserting it is fully consumed.
+    fn decode_from_slice(mut bytes: &[u8]) -> Self {
+        let value = Self::decode(&mut bytes);
+        debug_assert!(bytes.is_empty(), "codec left {} undecoded bytes", bytes.len());
+        value
+    }
+}
+
+fn take<'a>(bytes: &mut &'a [u8], len: usize) -> &'a [u8] {
+    let (head, tail) = bytes.split_at(len);
+    *bytes = tail;
+    head
+}
+
+macro_rules! integer_codec {
+    ($($ty:ty),*) => {
+        $(
+            impl Codec for $ty {
+                #[inline]
+                fn encode(&self, bytes: &mut Vec<u8>) {
+                    bytes.extend_from_slice(&self.to_le_bytes());
+                }
+                #[inline]
+                fn decode(bytes: &mut &[u8]) -> Self {
+                    let mut buf = [0u8; std::mem::size_of::<$ty>()];
+                    buf.copy_from_slice(take(bytes, std::mem::size_of::<$ty>()));
+                    <$ty>::from_le_bytes(buf)
+                }
+            }
+        )*
+    };
+}
+
+integer_codec!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl Codec for usize {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        (*self as u64).encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        u64::decode(bytes) as usize
+    }
+}
+
+impl Codec for isize {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        (*self as i64).encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        i64::decode(bytes) as isize
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        bytes.push(u8::from(*self));
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        take(bytes, 1)[0] != 0
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _bytes: &mut Vec<u8>) {}
+    fn decode(_bytes: &mut &[u8]) -> Self {}
+}
+
+impl Codec for char {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        (*self as u32).encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        char::from_u32(u32::decode(bytes)).expect("invalid char encoding")
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.len().encode(bytes);
+        bytes.extend_from_slice(self.as_bytes());
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        let len = usize::decode(bytes);
+        String::from_utf8(take(bytes, len).to_vec()).expect("invalid utf-8 in encoded string")
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        match self {
+            None => bytes.push(0),
+            Some(value) => {
+                bytes.push(1);
+                value.encode(bytes);
+            }
+        }
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        match take(bytes, 1)[0] {
+            0 => None,
+            _ => Some(T::decode(bytes)),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.len().encode(bytes);
+        for item in self {
+            item.encode(bytes);
+        }
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        let len = usize::decode(bytes);
+        (0..len).map(|_| T::decode(bytes)).collect()
+    }
+}
+
+impl<T: Codec> Codec for VecDeque<T> {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.len().encode(bytes);
+        for item in self {
+            item.encode(bytes);
+        }
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        let len = usize::decode(bytes);
+        (0..len).map(|_| T::decode(bytes)).collect()
+    }
+}
+
+impl<K: Codec + Eq + Hash, V: Codec, S: BuildHasher + Default> Codec for HashMap<K, V, S> {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.len().encode(bytes);
+        for (key, value) in self {
+            key.encode(bytes);
+            value.encode(bytes);
+        }
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        let len = usize::decode(bytes);
+        let mut map = HashMap::with_capacity_and_hasher(len, S::default());
+        for _ in 0..len {
+            let key = K::decode(bytes);
+            let value = V::decode(bytes);
+            map.insert(key, value);
+        }
+        map
+    }
+}
+
+impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.len().encode(bytes);
+        for (key, value) in self {
+            key.encode(bytes);
+            value.encode(bytes);
+        }
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        let len = usize::decode(bytes);
+        (0..len).map(|_| (K::decode(bytes), V::decode(bytes))).collect()
+    }
+}
+
+macro_rules! tuple_codec {
+    ($(($($name:ident)+),)+) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Codec),+> Codec for ($($name,)+) {
+                fn encode(&self, bytes: &mut Vec<u8>) {
+                    let ($(ref $name,)+) = *self;
+                    $($name.encode(bytes);)+
+                }
+                fn decode(bytes: &mut &[u8]) -> Self {
+                    ($($name::decode(bytes),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_codec! {
+    (A),
+    (A B),
+    (A B C),
+    (A B C D),
+    (A B C D E),
+    (A B C D E F),
+}
+
+impl<TOuter: Codec, TInner: Codec> Codec for Product<TOuter, TInner> {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.outer.encode(bytes);
+        self.inner.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        Product { outer: TOuter::decode(bytes), inner: TInner::decode(bytes) }
+    }
+}
+
+impl Codec for Port {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.node.encode(bytes);
+        self.port.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        Port { node: usize::decode(bytes), port: usize::decode(bytes) }
+    }
+}
+
+impl<T: Codec> Codec for ProgressUpdates<T> {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.internals.encode(bytes);
+        self.messages.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        ProgressUpdates { internals: Vec::decode(bytes), messages: Vec::decode(bytes) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.encode_to_vec();
+        let decoded = T::decode_from_slice(&bytes);
+        assert_eq!(value, decoded);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(123456usize);
+        roundtrip(3.25f64);
+        roundtrip("ünïcödé ☃".to_string());
+        roundtrip(Some(vec![1u64, 2, 3]));
+    }
+
+    #[test]
+    fn timestamps_roundtrip() {
+        roundtrip(Product::new(3u64, 7u64));
+        roundtrip(Product::new(Product::new(1u32, 2u32), 9u64));
+    }
+
+    #[test]
+    fn progress_updates_roundtrip() {
+        let updates = ProgressUpdates {
+            internals: vec![(Port::new(0, 1), 7u64, -1), (Port::new(2, 0), 9, 1)],
+            messages: vec![(3usize, 7u64, 4), (5, 8, -4)],
+        };
+        let bytes = updates.encode_to_vec();
+        let decoded = ProgressUpdates::<u64>::decode_from_slice(&bytes);
+        assert_eq!(decoded.internals, updates.internals);
+        assert_eq!(decoded.messages, updates.messages);
+    }
+}

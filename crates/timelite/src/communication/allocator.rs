@@ -5,20 +5,59 @@
 //! All traffic — data messages and progress updates — travels as type-erased
 //! [`Envelope`]s tagged with the dataflow and channel they belong to; the
 //! receiving worker demultiplexes them into typed per-channel queues.
+//!
+//! Peers in the same process are reached through an in-memory channel; peers in
+//! another process (cluster mode, [`net`](crate::communication::net)) are
+//! reached through a [`WorkerSender::Remote`] handle that serializes the
+//! envelope into a length-prefixed frame and hands it to the TCP writer thread
+//! of the destination process. Which of the two a given peer is stays invisible
+//! above this seam: pushers and workers only ever call [`send_to`].
 
 use std::any::Any;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
-/// The payload of an envelope: either a typed data message or a progress update.
+use crate::codec::Codec;
+
+/// A message that can travel both in memory (downcast to its concrete type on
+/// the receiving worker) and over a socket (encoded into the wire format).
+///
+/// Blanket-implemented for every `Codec` message type; pushers and workers box
+/// their payloads through this trait so the sending seam can serialize them
+/// without knowing their types.
+pub trait WireMessage: Send {
+    /// Converts the boxed message into `Box<dyn Any>` for in-process delivery.
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
+    /// Appends the message's wire encoding to `bytes`.
+    fn encode_wire(&self, bytes: &mut Vec<u8>);
+}
+
+impl<M: Any + Send + Codec> WireMessage for M {
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
+    fn encode_wire(&self, bytes: &mut Vec<u8>) {
+        self.encode(bytes);
+    }
+}
+
+/// The payload of an envelope: a typed data message or progress update (local
+/// delivery), or its wire encoding (received from another process and decoded
+/// by the destination channel, which knows the concrete types).
 pub enum Payload {
     /// A boxed coalesced multi-batch `Vec<(T, Vec<D>)>` (a
     /// [`MultiBatch`](crate::communication::MultiBatch)) for a specific
     /// channel: every `(time, batch)` one pusher staged for the receiving
     /// worker between two flushes.
-    Data(Box<dyn Any + Send>),
+    Data(Box<dyn WireMessage>),
     /// A boxed `ProgressUpdates<T>` batch for a dataflow.
-    Progress(Box<dyn Any + Send>),
+    Progress(Box<dyn WireMessage>),
+    /// The wire encoding of a [`Payload::Data`] multi-batch, as received from a
+    /// remote process; the channel's demux closure decodes it.
+    DataBytes(Vec<u8>),
+    /// The wire encoding of a [`Payload::Progress`] batch, as received from a
+    /// remote process; the destination dataflow decodes it.
+    ProgressBytes(Vec<u8>),
 }
 
 impl std::fmt::Debug for Payload {
@@ -26,6 +65,10 @@ impl std::fmt::Debug for Payload {
         match self {
             Payload::Data(_) => write!(f, "Payload::Data(..)"),
             Payload::Progress(_) => write!(f, "Payload::Progress(..)"),
+            Payload::DataBytes(bytes) => write!(f, "Payload::DataBytes({} bytes)", bytes.len()),
+            Payload::ProgressBytes(bytes) => {
+                write!(f, "Payload::ProgressBytes({} bytes)", bytes.len())
+            }
         }
     }
 }
@@ -43,15 +86,146 @@ pub struct Envelope {
     pub payload: Payload,
 }
 
+/// Frame kind byte distinguishing data from progress payloads on the wire.
+const KIND_DATA: u8 = 0;
+/// See [`KIND_DATA`].
+const KIND_PROGRESS: u8 = 1;
+
+/// Bytes of a frame's fixed header on the wire: `[dataflow u64][channel u64]
+/// [from u64][to u64][kind u8]`, after the `[len u64]` message prefix.
+pub const FRAME_HEADER_BYTES: usize = 4 * 8 + 1;
+
+/// Serializes `envelope` (destined for global worker `to`) into one complete
+/// wire message:
+/// `[len u64][dataflow u64][channel u64][from u64][to u64][kind u8][payload…]`,
+/// following `megaphone::codec`'s byte conventions (little-endian integers,
+/// `u64` length prefixes inside the payload). `len` counts everything after
+/// itself; it is stamped here, at encode time, so the socket writer emits the
+/// buffer as-is instead of copying it behind a separately written prefix.
+pub fn encode_frame(envelope: &Envelope, to: usize) -> Vec<u8> {
+    let payload_hint = match &envelope.payload {
+        Payload::DataBytes(bytes) | Payload::ProgressBytes(bytes) => bytes.len(),
+        _ => 64,
+    };
+    let mut frame = Vec::with_capacity(8 + FRAME_HEADER_BYTES + payload_hint);
+    0u64.encode(&mut frame); // Length placeholder, patched below.
+    (envelope.dataflow as u64).encode(&mut frame);
+    (envelope.channel as u64).encode(&mut frame);
+    (envelope.from as u64).encode(&mut frame);
+    (to as u64).encode(&mut frame);
+    match &envelope.payload {
+        Payload::Data(message) => {
+            frame.push(KIND_DATA);
+            message.encode_wire(&mut frame);
+        }
+        Payload::Progress(message) => {
+            frame.push(KIND_PROGRESS);
+            message.encode_wire(&mut frame);
+        }
+        // Forwarding an already-encoded payload re-uses its bytes verbatim.
+        Payload::DataBytes(bytes) => {
+            frame.push(KIND_DATA);
+            frame.extend_from_slice(bytes);
+        }
+        Payload::ProgressBytes(bytes) => {
+            frame.push(KIND_PROGRESS);
+            frame.extend_from_slice(bytes);
+        }
+    }
+    let len = (frame.len() - 8) as u64;
+    frame[..8].copy_from_slice(&len.to_le_bytes());
+    frame
+}
+
+/// Rebuilds `(envelope, to)` from a frame's fixed header and its payload
+/// bytes, taking ownership of the payload (no copy). The payload stays
+/// encoded ([`Payload::DataBytes`] / [`Payload::ProgressBytes`]): only the
+/// destination channel knows the concrete types to decode it into.
+pub fn decode_frame_parts(
+    header: &[u8; FRAME_HEADER_BYTES],
+    payload: Vec<u8>,
+) -> (Envelope, usize) {
+    let mut bytes = &header[..];
+    let dataflow = u64::decode(&mut bytes) as usize;
+    let channel = u64::decode(&mut bytes) as usize;
+    let from = u64::decode(&mut bytes) as usize;
+    let to = u64::decode(&mut bytes) as usize;
+    let kind = u8::decode(&mut bytes);
+    let payload = match kind {
+        KIND_DATA => Payload::DataBytes(payload),
+        KIND_PROGRESS => Payload::ProgressBytes(payload),
+        other => panic!("invalid frame kind {other}"),
+    };
+    (Envelope { dataflow, channel, from, payload }, to)
+}
+
+/// Deserializes one frame body (everything after the `[len u64]` prefix) back
+/// into `(envelope, to)`. Convenience for tests and inspection; the socket
+/// reader avoids the payload copy by reading header and payload separately
+/// and calling [`decode_frame_parts`].
+pub fn decode_frame(frame: &[u8]) -> (Envelope, usize) {
+    let header: [u8; FRAME_HEADER_BYTES] =
+        frame[..FRAME_HEADER_BYTES].try_into().expect("frame shorter than its header");
+    decode_frame_parts(&header, frame[FRAME_HEADER_BYTES..].to_vec())
+}
+
+/// A sender handle to one worker's mailbox: an in-memory channel for a worker
+/// in this process, or the framing front-end of a TCP connection for a worker
+/// in another process.
+#[derive(Clone)]
+pub enum WorkerSender {
+    /// The peer lives in this process: envelopes are moved, never serialized.
+    Local(Sender<Envelope>),
+    /// The peer lives in another process: envelopes are encoded into frames
+    /// and handed to the writer thread of the connection to that process.
+    Remote {
+        /// The destination worker's global index (baked into each frame so the
+        /// receiving process can route to the right local mailbox).
+        to: usize,
+        /// Channel into the destination process's socket writer thread.
+        tx: Sender<Vec<u8>>,
+    },
+}
+
+impl WorkerSender {
+    /// Returns `true` iff this peer lives in another process (its envelopes
+    /// travel as serialized frames). Senders can pre-encode shared payloads
+    /// once for all such peers instead of once per peer.
+    pub fn is_remote(&self) -> bool {
+        matches!(self, WorkerSender::Remote { .. })
+    }
+}
+
+impl std::fmt::Debug for WorkerSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerSender::Local(_) => write!(f, "WorkerSender::Local"),
+            WorkerSender::Remote { to, .. } => write!(f, "WorkerSender::Remote(to={to})"),
+        }
+    }
+}
+
 /// A worker's endpoint of the communication fabric.
 pub struct Allocator {
     index: usize,
     peers: usize,
-    senders: Vec<Sender<Envelope>>,
+    senders: Vec<WorkerSender>,
     receiver: Receiver<Envelope>,
 }
 
 impl Allocator {
+    /// Assembles an allocator from its parts (used by the in-process
+    /// [`allocate`] and by the cluster bootstrap in
+    /// [`net`](crate::communication::net)).
+    pub(crate) fn from_parts(
+        index: usize,
+        peers: usize,
+        senders: Vec<WorkerSender>,
+        receiver: Receiver<Envelope>,
+    ) -> Self {
+        Allocator { index, peers, senders, receiver }
+    }
+
     /// This worker's index.
     pub fn index(&self) -> usize {
         self.index
@@ -63,7 +237,7 @@ impl Allocator {
     }
 
     /// Clones the sender handles (one per worker, including this one).
-    pub fn senders(&self) -> Vec<Sender<Envelope>> {
+    pub fn senders(&self) -> Vec<WorkerSender> {
         self.senders.clone()
     }
 
@@ -78,7 +252,8 @@ impl Allocator {
     }
 }
 
-/// Builds the all-to-all communication fabric for `peers` workers.
+/// Builds the all-to-all communication fabric for `peers` workers in one
+/// process.
 ///
 /// Returns one [`Allocator`] per worker; each holds its own receiving mailbox and
 /// sender handles to every mailbox (including its own).
@@ -88,20 +263,28 @@ pub fn allocate(peers: usize) -> Vec<Allocator> {
     let mut receivers = Vec::with_capacity(peers);
     for _ in 0..peers {
         let (tx, rx) = unbounded();
-        senders.push(tx);
+        senders.push(WorkerSender::Local(tx));
         receivers.push(rx);
     }
     receivers
         .into_iter()
         .enumerate()
-        .map(|(index, receiver)| Allocator { index, peers, senders: senders.clone(), receiver })
+        .map(|(index, receiver)| Allocator::from_parts(index, peers, senders.clone(), receiver))
         .collect()
 }
 
 /// Sends an envelope to `target`, ignoring failures caused by the target having
 /// already shut down (its dataflows were complete, so the message is irrelevant).
-pub fn send_to(senders: &[Sender<Envelope>], target: usize, envelope: Envelope) {
-    let _ = senders[target].send(envelope);
+pub fn send_to(senders: &[WorkerSender], target: usize, envelope: Envelope) {
+    match &senders[target] {
+        WorkerSender::Local(tx) => {
+            let _ = tx.send(envelope);
+        }
+        WorkerSender::Remote { to, tx } => {
+            debug_assert_eq!(*to, target, "remote sender routed to the wrong worker");
+            let _ = tx.send(encode_frame(&envelope, *to));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +309,7 @@ mod tests {
         send_to(
             &senders,
             1,
-            Envelope { dataflow: 0, channel: 7, from: 0, payload: Payload::Data(Box::new((3u64, vec![1, 2, 3]))) },
+            Envelope { dataflow: 0, channel: 7, from: 0, payload: Payload::Data(Box::new((3u64, vec![1u64, 2, 3]))) },
         );
         let received = allocs[1].try_recv().expect("envelope expected");
         assert_eq!(received.channel, 7);
@@ -168,5 +351,60 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = allocate(0);
+    }
+
+    #[test]
+    fn remote_sender_frames_envelopes() {
+        let (tx, rx) = unbounded();
+        let senders = vec![WorkerSender::Remote { to: 0, tx }];
+        let batches: Vec<(u64, Vec<u64>)> = vec![(5, vec![1, 3])];
+        send_to(
+            &senders,
+            0,
+            Envelope { dataflow: 2, channel: 7, from: 4, payload: Payload::Data(Box::new(batches.clone())) },
+        );
+        let frame = rx.try_recv().expect("frame expected");
+        let (envelope, to) = decode_frame(&frame[8..]);
+        assert_eq!(to, 0);
+        assert_eq!(envelope.dataflow, 2);
+        assert_eq!(envelope.channel, 7);
+        assert_eq!(envelope.from, 4);
+        match envelope.payload {
+            Payload::DataBytes(bytes) => {
+                assert_eq!(Vec::<(u64, Vec<u64>)>::decode_from_slice(&bytes), batches);
+            }
+            other => panic!("expected data bytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_progress_kind_and_channel_marker() {
+        let updates = crate::progress::ProgressUpdates::<u64> {
+            internals: vec![(crate::progress::Port::new(1, 0), 3, -1)],
+            messages: vec![(0, 3, 2)],
+        };
+        let envelope = Envelope {
+            dataflow: 0,
+            channel: usize::MAX,
+            from: 1,
+            payload: Payload::Progress(Box::new(updates.clone())),
+        };
+        let frame = encode_frame(&envelope, 3);
+        assert_eq!(
+            u64::from_le_bytes(frame[..8].try_into().expect("8 bytes")) as usize,
+            frame.len() - 8,
+            "the stamped length must cover everything after itself"
+        );
+        let (decoded, to) = decode_frame(&frame[8..]);
+        assert_eq!(to, 3);
+        assert_eq!(decoded.channel, usize::MAX);
+        match decoded.payload {
+            Payload::ProgressBytes(bytes) => {
+                let decoded = crate::progress::ProgressUpdates::<u64>::decode_from_slice(&bytes);
+                assert_eq!(decoded.internals, updates.internals);
+                assert_eq!(decoded.messages, updates.messages);
+            }
+            other => panic!("expected progress bytes, got {other:?}"),
+        }
     }
 }

@@ -19,11 +19,11 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use crate::communication::allocator::{send_to, Envelope, Payload};
+use crate::codec::Codec;
+use crate::communication::allocator::{send_to, Envelope, Payload, WorkerSender};
 use crate::order::Timestamp;
 use crate::progress::ChangeBatch;
 use crate::Data;
-use crossbeam_channel::Sender;
 
 /// The queue of received `(time, data)` bundles for one channel at one worker.
 pub type SharedQueue<T, D> = Rc<RefCell<VecDeque<(T, Vec<D>)>>>;
@@ -120,7 +120,7 @@ pub struct Pusher<T: Timestamp, D> {
     index: usize,
     peers: usize,
     local: SharedQueue<T, D>,
-    senders: Vec<Sender<Envelope>>,
+    senders: Vec<WorkerSender>,
     produced: SharedChanges<T>,
     /// Scratch per-worker buffers for exchange routing.
     buffers: Vec<Vec<D>>,
@@ -161,7 +161,7 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
         index: usize,
         peers: usize,
         local: SharedQueue<T, D>,
-        senders: Vec<Sender<Envelope>>,
+        senders: Vec<WorkerSender>,
         produced: SharedChanges<T>,
     ) -> Self {
         Pusher {
@@ -293,7 +293,43 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
     }
 
     /// Sends every staged batch as one coalesced envelope per target worker.
+    ///
+    /// A broadcast pusher's remote (other-process) targets share one payload
+    /// encoding: their staged buffers are maintained in lockstep — every push
+    /// appends the same batch to each, and budget overflows trip for all of
+    /// them within the same push — so the wire bytes are produced once and
+    /// cloned per target instead of re-encoded `targets` times.
     pub fn flush(&mut self) {
+        if matches!(self.pact, Pact::Broadcast) {
+            let mut encoded: Option<Vec<u8>> = None;
+            for target in 0..self.peers {
+                if self.staged[target].is_empty() || !self.senders[target].is_remote() {
+                    self.flush_target(target);
+                    continue;
+                }
+                let batches = std::mem::take(&mut self.staged[target]);
+                self.staged_bytes[target] = 0;
+                if let Some(shared) = &encoded {
+                    debug_assert_eq!(
+                        &batches.encode_to_vec(),
+                        shared,
+                        "broadcast staging desynced across remote targets"
+                    );
+                }
+                let bytes = encoded.get_or_insert_with(|| batches.encode_to_vec()).clone();
+                send_to(
+                    &self.senders,
+                    target,
+                    Envelope {
+                        dataflow: self.dataflow,
+                        channel: self.channel,
+                        from: self.index,
+                        payload: Payload::DataBytes(bytes),
+                    },
+                );
+            }
+            return;
+        }
         for target in 0..self.peers {
             self.flush_target(target);
         }
@@ -443,6 +479,44 @@ mod tests {
         assert!(allocs[2].try_recv().is_some());
         // Produced counts one copy per worker.
         assert_eq!(produced.borrow_mut().clone_inner(), vec![(1, 6)]);
+    }
+
+    #[test]
+    fn broadcast_to_remote_targets_shares_one_encoding() {
+        use crate::communication::allocator::decode_frame;
+        use crossbeam_channel::unbounded;
+
+        // Worker 0 of 3, where workers 1 and 2 live in another "process":
+        // a broadcast flush must produce byte-identical frames for both from
+        // a single payload encoding.
+        let (frame_tx, frame_rx) = unbounded();
+        let senders = vec![
+            WorkerSender::Local(unbounded().0),
+            WorkerSender::Remote { to: 1, tx: frame_tx.clone() },
+            WorkerSender::Remote { to: 2, tx: frame_tx },
+        ];
+        let local: SharedQueue<u64, u64> = shared_queue();
+        let produced = shared_changes();
+        let mut pusher =
+            Pusher::new(Pact::Broadcast, 0, 0, 0, 3, Rc::clone(&local), senders, produced);
+        pusher.push(&4, vec![7, 8]);
+        pusher.flush();
+        let frames: Vec<Vec<u8>> = frame_rx.try_iter().collect();
+        assert_eq!(frames.len(), 2, "one frame per remote target");
+        let mut payloads = Vec::new();
+        for frame in &frames {
+            let (envelope, _to) = decode_frame(&frame[8..]);
+            match envelope.payload {
+                Payload::DataBytes(bytes) => {
+                    assert_eq!(MultiBatch::<u64, u64>::decode_from_slice(&bytes), vec![(4, vec![7, 8])]);
+                    payloads.push(bytes);
+                }
+                other => panic!("expected pre-encoded broadcast payload, got {other:?}"),
+            }
+        }
+        assert_eq!(payloads[0], payloads[1], "both targets share the encoding");
+        // The local copy was delivered untouched.
+        assert_eq!(local.borrow_mut().pop_front(), Some((4, vec![7, 8])));
     }
 
     #[test]
@@ -608,8 +682,10 @@ mod tests {
     impl Envelope {
         fn payload_into<M: 'static>(self) -> Box<M> {
             match self.payload {
-                Payload::Data(boxed) => boxed.downcast::<M>().expect("wrong message type"),
-                Payload::Progress(_) => panic!("expected data payload"),
+                Payload::Data(boxed) => {
+                    boxed.into_any().downcast::<M>().expect("wrong message type")
+                }
+                other => panic!("expected typed data payload, got {other:?}"),
             }
         }
     }

@@ -2,8 +2,13 @@
 
 pub mod allocator;
 pub mod exchange;
+pub mod net;
 
-pub use allocator::{allocate, send_to, Allocator, Envelope, Payload};
+pub use allocator::{
+    allocate, decode_frame, decode_frame_parts, encode_frame, send_to, Allocator, Envelope,
+    Payload, WireMessage, WorkerSender, FRAME_HEADER_BYTES,
+};
+pub use net::{cluster_allocate, free_addresses, ClusterGuard, ClusterSpec};
 pub use exchange::{
     shared_changes, shared_queue, shared_tee, MultiBatch, Pact, Pusher, SharedChanges, SharedQueue,
     SharedTee, Tee,

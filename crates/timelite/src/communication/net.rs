@@ -1,0 +1,530 @@
+//! The TCP remote allocator: cluster mode's communication backend.
+//!
+//! In cluster mode the workers of one computation are spread over several OS
+//! processes. Each process runs `workers_per_process` worker threads with
+//! *global* worker indices, and each unordered process pair shares exactly one
+//! TCP connection over which all of their workers' traffic is multiplexed.
+//!
+//! The pieces:
+//!
+//! * **Bootstrap** ([`cluster_allocate`]): process `i` listens on
+//!   `addresses[i]` and connects to every process with a smaller index
+//!   (retrying while that listener comes up). Each connection starts with a
+//!   handshake — a magic number and the dialing process's index — followed by
+//!   a barrier byte each way, so no process starts computing before the full
+//!   mesh is up (rendezvous).
+//! * **Framing**: envelopes are serialized by
+//!   [`encode_frame`](crate::communication::encode_frame) (same byte
+//!   conventions as `megaphone::codec`: little-endian integers, `u64` length
+//!   prefixes) and written as `[len u64][frame]`.
+//! * **Writer threads** (one per remote process): drain a channel of
+//!   pre-encoded frames — fed by every local worker's
+//!   [`WorkerSender::Remote`] handles — and write them to the socket. The
+//!   thread exits when all sender handles drop (the local workers finished).
+//! * **Reader threads** (one per remote process): read frames, rebuild
+//!   envelopes with still-encoded payloads
+//!   ([`Payload::DataBytes`](crate::communication::Payload::DataBytes) /
+//!   [`Payload::ProgressBytes`](crate::communication::Payload::ProgressBytes))
+//!   and push them into the destination worker's local mailbox. The thread
+//!   exits on EOF (the remote process finished).
+//!
+//! Everything above this module — pushers, pacts, progress tracking, the
+//! worker — is unchanged: a remote peer is just a [`WorkerSender`] variant.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use super::allocator::{decode_frame_parts, Allocator, Envelope, WorkerSender, FRAME_HEADER_BYTES};
+
+/// Handshake magic: "TIMELITE" interpreted as a little-endian u64.
+const HANDSHAKE_MAGIC: u64 = u64::from_le_bytes(*b"TIMELITE");
+
+/// The byte an acceptor sends once it has admitted a dialer into its mesh.
+const HANDSHAKE_ACK: u8 = 0xA7;
+
+/// How long the bootstrap keeps retrying/awaiting connections before giving up.
+const BOOTSTRAP_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Read timeout while a single handshake is in flight, so a connection to (or
+/// from) something that never answers cannot wedge the bootstrap.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Picks `n` distinct loopback addresses with OS-assigned free ports, for
+/// tests, benches and single-machine cluster demos.
+///
+/// All listeners are held until every port has been picked, so one call
+/// cannot hand out the same port twice. The unavoidable residual race — a
+/// port being grabbed by another process between this release and the
+/// cluster's own bind — is caught by the bootstrap handshake (cluster-id
+/// mismatch drops stray connections) or a loud bind panic.
+pub fn free_addresses(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind failed")).collect();
+    listeners
+        .iter()
+        .map(|listener| listener.local_addr().expect("local addr").to_string())
+        .collect()
+}
+
+/// The shape of one process's share of a cluster computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// This process's index in `0..addresses.len()`.
+    pub process: usize,
+    /// Worker threads per process (identical across processes).
+    pub workers_per_process: usize,
+    /// One listen address per process, identical on every process.
+    pub addresses: Vec<String>,
+}
+
+impl ClusterSpec {
+    /// The number of processes in the cluster.
+    pub fn processes(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// The total number of workers across the cluster.
+    pub fn total_workers(&self) -> usize {
+        self.processes() * self.workers_per_process
+    }
+
+    /// The global index of this process's first worker.
+    pub fn first_worker(&self) -> usize {
+        self.process * self.workers_per_process
+    }
+
+    /// A fingerprint of this cluster's identity (its full address list),
+    /// exchanged in the handshake so that two clusters accidentally sharing a
+    /// port — e.g. concurrently running tests whose bind-then-drop port
+    /// picking raced — reject each other instead of cross-connecting.
+    fn cluster_id(&self) -> u64 {
+        // FNV-1a over the joined address list: stable, dependency-free.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.addresses.join(",").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    fn validate(&self) {
+        assert!(self.workers_per_process > 0, "at least one worker per process is required");
+        assert!(!self.addresses.is_empty(), "at least one process address is required");
+        assert!(
+            self.process < self.addresses.len(),
+            "process index {} out of range for {} addresses",
+            self.process,
+            self.addresses.len()
+        );
+    }
+}
+
+/// Dials the lower-indexed process `peer`, retrying while its listener comes
+/// up, sends the handshake `[MAGIC u64][cluster id u64][my process u64]`, and
+/// awaits the acceptor's admission byte. A listener that rejects the
+/// handshake (a different cluster that happened to win our port in a
+/// bind-then-drop race) closes the connection, and the dial is retried.
+fn dial_peer(spec: &ClusterSpec, peer: usize) -> TcpStream {
+    let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
+    loop {
+        if let Ok(mut stream) = TcpStream::connect(&spec.addresses[peer]) {
+            let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+            let mut hello = Vec::with_capacity(24);
+            hello.extend_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
+            hello.extend_from_slice(&spec.cluster_id().to_le_bytes());
+            hello.extend_from_slice(&(spec.process as u64).to_le_bytes());
+            let mut ack = [0u8; 1];
+            if stream.write_all(&hello).is_ok()
+                && stream.read_exact(&mut ack).is_ok()
+                && ack[0] == HANDSHAKE_ACK
+            {
+                stream.set_read_timeout(None).expect("failed to clear read timeout");
+                return stream;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "could not reach process {peer} of this cluster at {}",
+            spec.addresses[peer]
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Builds the socket mesh: dials every lower-indexed process, then accepts one
+/// connection from every higher-indexed process — in whatever order they
+/// arrive, demultiplexed by the handshake's process index. Finishes with a
+/// barrier byte exchanged on every socket, so no process starts computing
+/// before all of its peers have their full mesh up.
+fn connect_mesh(spec: &ClusterSpec, listener: &TcpListener) -> Vec<Option<TcpStream>> {
+    let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
+    let mut streams: Vec<Option<TcpStream>> = (0..spec.processes()).map(|_| None).collect();
+    for (peer, stream) in streams.iter_mut().enumerate().take(spec.process) {
+        *stream = Some(dial_peer(spec, peer));
+    }
+    // Accept with a deadline: a peer that died before connecting (or never
+    // started) must fail the bootstrap loudly, not hang it forever.
+    listener.set_nonblocking(true).expect("failed to make listener non-blocking");
+    let mut awaited = spec.processes() - spec.process - 1;
+    while awaited > 0 {
+        let (mut stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                assert!(
+                    Instant::now() < deadline,
+                    "process {} timed out awaiting {awaited} peer connection(s)",
+                    spec.process
+                );
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(error) => panic!("listener accept failed: {error}"),
+        };
+        stream.set_nonblocking(false).expect("failed to make stream blocking");
+        let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let mut hello = [0u8; 24];
+        if stream.read_exact(&mut hello).is_err() {
+            continue; // A probe connection that sent nothing; await the real one.
+        }
+        let magic = u64::from_le_bytes(hello[..8].try_into().expect("8 bytes"));
+        let cluster = u64::from_le_bytes(hello[8..16].try_into().expect("8 bytes"));
+        let from = u64::from_le_bytes(hello[16..].try_into().expect("8 bytes")) as usize;
+        // A dialer from another cluster (or an odd handshake) is dropped, not
+        // fatal: closing the socket makes that dialer retry against its real
+        // peer while we keep waiting for ours.
+        if magic != HANDSHAKE_MAGIC
+            || cluster != spec.cluster_id()
+            || from <= spec.process
+            || from >= spec.processes()
+        {
+            continue;
+        }
+        if stream.write_all(&[HANDSHAKE_ACK]).is_err() {
+            continue;
+        }
+        stream.set_read_timeout(None).expect("failed to clear read timeout");
+        // A redial from an already-admitted peer (its ack read timed out, so
+        // it dropped the socket we stored and dialed again) replaces the dead
+        // stream; it was already counted, so `awaited` only moves for new
+        // peers.
+        if streams[from].replace(stream).is_none() {
+            awaited -= 1;
+        }
+    }
+    // Rendezvous barrier: write one byte on every socket, then await one from
+    // every socket. All writes complete before any read, so the exchange
+    // cannot deadlock, and nobody proceeds while a peer is still connecting.
+    for stream in streams.iter_mut().flatten() {
+        stream.set_nodelay(true).expect("failed to set TCP_NODELAY");
+        stream.write_all(&[0xB7]).expect("barrier write failed");
+    }
+    // The barrier read waits for the slowest peer's mesh, but never longer
+    // than the bootstrap deadline.
+    for stream in streams.iter_mut().flatten() {
+        let mut ack = [0u8; 1];
+        let _ = stream.set_read_timeout(Some(BOOTSTRAP_TIMEOUT));
+        stream.read_exact(&mut ack).expect("barrier read failed");
+        assert_eq!(ack[0], 0xB7, "peer sent a malformed barrier byte");
+        stream.set_read_timeout(None).expect("failed to clear read timeout");
+    }
+    streams
+}
+
+/// The writer loop: drains pre-encoded messages (their `[len u64]` prefix was
+/// stamped at encode time, so each buffer is written as-is — no re-copy) until
+/// every sender handle has been dropped.
+fn writer_loop(mut stream: TcpStream, frames: Receiver<Vec<u8>>) {
+    while let Ok(frame) = frames.recv() {
+        if stream.write_all(&frame).is_err() {
+            // The remote process is gone; its dataflows were complete.
+            return;
+        }
+    }
+}
+
+/// The reader loop: reads `[len u64][frame]` messages, rebuilds envelopes with
+/// still-encoded payloads and routes them into the destination worker's local
+/// mailbox, until EOF.
+///
+/// A broken connection *between* frames is a clean shutdown (the remote
+/// process finished and closed its socket). A failure *mid-frame* — a peer
+/// that died half-way through a write — is fatal to the whole process: this
+/// thread is the only one that can observe the peer's death, and merely
+/// panicking here would leave the worker threads spinning forever on
+/// envelopes that will never arrive. Aborting turns the hang into a loud,
+/// immediate failure.
+fn reader_loop(mut stream: TcpStream, first_worker: usize, mailboxes: Vec<Sender<Envelope>>) {
+    let fatal = |message: &str| -> ! {
+        eprintln!("cluster connection failed: {message}; aborting (workers would hang forever)");
+        std::process::abort();
+    };
+    loop {
+        let mut len = [0u8; 8];
+        if stream.read_exact(&mut len).is_err() {
+            return; // EOF at a frame boundary: clean remote shutdown.
+        }
+        let len = u64::from_le_bytes(len) as usize;
+        if len < FRAME_HEADER_BYTES {
+            fatal("frame shorter than its header");
+        }
+        // Header and payload are read separately: the payload buffer is
+        // handed to the envelope as-is, so receiving costs no copy.
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        if stream.read_exact(&mut header).is_err() {
+            fatal("peer died mid-frame (truncated header)");
+        }
+        let mut payload = vec![0u8; len - FRAME_HEADER_BYTES];
+        if stream.read_exact(&mut payload).is_err() {
+            fatal("peer died mid-frame (truncated payload)");
+        }
+        let (envelope, to) = decode_frame_parts(&header, payload);
+        let Some(local) = to.checked_sub(first_worker).filter(|local| mailboxes.len() > *local)
+        else {
+            fatal("frame routed to a worker this process does not host");
+        };
+        // A send failure means the local worker already completed its
+        // dataflows; the message is irrelevant, exactly as for local sends.
+        let _ = mailboxes[local].send(envelope);
+    }
+}
+
+/// Join handles for a cluster's socket writer threads.
+///
+/// The writers drain their frame channels until every sender handle has been
+/// dropped — i.e. until every local worker has finished — and only then exit,
+/// having written everything. A process must [`flush`](ClusterGuard::flush)
+/// the guard before terminating: exiting while a writer still holds queued
+/// frames (a worker's final progress updates, typically) silently drops them,
+/// leaving the remote process's progress tracker waiting forever.
+#[derive(Debug, Default)]
+pub struct ClusterGuard {
+    writers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ClusterGuard {
+    /// Blocks until every queued outgoing frame has reached its socket (the
+    /// writer threads exit). Call after all local workers have completed.
+    pub fn flush(self) {
+        for writer in self.writers {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// Builds the communication fabric for this process's share of a cluster.
+///
+/// Blocks until the full process mesh is connected (every pair handshaken and
+/// barriered), then returns one [`Allocator`] per local worker, plus the
+/// [`ClusterGuard`] to flush before the process exits. The allocators carry
+/// *global* worker indices: worker `w` of process `p` is global worker
+/// `p * workers_per_process + w` of `processes * workers_per_process` peers.
+pub fn cluster_allocate(spec: &ClusterSpec) -> (Vec<Allocator>, ClusterGuard) {
+    spec.validate();
+    if spec.processes() == 1 {
+        return (super::allocator::allocate(spec.workers_per_process), ClusterGuard::default());
+    }
+
+    let listener =
+        TcpListener::bind(&spec.addresses[spec.process]).unwrap_or_else(|error| {
+            panic!("process {} could not bind {}: {error}", spec.process, spec.addresses[spec.process])
+        });
+
+    // Rendezvous: exactly one socket per unordered process pair (lower index
+    // accepts, higher index dials), finished by a barrier on every socket.
+    let streams = connect_mesh(spec, &listener);
+
+    // Local mailboxes, one per local worker.
+    let mut mailbox_txs = Vec::with_capacity(spec.workers_per_process);
+    let mut mailbox_rxs = Vec::with_capacity(spec.workers_per_process);
+    for _ in 0..spec.workers_per_process {
+        let (tx, rx) = unbounded();
+        mailbox_txs.push(tx);
+        mailbox_rxs.push(rx);
+    }
+
+    // One writer and one reader thread per remote process. The writer handles
+    // are joined by the ClusterGuard so no process exits with frames queued.
+    let mut writer_txs: Vec<Option<Sender<Vec<u8>>>> =
+        (0..spec.processes()).map(|_| None).collect();
+    let mut writers = Vec::new();
+    for (peer, stream) in streams.into_iter().enumerate() {
+        let Some(stream) = stream else { continue };
+        let (frame_tx, frame_rx) = unbounded::<Vec<u8>>();
+        writer_txs[peer] = Some(frame_tx);
+        let write_stream = stream.try_clone().expect("failed to clone stream");
+        writers.push(
+            std::thread::Builder::new()
+                .name(format!("timelite-net-writer-{}-{}", spec.process, peer))
+                .spawn(move || writer_loop(write_stream, frame_rx))
+                .expect("failed to spawn writer thread"),
+        );
+        let mailboxes = mailbox_txs.clone();
+        let first_worker = spec.first_worker();
+        std::thread::Builder::new()
+            .name(format!("timelite-net-reader-{}-{}", spec.process, peer))
+            .spawn(move || reader_loop(stream, first_worker, mailboxes))
+            .expect("failed to spawn reader thread");
+    }
+
+    // The global sender table every local worker shares: in-memory channels to
+    // local mailboxes, framed writer channels to everyone else.
+    let total = spec.total_workers();
+    let first = spec.first_worker();
+    let senders: Vec<WorkerSender> = (0..total)
+        .map(|worker| {
+            if (first..first + spec.workers_per_process).contains(&worker) {
+                WorkerSender::Local(mailbox_txs[worker - first].clone())
+            } else {
+                let process = worker / spec.workers_per_process;
+                let tx = writer_txs[process]
+                    .as_ref()
+                    .expect("a remote worker's process must have a connection")
+                    .clone();
+                WorkerSender::Remote { to: worker, tx }
+            }
+        })
+        .collect();
+
+    let allocators = mailbox_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(local, receiver)| {
+            Allocator::from_parts(first + local, total, senders.clone(), receiver)
+        })
+        .collect();
+    (allocators, ClusterGuard { writers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communication::{send_to, Payload};
+
+    /// Runs `func(process)` on one thread per process, with the shared address
+    /// list, and returns the per-process results in index order.
+    fn with_cluster<R: Send + 'static>(
+        processes: usize,
+        workers_per_process: usize,
+        func: impl Fn(ClusterSpec) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let addresses = free_addresses(processes);
+        let func = std::sync::Arc::new(func);
+        let handles: Vec<_> = (0..processes)
+            .map(|process| {
+                let func = std::sync::Arc::clone(&func);
+                let spec = ClusterSpec {
+                    process,
+                    workers_per_process,
+                    addresses: addresses.clone(),
+                };
+                std::thread::spawn(move || func(spec))
+            })
+            .collect();
+        handles.into_iter().map(|handle| handle.join().expect("process panicked")).collect()
+    }
+
+    #[test]
+    fn cluster_of_one_process_falls_back_to_local() {
+        let spec = ClusterSpec {
+            process: 0,
+            workers_per_process: 2,
+            addresses: vec!["unused".to_string()],
+        };
+        let (allocs, guard) = cluster_allocate(&spec);
+        assert_eq!(allocs.len(), 2);
+        assert_eq!(allocs[0].peers(), 2);
+        guard.flush();
+    }
+
+    #[test]
+    fn bootstrap_connects_two_processes_and_indices_are_global() {
+        let indices = with_cluster(2, 2, |spec| {
+            let (allocs, guard) = cluster_allocate(&spec);
+            let indices =
+                allocs.iter().map(|alloc| (alloc.index(), alloc.peers())).collect::<Vec<_>>();
+            drop(allocs);
+            guard.flush();
+            indices
+        });
+        assert_eq!(indices[0], vec![(0, 4), (1, 4)]);
+        assert_eq!(indices[1], vec![(2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn envelopes_cross_the_socket_and_decode() {
+        let received = with_cluster(2, 1, |spec| {
+            let (allocs, _guard) = cluster_allocate(&spec);
+            let alloc = &allocs[0];
+            let other = 1 - spec.process;
+            // Every process sends one data envelope to the other's worker.
+            let batches: Vec<(u64, Vec<u64>)> = vec![(7, vec![spec.process as u64 + 10])];
+            send_to(
+                &alloc.senders(),
+                other,
+                Envelope {
+                    dataflow: 0,
+                    channel: 3,
+                    from: alloc.index(),
+                    payload: Payload::Data(Box::new(batches)),
+                },
+            );
+            // Await the peer's envelope.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if let Some(envelope) = alloc.try_recv() {
+                    assert_eq!(envelope.channel, 3);
+                    assert_eq!(envelope.from, other);
+                    match envelope.payload {
+                        Payload::DataBytes(bytes) => {
+                            use crate::codec::Codec;
+                            return Vec::<(u64, Vec<u64>)>::decode_from_slice(&bytes);
+                        }
+                        other => panic!("expected wire-encoded data, got {other:?}"),
+                    }
+                }
+                assert!(Instant::now() < deadline, "envelope never arrived");
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(received[0], vec![(7, vec![11])]);
+        assert_eq!(received[1], vec![(7, vec![10])]);
+    }
+
+    #[test]
+    fn per_connection_frame_order_is_preserved() {
+        let received = with_cluster(2, 1, |spec| {
+            let (allocs, _guard) = cluster_allocate(&spec);
+            let alloc = &allocs[0];
+            let other = 1 - spec.process;
+            for i in 0..100usize {
+                send_to(
+                    &alloc.senders(),
+                    other,
+                    Envelope {
+                        dataflow: 0,
+                        channel: i,
+                        from: alloc.index(),
+                        payload: Payload::Progress(Box::new(i)),
+                    },
+                );
+            }
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut channels = Vec::new();
+            while channels.len() < 100 {
+                if let Some(envelope) = alloc.try_recv() {
+                    channels.push(envelope.channel);
+                } else {
+                    assert!(Instant::now() < deadline, "frames never arrived");
+                    std::thread::yield_now();
+                }
+            }
+            channels
+        });
+        let expected: Vec<usize> = (0..100).collect();
+        assert_eq!(received[0], expected);
+        assert_eq!(received[1], expected);
+    }
+}

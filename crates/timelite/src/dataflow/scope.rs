@@ -6,15 +6,13 @@
 //! (edges), progress-accounting hooks and the demultiplexing closures used to
 //! deliver received messages into typed per-channel queues.
 
-use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use crossbeam_channel::Sender;
-
+use crate::codec::Codec;
 use crate::communication::{
-    shared_changes, shared_queue, Envelope, MultiBatch, Pact, Pusher, SharedChanges, SharedQueue,
-    SharedTee,
+    shared_changes, shared_queue, MultiBatch, Pact, Payload, Pusher, SharedChanges, SharedQueue,
+    SharedTee, WorkerSender,
 };
 use crate::order::Timestamp;
 use crate::progress::{Antichain, EdgeDesc, NodeDesc, Port};
@@ -24,9 +22,10 @@ use crate::Data;
 /// current input frontiers.
 pub type OperatorLogic<T> = Box<dyn FnMut(&[Antichain<T>])>;
 
-/// A closure that accepts a type-erased received message for one channel and
-/// pushes it into the channel's typed local queue.
-pub type DemuxClosure = Box<dyn FnMut(Box<dyn Any + Send>)>;
+/// A closure that accepts a received data payload for one channel — typed
+/// (from a worker in this process) or still wire-encoded (from a worker in
+/// another process) — and pushes it into the channel's typed local queue.
+pub type DemuxClosure = Box<dyn FnMut(Payload)>;
 
 /// A closure that flushes one channel's staged remote batches into envelopes
 /// (invoked once per worker scheduling round).
@@ -37,7 +36,7 @@ pub struct GraphBuilder<T: Timestamp> {
     dataflow: usize,
     index: usize,
     peers: usize,
-    senders: Vec<Sender<Envelope>>,
+    senders: Vec<WorkerSender>,
     nodes: Vec<NodeDesc>,
     logics: Vec<Option<OperatorLogic<T>>>,
     edges: Vec<EdgeDesc>,
@@ -53,7 +52,7 @@ pub struct GraphBuilder<T: Timestamp> {
 
 impl<T: Timestamp> GraphBuilder<T> {
     /// Creates a new builder for dataflow `dataflow` on worker `index` of `peers`.
-    pub fn new(dataflow: usize, index: usize, peers: usize, senders: Vec<Sender<Envelope>>) -> Self {
+    pub fn new(dataflow: usize, index: usize, peers: usize, senders: Vec<WorkerSender>) -> Self {
         GraphBuilder {
             dataflow,
             index,
@@ -122,11 +121,16 @@ impl<T: Timestamp> GraphBuilder<T> {
         self.consumeds.push(Rc::clone(&consumed));
 
         let demux_queue = Rc::clone(&queue);
-        self.demux.push(Box::new(move |boxed: Box<dyn Any + Send>| {
-            let batches = boxed
-                .downcast::<MultiBatch<T, D>>()
-                .expect("channel received a message of an unexpected type");
-            demux_queue.borrow_mut().extend(*batches);
+        self.demux.push(Box::new(move |payload: Payload| {
+            let batches: MultiBatch<T, D> = match payload {
+                Payload::Data(message) => *message
+                    .into_any()
+                    .downcast::<MultiBatch<T, D>>()
+                    .expect("channel received a message of an unexpected type"),
+                Payload::DataBytes(bytes) => MultiBatch::<T, D>::decode_from_slice(&bytes),
+                other => panic!("progress payload {other:?} delivered to a data channel"),
+            };
+            demux_queue.borrow_mut().extend(batches);
         }));
 
         let pusher = Pusher::new(
@@ -170,7 +174,7 @@ impl<T: Timestamp> GraphBuilder<T> {
     }
 
     /// Clones the sender handles to every worker mailbox.
-    pub fn senders(&self) -> Vec<Sender<Envelope>> {
+    pub fn senders(&self) -> Vec<WorkerSender> {
         self.senders.clone()
     }
 }
@@ -184,7 +188,7 @@ pub struct BuiltDataflow<T: Timestamp> {
     /// The number of workers.
     pub peers: usize,
     /// Sender handles to every worker mailbox.
-    pub senders: Vec<Sender<Envelope>>,
+    pub senders: Vec<WorkerSender>,
     /// Static node descriptions.
     pub nodes: Vec<NodeDesc>,
     /// Scheduling logic per node (no-op if the node has none, e.g. inputs).
@@ -325,10 +329,10 @@ mod tests {
             b.add_channel::<String>(Port::new(a, 0), Port::new(c, 0), Pact::Pipeline, &tee).0
         });
         let mut built = scope.finalize();
-        (built.demux[0])(Box::new(vec![
+        (built.demux[0])(Payload::Data(Box::new(vec![
             (7u64, vec!["hello".to_string()]),
             (8u64, vec!["world".to_string()]),
-        ]));
+        ])));
         let mut queue = queue.borrow_mut();
         assert_eq!(queue.pop_front(), Some((7, vec!["hello".to_string()])));
         assert_eq!(queue.pop_front(), Some((8, vec!["world".to_string()])));

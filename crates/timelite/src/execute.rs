@@ -1,28 +1,91 @@
-//! Spawning multi-worker computations.
+//! Spawning multi-worker computations: threads in this process, or this
+//! process's share of a multi-process cluster.
 
 use std::sync::Arc;
 use std::thread;
 
-use crate::communication::allocate;
+use crate::communication::{allocate, cluster_allocate, Allocator, ClusterGuard, ClusterSpec};
 use crate::worker::Worker;
 
 /// Configuration of a `timelite` computation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Config {
-    /// The number of worker threads to spawn.
-    pub workers: usize,
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Config {
+    /// A single worker thread in this process.
+    Thread,
+    /// `workers` worker threads in this process.
+    Process(usize),
+    /// This process's share of a multi-process cluster: `workers_per_process`
+    /// worker threads per process, all processes listed (in process-index
+    /// order) in `addresses`, this process being `addresses[process]`.
+    ///
+    /// Worker indices are global: worker `w` of process `p` is worker
+    /// `p * workers_per_process + w` of `addresses.len() *
+    /// workers_per_process` peers, so dataflows built against
+    /// [`Worker::index`]/[`Worker::peers`] are oblivious to process
+    /// boundaries. [`execute`] blocks in the bootstrap handshake until every
+    /// process of the cluster has connected.
+    Cluster {
+        /// This process's index in `0..addresses.len()`.
+        process: usize,
+        /// Worker threads per process (identical across processes).
+        workers_per_process: usize,
+        /// One listen address per process, identical on every process.
+        addresses: Vec<String>,
+    },
 }
 
 impl Config {
     /// A configuration with `workers` worker threads in this process.
     pub fn process(workers: usize) -> Self {
         assert!(workers > 0, "at least one worker is required");
-        Config { workers }
+        Config::Process(workers)
     }
 
     /// A single-threaded configuration.
     pub fn thread() -> Self {
-        Config { workers: 1 }
+        Config::Thread
+    }
+
+    /// This process's share of a multi-process cluster over TCP.
+    pub fn cluster(process: usize, workers_per_process: usize, addresses: Vec<String>) -> Self {
+        Config::Cluster { process, workers_per_process, addresses }
+    }
+
+    /// The number of worker threads this process will spawn.
+    pub fn local_workers(&self) -> usize {
+        match self {
+            Config::Thread => 1,
+            Config::Process(workers) => *workers,
+            Config::Cluster { workers_per_process, .. } => *workers_per_process,
+        }
+    }
+
+    /// The total number of workers across all processes of the computation.
+    pub fn total_workers(&self) -> usize {
+        match self {
+            Config::Thread => 1,
+            Config::Process(workers) => *workers,
+            Config::Cluster { workers_per_process, addresses, .. } => {
+                workers_per_process * addresses.len()
+            }
+        }
+    }
+
+    fn allocators(&self) -> (Vec<Allocator>, ClusterGuard) {
+        match self {
+            Config::Thread => (allocate(1), ClusterGuard::default()),
+            Config::Process(workers) => {
+                assert!(*workers > 0, "at least one worker is required");
+                (allocate(*workers), ClusterGuard::default())
+            }
+            Config::Cluster { process, workers_per_process, addresses } => {
+                cluster_allocate(&ClusterSpec {
+                    process: *process,
+                    workers_per_process: *workers_per_process,
+                    addresses: addresses.clone(),
+                })
+            }
+        }
     }
 }
 
@@ -32,19 +95,22 @@ impl Default for Config {
     }
 }
 
-/// Executes `func` on `config.workers` worker threads and returns their results
-/// in worker-index order.
+/// Executes `func` on this process's worker threads and returns their results
+/// in worker-index order (the local workers only, under
+/// [`Config::Cluster`]).
 ///
 /// Each worker runs `func` to construct (identical) dataflows and drive its
 /// inputs; when `func` returns, the worker continues stepping until all of its
-/// dataflows have completed (all inputs closed, all messages drained).
+/// dataflows have completed (all inputs closed, all messages drained). Under
+/// [`Config::Cluster`] the call first blocks in the bootstrap rendezvous until
+/// every process of the cluster is connected.
 pub fn execute<F, R>(config: Config, func: F) -> Vec<R>
 where
     F: Fn(&mut Worker) -> R + Send + Sync + 'static,
     R: Send + 'static,
 {
     let func = Arc::new(func);
-    let allocators = allocate(config.workers);
+    let (allocators, guard) = config.allocators();
     let handles: Vec<_> = allocators
         .into_iter()
         .map(|alloc| {
@@ -60,10 +126,15 @@ where
                 .expect("failed to spawn worker thread")
         })
         .collect();
-    handles
+    let results = handles
         .into_iter()
         .map(|handle| handle.join().expect("worker thread panicked"))
-        .collect()
+        .collect();
+    // Cluster mode: block until the socket writers have flushed every frame
+    // the workers queued (their final progress updates included) — a process
+    // exiting mid-flush would leave its peers' trackers waiting forever.
+    guard.flush();
+    results
 }
 
 /// Executes `func` on a single worker thread (useful for examples and tests).
@@ -97,5 +168,14 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Config::process(0);
+    }
+
+    #[test]
+    fn worker_counts_are_derived_from_the_variant() {
+        assert_eq!(Config::thread().local_workers(), 1);
+        assert_eq!(Config::process(4).total_workers(), 4);
+        let cluster = Config::cluster(1, 2, vec!["a:1".to_string(), "b:2".to_string()]);
+        assert_eq!(cluster.local_workers(), 2);
+        assert_eq!(cluster.total_workers(), 4);
     }
 }

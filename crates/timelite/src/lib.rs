@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod communication;
 pub mod dataflow;
 pub mod execute;
@@ -65,6 +66,7 @@ pub mod order;
 pub mod progress;
 pub mod worker;
 
+pub use crate::codec::Codec;
 pub use crate::dataflow::{Capability, InputHandle, InputPort, OperatorBuilder, OutputPort, ProbeHandle, Scope, Stream};
 pub use crate::execute::{execute, execute_single, Config};
 pub use crate::order::{PartialOrder, Product, Timestamp, TotalOrder};
@@ -73,10 +75,12 @@ pub use crate::worker::Worker;
 
 /// Types that may be transported on dataflow streams.
 ///
-/// Data must be cloneable (for broadcast and multi-consumer streams) and
-/// sendable between worker threads.
-pub trait Data: Clone + Send + 'static {}
-impl<T: Clone + Send + 'static> Data for T {}
+/// Data must be cloneable (for broadcast and multi-consumer streams), sendable
+/// between worker threads, and serializable ([`Codec`]) so that the same
+/// dataflow runs unchanged when workers are spread over multiple processes and
+/// channels cross a TCP socket.
+pub trait Data: Clone + Send + Codec + 'static {}
+impl<T: Clone + Send + Codec + 'static> Data for T {}
 
 /// A convenient set of imports for building dataflows.
 pub mod prelude {

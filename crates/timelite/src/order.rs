@@ -9,6 +9,8 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
+use crate::codec::Codec;
+
 /// A type with a partial ordering.
 ///
 /// Unlike [`PartialOrd`], incomparable elements are expressed by *both*
@@ -35,8 +37,10 @@ pub trait TotalOrder: PartialOrder {}
 /// A timestamp must have a partial order, a minimum element, and enough auxiliary
 /// structure (`Ord`, `Hash`) to be stored efficiently. The `Ord` implementation
 /// must be a linear extension of the partial order: `a.less_equal(b)` implies
-/// `a <= b`.
-pub trait Timestamp: Clone + PartialOrder + Ord + Eq + Hash + Debug + Send + 'static {
+/// `a <= b`. Timestamps are serializable ([`Codec`]) because both data
+/// envelopes and progress updates carry them across process boundaries in
+/// cluster mode.
+pub trait Timestamp: Clone + PartialOrder + Ord + Eq + Hash + Debug + Send + Codec + 'static {
     /// The smallest element of the timestamp domain.
     fn minimum() -> Self;
 }

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use crate::codec::Codec;
 use crate::communication::{send_to, Allocator, Envelope, Payload};
 use crate::dataflow::scope::{BuiltDataflow, GraphBuilder, Scope};
 use crate::order::Timestamp;
@@ -56,14 +57,18 @@ impl<T: Timestamp> DataflowCore<T> {
 impl<T: Timestamp> DataflowStep for DataflowCore<T> {
     fn accept(&mut self, channel: usize, payload: Payload) {
         match payload {
-            Payload::Data(boxed) => {
-                (self.built.demux[channel])(boxed);
+            payload @ (Payload::Data(_) | Payload::DataBytes(_)) => {
+                (self.built.demux[channel])(payload);
             }
             Payload::Progress(boxed) => {
                 let updates = boxed
+                    .into_any()
                     .downcast::<ProgressUpdates<T>>()
                     .expect("progress payload of unexpected timestamp type");
                 self.pending_progress.push_back(*updates);
+            }
+            Payload::ProgressBytes(bytes) => {
+                self.pending_progress.push_back(ProgressUpdates::<T>::decode_from_slice(&bytes));
             }
         }
     }
@@ -89,12 +94,23 @@ impl<T: Timestamp> DataflowStep for DataflowCore<T> {
             flusher();
         }
 
-        // 4. Harvest and share progress changes made by the operators.
+        // 4. Harvest and share progress changes made by the operators. The
+        //    batch is identical for every peer; remote peers receive its wire
+        //    encoding, produced once and cloned as bytes, instead of paying a
+        //    full re-encode per peer.
         let updates = self.harvest_progress();
         if !updates.is_empty() {
             self.tracker.apply(&updates);
+            let mut encoded: Option<Vec<u8>> = None;
             for target in 0..self.built.peers {
                 if target != self.built.index {
+                    let payload = if self.built.senders[target].is_remote() {
+                        let bytes =
+                            encoded.get_or_insert_with(|| updates.encode_to_vec()).clone();
+                        Payload::ProgressBytes(bytes)
+                    } else {
+                        Payload::Progress(Box::new(updates.clone()))
+                    };
                     send_to(
                         &self.built.senders,
                         target,
@@ -102,7 +118,7 @@ impl<T: Timestamp> DataflowStep for DataflowCore<T> {
                             dataflow: self.built.dataflow,
                             channel: usize::MAX,
                             from: self.built.index,
-                            payload: Payload::Progress(Box::new(updates.clone())),
+                            payload,
                         },
                     );
                 }

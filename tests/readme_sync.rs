@@ -149,6 +149,95 @@ fn readme_workload_mode_table_names_every_mode() {
 }
 
 #[test]
+fn readme_timelite_module_table_matches_the_sources() {
+    let readme = read("README.md");
+    let modules = std::fs::read_dir(repo_root().join("crates/timelite/src"))
+        .expect("timelite sources")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            let name = name.strip_suffix(".rs").unwrap_or(&name).to_string();
+            (name != "lib").then_some(name)
+        })
+        .collect::<Vec<_>>();
+    assert!(modules.len() >= 7, "timelite module list looks truncated: {modules:?}");
+    for module in &modules {
+        assert!(
+            readme.contains(&format!("`{module}`")),
+            "timelite module `{module}` is missing from README's module table"
+        );
+    }
+}
+
+#[test]
+fn readme_communication_files_are_documented() {
+    // The communication row must name each of the fabric's source files, so a
+    // new transport file cannot land undocumented.
+    let readme = read("README.md");
+    let files = std::fs::read_dir(repo_root().join("crates/timelite/src/communication"))
+        .expect("communication sources")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .filter(|name| name != "mod")
+        .collect::<Vec<_>>();
+    assert!(files.len() >= 3, "communication file list looks truncated: {files:?}");
+    for file in &files {
+        assert!(
+            readme.contains(&format!("`{file}`")),
+            "communication file `{file}` is missing from README's communication row"
+        );
+    }
+}
+
+#[test]
+fn readme_harness_module_table_matches_the_sources() {
+    let readme = read("README.md");
+    let modules = std::fs::read_dir(repo_root().join("crates/harness/src"))
+        .expect("harness sources")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            let name = name.strip_suffix(".rs")?;
+            (name != "lib").then(|| name.to_string())
+        })
+        .collect::<Vec<_>>();
+    assert!(modules.len() >= 7, "harness module list looks truncated: {modules:?}");
+    for module in &modules {
+        assert!(
+            readme.contains(&format!("`{module}`")),
+            "harness module `{module}` is missing from README's module table"
+        );
+    }
+}
+
+#[test]
+fn readme_documents_cluster_mode() {
+    // The cluster-mode section must describe the Config variants, the
+    // bootstrap handshake and the wire framing, and point at the equivalence
+    // evidence; the variant must actually exist in the engine.
+    let readme = read("README.md");
+    assert!(readme.contains("## Cluster mode"), "README must keep the Cluster mode section");
+    for needle in [
+        "Config::Cluster { process, workers_per_process, addresses }",
+        "Config::Thread",
+        "Config::Process(n)",
+        "barrier",
+        "[len u64]",
+        "[dataflow u64][channel u64][from u64][to u64][kind u8]",
+        "tests/cluster_equivalence.rs",
+        "cluster_run",
+        "cluster-smoke",
+    ] {
+        assert!(readme.contains(needle), "Cluster mode section lost `{needle}`");
+    }
+    let execute = read("crates/timelite/src/execute.rs");
+    assert!(
+        execute.contains("Cluster {"),
+        "Config::Cluster vanished from timelite::execute — update this test and README"
+    );
+}
+
+#[test]
 fn readme_criterion_bench_list_matches_the_sources() {
     let readme = read("README.md");
     let benches = std::fs::read_dir(repo_root().join("crates/bench/benches"))
