@@ -6,11 +6,13 @@
 //! bytes, while the whole-bin path's worst call scales with the bin.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use megaphone::codec::{Assembler, Fragmenter};
-use megaphone::{Bin, ChunkedCodec, Codec};
+use megaphone::codec::{encode_fragments, Assembler, Fragmenter};
+use megaphone::storage::DurableConfig;
+use megaphone::{Bin, BinStore, ChunkedCodec, Codec, MegaphoneConfig};
 use timelite::hashing::FxHashMap;
 
 type LargeBin = Bin<u64, FxHashMap<u64, u64>, (u64, u64)>;
+type LargeStore = BinStore<u64, FxHashMap<u64, u64>, (u64, u64)>;
 
 /// The fragment budget used throughout: the `MegaphoneConfig` default.
 const CHUNK_BYTES: usize = 64 << 10;
@@ -117,11 +119,50 @@ fn bench_stall_chunked(c: &mut Criterion) {
     group.finish();
 }
 
+/// The chunked install driven through the durable backend: every fragment is
+/// WAL-appended before the assembler absorbs it and the commit record seals
+/// the install. The delta against `bin_migrate_large/chunked` is the price of
+/// durability on the migration path (fsync off — the process-crash model; the
+/// per-iteration store open and directory reset happen in setup, untimed).
+fn bench_durable_install(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_migrate_large_durable/install");
+    let root = std::env::temp_dir().join(format!("mp-bench-durable-{}", std::process::id()));
+    for (label, bytes) in SIZES {
+        let fragments = encode_fragments(bin_of(bytes), CHUNK_BYTES);
+        let dir = root.join(label);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fragments, |b, fragments| {
+            b.iter_batched(
+                || {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    let durable = DurableConfig::new(&dir).with_fsync(false);
+                    let (store, recovered) =
+                        LargeStore::open_durable(&MegaphoneConfig::new(2), &durable, "bench", 0)
+                            .expect("open durable store");
+                    assert!(!recovered, "the reset directory must open fresh");
+                    store
+                },
+                |mut store| {
+                    for (index, fragment) in fragments.iter().enumerate() {
+                        store
+                            .try_install_fragment(0, fragment, index + 1 == fragments.len())
+                            .expect("durable install");
+                    }
+                    store.try_bin(0).map_or(0, |bin| bin.state.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 criterion_group!(
     benches,
     bench_whole_roundtrip,
     bench_chunked_roundtrip,
     bench_stall_whole,
-    bench_stall_chunked
+    bench_stall_chunked,
+    bench_durable_install
 );
 criterion_main!(benches);

@@ -50,6 +50,50 @@ const ENV_ADDRS: &str = "MP_CLUSTER_ADDRS";
 const ENV_WPP: &str = "MP_CLUSTER_WPP";
 /// File the child writes its encoded results to.
 const ENV_OUT: &str = "MP_CLUSTER_OUT";
+/// The child's private data directory (durable-storage runs only).
+const ENV_DATA: &str = "MP_CLUSTER_DATA";
+
+/// What [`cluster_run_with_data`] knows about one spawned child process.
+///
+/// The PIDs let tests that exercise crash recovery assert which process died,
+/// and the data directories let them inspect (or re-open) each process's
+/// durable stores after the run.
+#[derive(Clone, Debug)]
+pub struct ChildInfo {
+    /// The child's process index within the cluster (1-based; the parent is 0).
+    pub process: usize,
+    /// The child's operating-system process id.
+    pub pid: u32,
+    /// The data directory assigned to the child, if the run was given a data
+    /// root.
+    pub data_dir: Option<PathBuf>,
+}
+
+/// The results of a [`cluster_run_with_data`]: every worker's result plus
+/// what the parent knows about the children it forked.
+pub struct ClusterOutcome<R> {
+    /// Every worker's result in global worker order.
+    pub results: Vec<R>,
+    /// The spawned children (processes `1..n`), in process order.
+    pub children: Vec<ChildInfo>,
+}
+
+/// The data directory assigned to this cluster process, if any.
+///
+/// Inside a child forked by [`cluster_run_with_data`] this is the directory
+/// the parent assigned it; in the parent (process 0) — or outside any cluster
+/// run — it is `None`, and the test should fall back to
+/// `data_root.join("process-0")`, which is the directory the parent reserves
+/// for itself.
+pub fn cluster_data_dir() -> Option<PathBuf> {
+    std::env::var(ENV_DATA).ok().map(PathBuf::from)
+}
+
+/// The directory [`cluster_run_with_data`] assigns to `process` under
+/// `data_root`.
+pub fn process_data_dir(data_root: &std::path::Path, process: usize) -> PathBuf {
+    data_root.join(format!("process-{process}"))
+}
 
 /// The cluster role a child process was spawned for.
 struct ChildRole {
@@ -112,6 +156,28 @@ where
     F: Fn(&mut Worker) -> R + Send + Sync + 'static,
     R: Codec + Send + 'static,
 {
+    cluster_run_with_data(test_name, processes, workers_per_process, None, func).results
+}
+
+/// [`cluster_run`], plus per-process data directories and child visibility.
+///
+/// When `data_root` is given, every child process is assigned the private
+/// directory `data_root/process-{i}` (created by the parent, readable in the
+/// child via [`cluster_data_dir`]); the parent reserves `process-0` for
+/// itself. The returned [`ClusterOutcome`] carries each child's PID and data
+/// directory alongside the worker results, so crash-recovery tests can target
+/// a specific process and re-open its stores.
+pub fn cluster_run_with_data<R, F>(
+    test_name: &str,
+    processes: usize,
+    workers_per_process: usize,
+    data_root: Option<&std::path::Path>,
+    func: F,
+) -> ClusterOutcome<R>
+where
+    F: Fn(&mut Worker) -> R + Send + Sync + 'static,
+    R: Codec + Send + 'static,
+{
     assert!(processes > 0, "at least one process is required");
     let call = next_call(test_name);
 
@@ -125,7 +191,9 @@ where
             // An earlier cluster_run of this test (possibly of a different
             // shape), replayed in-process so the test logic between the calls
             // still sees valid results.
-            return timelite::execute(Config::process(processes * workers_per_process), func);
+            let results =
+                timelite::execute(Config::process(processes * workers_per_process), func);
+            return ClusterOutcome { results, children: Vec::new() };
         }
         assert_eq!(
             call, role.call,
@@ -147,6 +215,13 @@ where
     // Parent: spawn processes 1..n, then join as process 0.
     let addresses = free_addresses(processes);
     let exe = std::env::current_exe().expect("current_exe unavailable");
+    if let Some(root) = data_root {
+        for process in 0..processes {
+            std::fs::create_dir_all(process_data_dir(root, process))
+                .expect("failed to create a process data directory");
+        }
+    }
+    let mut infos: Vec<ChildInfo> = Vec::new();
     let children: Vec<(Child, PathBuf)> = (1..processes)
         .map(|process| {
             let out = std::env::temp_dir().join(format!(
@@ -154,7 +229,9 @@ where
                 std::process::id()
             ));
             let _ = std::fs::remove_file(&out);
-            let child = Command::new(&exe)
+            let data_dir = data_root.map(|root| process_data_dir(root, process));
+            let mut command = Command::new(&exe);
+            command
                 .arg(test_name)
                 .arg("--exact")
                 .arg("--nocapture")
@@ -165,9 +242,12 @@ where
                 .env(ENV_ADDRS, addresses.join(","))
                 .env(ENV_OUT, &out)
                 .stdout(Stdio::null())
-                .stderr(Stdio::inherit())
-                .spawn()
-                .expect("failed to spawn cluster child process");
+                .stderr(Stdio::inherit());
+            if let Some(dir) = &data_dir {
+                command.env(ENV_DATA, dir);
+            }
+            let child = command.spawn().expect("failed to spawn cluster child process");
+            infos.push(ChildInfo { process, pid: child.id(), data_dir });
             (child, out)
         })
         .collect();
@@ -214,5 +294,5 @@ where
         let _ = std::fs::remove_file(&out);
         results.extend(Vec::<R>::decode_from_slice(&bytes));
     }
-    results
+    ClusterOutcome { results, children: infos }
 }

@@ -1,0 +1,187 @@
+//! Crash testing: SIGKILL the test binary at a named barrier, then restart it.
+//!
+//! [`fault_run`] proves recovery claims with a real process death, using the
+//! same env-var re-entry pattern as [`cluster_run`](crate::cluster_run):
+//!
+//! 1. The parent test process calls [`fault_run`]. It creates a fresh data
+//!    directory and spawns the test binary (`<test_name> --exact`) as an
+//!    **armed** child (attempt 0) pointed at that directory.
+//! 2. The child re-enters the test function, recognizes the `MP_FAULT_*`
+//!    environment, and runs the caller's closure with a [`FaultCtx`]. When the
+//!    closure reaches [`FaultCtx::barrier`], the armed child drops a marker
+//!    file and parks.
+//! 3. The parent polls for the marker and SIGKILLs the parked child — no
+//!    drop handlers, no flushes: whatever the closure made durable before the
+//!    barrier is all that survives.
+//! 4. The parent spawns an **unarmed** child (attempt 1) on the same data
+//!    directory. Its barriers are no-ops; it recovers whatever the victim
+//!    left on disk, runs to completion, and writes its `Codec`-encoded result
+//!    to a file the parent decodes.
+//!
+//! The closure sees which world it is in through [`FaultCtx::attempt`] (0 =
+//! doomed first run, 1 = recovery run) and owns the policy of what to skip on
+//! recovery (e.g. a phase marked complete by an on-disk flag). For an oracle
+//! run without any fault — same closure, fresh directory, no kill — construct
+//! the context directly with [`FaultCtx::local`].
+//!
+//! A test may call `fault_run` once; the re-entered child services the first
+//! call it reaches.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use timelite::codec::Codec;
+
+/// The test name the child must re-enter (also guards against env leakage).
+const ENV_TEST: &str = "MP_FAULT_TEST";
+/// Which attempt this child is: 0 = armed victim, 1 = recovery run.
+const ENV_ATTEMPT: &str = "MP_FAULT_ATTEMPT";
+/// The data directory shared by both attempts.
+const ENV_DIR: &str = "MP_FAULT_DIR";
+/// "1" iff barriers park the process for the parent to kill.
+const ENV_ARMED: &str = "MP_FAULT_ARMED";
+/// File the recovery child writes its encoded result to.
+const ENV_OUT: &str = "MP_FAULT_OUT";
+
+/// How long the parent waits for the armed child to reach a barrier.
+const BARRIER_WAIT: Duration = Duration::from_secs(120);
+/// How long an armed barrier parks before concluding the parent forgot it.
+const PARK_LIMIT: Duration = Duration::from_secs(300);
+
+/// The world a [`fault_run`] closure executes in.
+#[derive(Clone, Debug)]
+pub struct FaultCtx {
+    /// The data directory shared by the killed run and the recovery run.
+    pub data_dir: PathBuf,
+    /// 0 on the armed first run (killed at its barrier), 1 on the recovery
+    /// run. Closures use this — or durable on-disk markers — to decide what
+    /// work is already done.
+    pub attempt: usize,
+    /// Whether [`FaultCtx::barrier`] parks for the kill (armed victim) or is
+    /// a no-op (recovery and oracle runs).
+    pub armed: bool,
+}
+
+impl FaultCtx {
+    /// An in-process context for an oracle run: `data_dir` as given, attempt
+    /// 0, unarmed — every barrier is a no-op and the closure runs end to end.
+    pub fn local(data_dir: impl Into<PathBuf>) -> Self {
+        FaultCtx { data_dir: data_dir.into(), attempt: 0, armed: false }
+    }
+
+    /// Declares the kill point `name`. Unarmed: returns immediately. Armed:
+    /// writes the marker file `.barriers/{name}` under the data directory and
+    /// parks until the parent delivers SIGKILL.
+    ///
+    /// Everything the closure needs to survive the crash must be durable
+    /// (synced, not merely written) *before* this call.
+    pub fn barrier(&self, name: &str) {
+        if !self.armed {
+            return;
+        }
+        let dir = self.data_dir.join(".barriers");
+        std::fs::create_dir_all(&dir).expect("failed to create the barrier directory");
+        std::fs::write(dir.join(name), b"reached").expect("failed to write the barrier marker");
+        std::thread::sleep(PARK_LIMIT);
+        panic!("armed barrier {name:?} parked {PARK_LIMIT:?} without being killed");
+    }
+}
+
+/// What a completed [`fault_run`] proved.
+pub struct FaultOutcome<R> {
+    /// The recovery run's result.
+    pub result: R,
+    /// The PID of the armed child that was SIGKILLed at its barrier.
+    pub killed_pid: u32,
+    /// The data directory both attempts shared (left on disk for inspection).
+    pub data_dir: PathBuf,
+}
+
+/// Runs `func` in a child process, SIGKILLs it at its [`FaultCtx::barrier`],
+/// restarts it on the same data directory, and returns the recovery run's
+/// result.
+///
+/// `test_name` must be the exact libtest name of the calling test function
+/// (what `cargo test <name> --exact` would run): the forked children re-enter
+/// the binary through it. `func` must call [`FaultCtx::barrier`] at least
+/// once on its armed path, or the parent fails the test after a timeout.
+pub fn fault_run<R, F>(test_name: &str, func: F) -> FaultOutcome<R>
+where
+    F: Fn(&FaultCtx) -> R,
+    R: Codec,
+{
+    if let Ok(test) = std::env::var(ENV_TEST) {
+        // Child: run the closure in the role the environment describes.
+        assert_eq!(
+            test, test_name,
+            "fault child re-entered the wrong test: spawned for {test:?}, reached {test_name:?}"
+        );
+        let ctx = FaultCtx {
+            data_dir: PathBuf::from(std::env::var(ENV_DIR).expect("child env incomplete: dir")),
+            attempt: std::env::var(ENV_ATTEMPT)
+                .expect("child env incomplete: attempt")
+                .parse()
+                .expect("malformed attempt number"),
+            armed: std::env::var(ENV_ARMED).expect("child env incomplete: armed") == "1",
+        };
+        let result = func(&ctx);
+        let out = std::env::var(ENV_OUT).expect("child env incomplete: output path");
+        std::fs::write(out, result.encode_to_vec()).expect("child failed to write its result");
+        // The parent only needs this call; exiting skips the rest of the test.
+        std::process::exit(0);
+    }
+
+    // Parent: fresh data directory, then victim and recovery children.
+    let data_dir =
+        std::env::temp_dir().join(format!("mp-fault-{test_name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).expect("failed to create the fault data directory");
+    let out = data_dir.join("result.bin");
+    let exe = std::env::current_exe().expect("current_exe unavailable");
+    let spawn = |attempt: usize, armed: bool| {
+        Command::new(&exe)
+            .arg(test_name)
+            .arg("--exact")
+            .arg("--nocapture")
+            .env(ENV_TEST, test_name)
+            .env(ENV_ATTEMPT, attempt.to_string())
+            .env(ENV_DIR, &data_dir)
+            .env(ENV_ARMED, if armed { "1" } else { "0" })
+            .env(ENV_OUT, &out)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("failed to spawn fault child process")
+    };
+
+    // Attempt 0, armed: wait for it to park at a barrier, then SIGKILL it.
+    let mut victim = spawn(0, true);
+    let killed_pid = victim.id();
+    let barriers = data_dir.join(".barriers");
+    let deadline = Instant::now() + BARRIER_WAIT;
+    loop {
+        let reached =
+            std::fs::read_dir(&barriers).map(|dir| dir.count() > 0).unwrap_or(false);
+        if reached {
+            break;
+        }
+        if let Ok(Some(status)) = victim.try_wait() {
+            panic!("armed fault child exited with {status} before reaching a barrier");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "armed fault child never reached a barrier within {BARRIER_WAIT:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    victim.kill().expect("failed to kill the parked fault child");
+    victim.wait().expect("failed to reap the killed fault child");
+
+    // Attempt 1, unarmed: recover from the victim's leavings and finish.
+    let mut survivor = spawn(1, false);
+    let status = survivor.wait().expect("failed to wait for the recovery child");
+    assert!(status.success(), "recovery child exited with {status}");
+    let bytes = std::fs::read(&out).expect("recovery child left no result");
+    FaultOutcome { result: R::decode_from_slice(&bytes), killed_pid, data_dir }
+}

@@ -17,10 +17,14 @@
 //! * [`cluster`]: multi-process cluster testing — forks the running test
 //!   binary into real OS processes (env-var re-entry) so the same dataflow can
 //!   be proven equivalent across thread, process and TCP cluster modes.
+//! * [`fault`]: crash testing — SIGKILLs a forked run of the test binary at a
+//!   named barrier and restarts it on the same data directory, so durability
+//!   claims are proven against a real process death.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod histogram;
 pub mod memory;
 pub mod openloop;
@@ -28,7 +32,11 @@ pub mod reaction;
 pub mod report;
 pub mod timeline;
 
-pub use cluster::{cluster_run, free_addresses};
+pub use cluster::{
+    cluster_data_dir, cluster_run, cluster_run_with_data, free_addresses, process_data_dir,
+    ChildInfo, ClusterOutcome,
+};
+pub use fault::{fault_run, FaultCtx, FaultOutcome};
 pub use histogram::{nanos_to_millis, LatencyHistogram};
 pub use memory::{current_rss_bytes, format_bytes, MemorySample, MemorySeries};
 pub use openloop::{Clock, EpochDriver, OpenLoopSchedule};

@@ -27,10 +27,14 @@
 //! alone.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use crate::codec::{Assembler, ChunkedCodec, Codec, Fragmenter};
+use crate::storage::{
+    DurableBackend, DurableConfig, Recovery, StorageBackend, StorageConfig, StorageError,
+    StorageStats,
+};
 
 /// The identifier of one bin (an equivalence class of keys).
 pub type BinId = usize;
@@ -448,6 +452,13 @@ pub struct BinStore<T, S, D> {
     /// `HashMap<BinId, PartialInstall<T, S, D>>`, type-erased so the store's
     /// struct definition does not force codec bounds onto every use site.
     assemblies: Option<Box<dyn std::any::Any>>,
+    /// The optional durable tier: a WAL + spill store. `None` (the default)
+    /// keeps the store purely in memory.
+    backend: Option<Box<dyn StorageBackend>>,
+    /// Bins hosted by this worker whose contents currently live only in the
+    /// backend (spilled out of memory). Spilled bins count as hosted for
+    /// routing; [`BinStore::ensure_resident`] faults them back in on access.
+    spilled: HashSet<BinId>,
 }
 
 impl<T, S, D> std::fmt::Debug for BinStore<T, S, D> {
@@ -456,6 +467,8 @@ impl<T, S, D> std::fmt::Debug for BinStore<T, S, D> {
             .field("bins", &self.bins)
             .field("shards", &self.shards.len())
             .field("hosted", &self.hosted)
+            .field("spilled", &self.spilled.len())
+            .field("durable", &self.backend.is_some())
             .finish()
     }
 }
@@ -485,7 +498,9 @@ impl<T, S: Default, D> BinStore<T, S, D> {
         let shards = (1usize << DEFAULT_SHARD_SHIFT).min(bins.max(1));
         Self::with_layout(bins, shards)
     }
+}
 
+impl<T, S, D> BinStore<T, S, D> {
     fn with_layout(bins: usize, shards: usize) -> Self {
         assert!(bins.is_power_of_two(), "bin count must be a power of two");
         assert!(shards.is_power_of_two() && shards <= bins, "invalid shard count");
@@ -497,11 +512,11 @@ impl<T, S: Default, D> BinStore<T, S, D> {
             hosted: 0,
             tracked: BinLoad::default(),
             assemblies: None,
+            backend: None,
+            spilled: HashSet::new(),
         }
     }
-}
 
-impl<T, S, D> BinStore<T, S, D> {
     /// The shard hosting `bin` (the top bits of the bin id).
     #[inline]
     fn shard_of(&self, bin: BinId) -> usize {
@@ -529,15 +544,41 @@ impl<T, S, D> BinStore<T, S, D> {
         self.shards.len()
     }
 
-    /// Returns `true` iff `bin` is currently hosted on this worker.
+    /// Returns `true` iff `bin` is currently hosted on this worker, resident
+    /// in memory or spilled to the durable tier.
     pub fn is_hosted(&self, bin: BinId) -> bool {
         self.shards[self.shard_of(bin)].slots[self.slot_of(bin)].is_some()
+            || self.spilled.contains(&bin)
     }
 
-    /// The number of bins currently hosted on this worker (O(1): the counter is
-    /// maintained by install/extract rather than scanned).
+    /// The number of bins currently hosted on this worker, including spilled
+    /// bins (O(1): the counters are maintained by install/extract/spill rather
+    /// than scanned).
     pub fn hosted_count(&self) -> usize {
-        self.hosted
+        self.hosted + self.spilled.len()
+    }
+
+    /// The number of hosted bins currently spilled out of memory.
+    pub fn spilled_count(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Returns `true` iff the store has a durable storage backend.
+    pub fn has_backend(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// Makes every logged storage record durable; a no-op without a backend.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        match self.backend.as_mut() {
+            Some(backend) => backend.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// The backend's storage counters, `None` without a backend.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.backend.as_ref().map(|backend| backend.stats())
     }
 
     /// The number of bins hosted in one shard.
@@ -676,16 +717,40 @@ impl<T: Codec + 'static, S: ChunkedCodec + 'static, D: Codec + 'static> BinStore
     /// The extraction borrows the shard's scratch buffer; pass the finished
     /// extraction to [`BinStore::recycle`] to return the (grown) buffer for the
     /// next migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's durable backend fails; use
+    /// [`BinStore::try_extract_chunked`] to handle storage errors.
     pub fn extract_chunked(&mut self, bin: BinId) -> Option<ChunkedExtraction<T, S, D>> {
-        let contents = self.extract(bin)?;
+        self.try_extract_chunked(bin)
+            .unwrap_or_else(|error| panic!("storage error extracting bin {bin}: {error}"))
+    }
+
+    /// [`BinStore::extract_chunked`] with storage errors surfaced instead of
+    /// panicking. A durable store faults a spilled bin back in and writes its
+    /// retire tombstone *before* the bin leaves memory, so a failure leaves
+    /// the bin hosted and untouched (no partial migration).
+    pub fn try_extract_chunked(
+        &mut self,
+        bin: BinId,
+    ) -> Result<Option<ChunkedExtraction<T, S, D>>, StorageError> {
+        if !self.is_hosted(bin) {
+            return Ok(None);
+        }
+        self.ensure_resident(bin)?;
+        if let Some(backend) = self.backend.as_mut() {
+            backend.retire(bin as u64)?;
+        }
+        let contents = self.extract(bin).expect("hosted and resident");
         let shard = self.shard_of(bin);
         let scratch = std::mem::take(&mut self.shards[shard].scratch);
-        Some(ChunkedExtraction {
+        Ok(Some(ChunkedExtraction {
             bin,
             fragmenter: contents.into_fragmenter(),
             scratch,
             exhausted: false,
-        })
+        }))
     }
 
     /// Returns a finished extraction's scratch buffer to its shard.
@@ -707,9 +772,31 @@ impl<T: Codec + 'static, S: ChunkedCodec + 'static, D: Codec + 'static> BinStore
     ///
     /// # Panics
     ///
-    /// Panics if `last` is set but the encoding is incomplete, or if the bin is
-    /// already hosted when its final fragment arrives.
+    /// Panics if `last` is set but the encoding is incomplete, if the bin is
+    /// already hosted when its final fragment arrives, or if the store's
+    /// durable backend fails (use [`BinStore::try_install_fragment`] to handle
+    /// storage errors).
     pub fn install_fragment(&mut self, bin: BinId, bytes: &[u8], last: bool) -> bool {
+        self.try_install_fragment(bin, bytes, last)
+            .unwrap_or_else(|error| panic!("storage error installing bin {bin}: {error}"))
+    }
+
+    /// [`BinStore::install_fragment`] with storage errors surfaced instead of
+    /// panicking. On a durable store the install is atomic and
+    /// crash-recoverable: every fragment is WAL-appended *before* it is
+    /// absorbed, the commit record is made durable *before* the bin becomes
+    /// visible in memory, and any error keeps the assembly pending (memory
+    /// matches the log: fragments appended, no commit) with the backend
+    /// poisoned — no partial install can be observed.
+    pub fn try_install_fragment(
+        &mut self,
+        bin: BinId,
+        bytes: &[u8],
+        last: bool,
+    ) -> Result<bool, StorageError> {
+        if let Some(backend) = self.backend.as_mut() {
+            backend.append_fragment(bin as u64, bytes, last)?;
+        }
         let assemblies = self.assemblies_mut();
         let entry = assemblies.entry(bin).or_insert_with(|| PartialInstall {
             assembler: Bin::<T, S, D>::assembler(),
@@ -720,23 +807,27 @@ impl<T: Codec + 'static, S: ChunkedCodec + 'static, D: Codec + 'static> BinStore
         debug_assert!(slice.is_empty(), "fragment for bin {bin} left {} undecoded bytes", slice.len());
         entry.bytes_received += bytes.len() as u64;
         if !last {
-            return false;
+            return Ok(false);
         }
-        let partial = assemblies.remove(&bin).expect("entry just ensured");
         assert!(
-            partial.assembler.is_complete(),
+            entry.assembler.is_complete(),
             "final fragment for bin {bin} arrived before its encoding completed"
         );
-        let total_bytes = partial.bytes_received;
+        let total_bytes = entry.bytes_received;
+        if let Some(backend) = self.backend.as_mut() {
+            backend.commit(bin as u64, total_bytes)?;
+        }
+        let partial = self.assemblies_mut().remove(&bin).expect("entry just ensured");
         let mut contents = partial.assembler.finish();
         // Headroom so the first post-dated records scheduled after the
         // migration do not immediately reallocate the freshly decoded vector.
         if contents.pending.capacity() == contents.pending.len() {
             contents.pending.reserve(4);
         }
+        self.spilled.remove(&bin);
         self.install(bin, contents);
         self.set_load(bin, BinLoad { records: 0, bytes: total_bytes });
-        true
+        Ok(true)
     }
 
     /// The number of bins with an in-progress incremental install.
@@ -746,6 +837,156 @@ impl<T: Codec + 'static, S: ChunkedCodec + 'static, D: Codec + 'static> BinStore
             .and_then(|map| map.downcast_ref::<HashMap<BinId, PartialInstall<T, S, D>>>())
             .map_or(0, HashMap::len)
     }
+
+    /// The fragment bytes received so far for `bin`'s in-progress install,
+    /// `None` when no install is in flight. After a crash this tells a
+    /// resuming migration how far into the bin's fragment stream to skip.
+    pub fn pending_install_bytes(&self, bin: BinId) -> Option<u64> {
+        self.assemblies
+            .as_ref()
+            .and_then(|map| map.downcast_ref::<HashMap<BinId, PartialInstall<T, S, D>>>())
+            .and_then(|map| map.get(&bin))
+            .map(|partial| partial.bytes_received)
+    }
+
+    /// Faults a spilled bin back into memory from the durable tier. Returns
+    /// `true` iff the bin was spilled and is now resident (`false` when it was
+    /// already resident or is not hosted here).
+    pub fn ensure_resident(&mut self, bin: BinId) -> Result<bool, StorageError> {
+        if !self.spilled.contains(&bin) {
+            return Ok(false);
+        }
+        let backend = self.backend.as_mut().expect("spilled bins require a backend");
+        let image = backend
+            .read(bin as u64)?
+            .unwrap_or_else(|| panic!("spilled bin {bin} is missing from the durable tier"));
+        let contents = decode_image::<T, S, D>(bin, &image);
+        self.spilled.remove(&bin);
+        self.install(bin, contents);
+        self.set_load(bin, BinLoad { records: 0, bytes: image.len() as u64 });
+        Ok(true)
+    }
+
+    /// Spills a resident bin's image to the durable tier and releases its
+    /// memory; the bin stays hosted (routing is unaffected) and faults back in
+    /// on access. Returns `true` iff the bin was resident and is now spilled.
+    /// The image is made durable *before* the bin leaves memory: on error the
+    /// bin stays resident untouched. Requires a backend.
+    pub fn spill_bin(&mut self, bin: BinId) -> Result<bool, StorageError> {
+        if self.backend.is_none() || self.try_bin(bin).is_none() {
+            return Ok(false);
+        }
+        let image = self.try_bin(bin).expect("just checked").encode_to_vec();
+        self.backend.as_mut().expect("just checked").spill(bin as u64, &image)?;
+        let _ = self.extract(bin);
+        self.spilled.insert(bin);
+        Ok(true)
+    }
+
+    /// Spills every resident bin that has folded at most `max_records` records
+    /// since it was last (re-)hosted — the store's notion of *cold*. Returns
+    /// how many bins spilled (always 0 without a backend).
+    pub fn spill_cold(&mut self, max_records: u64) -> Result<usize, StorageError> {
+        if self.backend.is_none() {
+            return Ok(0);
+        }
+        let cold: Vec<BinId> = self
+            .hosted()
+            .map(|(bin, _)| bin)
+            .filter(|&bin| self.load(bin).records <= max_records)
+            .collect();
+        let mut count = 0;
+        for bin in cold {
+            if self.spill_bin(bin)? {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Writes every hosted bin's image as one full table and rotates the WAL,
+    /// bounding recovery replay to work logged after this point. A no-op
+    /// without a backend; refuses ([`StorageError::Busy`]) while an
+    /// incremental install is in flight, whose WAL fragments the rotation
+    /// would discard.
+    pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        if self.backend.is_none() {
+            return Ok(());
+        }
+        if self.pending_installs() > 0 {
+            return Err(StorageError::Busy("in-flight installs block checkpoint"));
+        }
+        let live: Vec<(u64, Vec<u8>)> = self
+            .hosted()
+            .map(|(bin, contents)| (bin as u64, contents.encode_to_vec()))
+            .collect();
+        self.backend.as_mut().expect("just checked").checkpoint(&live)
+    }
+
+    /// Attaches `backend` to the store and overlays what it recovered:
+    /// committed images install as hosted bins (load bytes set to the image
+    /// size) and in-flight fragment sequences re-seed the partial-install
+    /// assemblies exactly as they stood when the previous process stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store already has a backend or a recovered image is not a
+    /// complete encoding (the backend validates checksums, so this indicates
+    /// a logic error, not disk corruption).
+    pub fn attach_backend(&mut self, backend: Box<dyn StorageBackend>, recovery: Recovery) {
+        assert!(self.backend.is_none(), "bin store already has a storage backend");
+        self.backend = Some(backend);
+        for (bin, image) in &recovery.committed {
+            let bin = *bin as BinId;
+            let contents = decode_image::<T, S, D>(bin, image);
+            self.install(bin, contents);
+            self.set_load(bin, BinLoad { records: 0, bytes: image.len() as u64 });
+        }
+        for (bin, fragments) in &recovery.partial {
+            let bin = *bin as BinId;
+            let assemblies = self.assemblies_mut();
+            let entry = assemblies.entry(bin).or_insert_with(|| PartialInstall {
+                assembler: Bin::<T, S, D>::assembler(),
+                bytes_received: 0,
+            });
+            for fragment in fragments {
+                let mut slice = &fragment[..];
+                entry.assembler.absorb(&mut slice);
+                debug_assert!(slice.is_empty(), "recovered fragment left undecoded bytes");
+                entry.bytes_received += fragment.len() as u64;
+            }
+        }
+    }
+
+    /// Opens (or recovers) a durable store for `operator` on `worker`: an
+    /// empty store overlaid with everything the backend recovered. Returns the
+    /// store and whether anything was recovered — a fresh store (`false`)
+    /// still needs its initial bins installed by the caller.
+    pub fn open_durable(
+        config: &MegaphoneConfig,
+        durable: &DurableConfig,
+        operator: &str,
+        worker: usize,
+    ) -> Result<(Self, bool), StorageError> {
+        let (backend, recovery) = DurableBackend::open(durable, operator, worker)?;
+        let recovered = !recovery.is_empty();
+        let mut store = Self::with_layout(config.bins(), config.shards());
+        store.attach_backend(Box::new(backend), recovery);
+        Ok((store, recovered))
+    }
+}
+
+/// Decodes a bin's full stored image (the concatenation of its fragments)
+/// through its assembler, panicking if the image is not one complete encoding.
+fn decode_image<T: Codec, S: ChunkedCodec, D: Codec>(bin: BinId, image: &[u8]) -> Bin<T, S, D> {
+    let mut assembler = Bin::<T, S, D>::assembler();
+    let mut slice = image;
+    assembler.absorb(&mut slice);
+    assert!(
+        slice.is_empty() && assembler.is_complete(),
+        "stored image for bin {bin} is not one complete encoding"
+    );
+    assembler.finish()
 }
 
 /// An in-progress incremental extraction of one bin: owns the removed bin's
@@ -821,6 +1062,38 @@ pub fn shared_bin_store<T, S: Default, D>(
     peers: usize,
 ) -> SharedBinStore<T, S, D> {
     Rc::new(RefCell::new(BinStore::new(config, worker, peers)))
+}
+
+/// Creates a shared bin store for `worker` of `peers` under `config` and the
+/// selected `storage` backend. In-memory stores host the round-robin initial
+/// bins; durable stores recover whatever their data directory holds, falling
+/// back to the initial bins only when the directory was fresh.
+pub fn shared_bin_store_with_storage<T, S, D>(
+    config: &MegaphoneConfig,
+    storage: &StorageConfig,
+    operator: &str,
+    worker: usize,
+    peers: usize,
+) -> Result<SharedBinStore<T, S, D>, StorageError>
+where
+    T: Codec + 'static,
+    S: ChunkedCodec + Default + 'static,
+    D: Codec + 'static,
+{
+    match storage {
+        StorageConfig::InMemory => Ok(shared_bin_store(config, worker, peers)),
+        StorageConfig::Durable(durable) => {
+            let (mut store, recovered) = BinStore::open_durable(config, durable, operator, worker)?;
+            if !recovered {
+                for bin in 0..config.bins() {
+                    if bin % peers == worker {
+                        store.install(bin, Bin { state: S::default(), pending: Vec::new() });
+                    }
+                }
+            }
+            Ok(Rc::new(RefCell::new(store)))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1234,6 +1507,218 @@ mod tests {
         ba.merge(&some);
         assert_eq!(ab.loads(), ba.loads(), "merge is order-insensitive");
         assert_eq!(ab.loads()[2].1, BinLoad { records: 9, bytes: 90 }, "shared bin sums");
+    }
+
+    fn durable_config(name: &str) -> DurableConfig {
+        let root = std::env::temp_dir()
+            .join(format!("mp-bins-durable-{}", std::process::id()))
+            .join(name);
+        let _ = std::fs::remove_dir_all(&root);
+        DurableConfig::new(root).with_fsync(false)
+    }
+
+    type TestStore = BinStore<u64, Vec<u64>, (u64, u64)>;
+
+    #[test]
+    fn durable_install_survives_a_reopen() {
+        let config = MegaphoneConfig::new(2).with_chunk_bytes(32);
+        let durable = durable_config("install");
+        let bin: Bin<u64, Vec<u64>, (u64, u64)> =
+            Bin { state: (0..40).collect(), pending: vec![(5, (1, 2))] };
+        let fragments = crate::codec::encode_fragments(bin.clone(), config.chunk_bytes);
+        assert!(fragments.len() > 1, "the bin must migrate in several fragments");
+        {
+            let (mut store, recovered) =
+                TestStore::open_durable(&config, &durable, "op", 0).expect("open");
+            assert!(!recovered);
+            for (index, fragment) in fragments.iter().enumerate() {
+                store
+                    .try_install_fragment(2, fragment, index + 1 == fragments.len())
+                    .expect("install fragment");
+            }
+            assert_eq!(store.try_bin(2), Some(&bin));
+            // No explicit sync: the commit record itself is the durability point.
+        }
+        let (store, recovered) = TestStore::open_durable(&config, &durable, "op", 0).expect("reopen");
+        assert!(recovered);
+        assert_eq!(store.try_bin(2), Some(&bin), "committed install recovers byte-identically");
+        assert_eq!(store.load(2).bytes, bin.encode_to_vec().len() as u64);
+        let _ = std::fs::remove_dir_all(&durable.root);
+    }
+
+    #[test]
+    fn uncommitted_install_recovers_as_pending_and_completes() {
+        let config = MegaphoneConfig::new(2).with_chunk_bytes(32);
+        let durable = durable_config("pending");
+        let bin: Bin<u64, Vec<u64>, (u64, u64)> =
+            Bin { state: (0..40).collect(), pending: Vec::new() };
+        let fragments = crate::codec::encode_fragments(bin.clone(), config.chunk_bytes);
+        assert!(fragments.len() >= 3);
+        let fed = fragments.len() - 1; // crash before the final fragment
+        {
+            let (mut store, _) = TestStore::open_durable(&config, &durable, "op", 0).expect("open");
+            for fragment in &fragments[..fed] {
+                store.try_install_fragment(1, fragment, false).expect("install fragment");
+            }
+            store.sync().expect("sync");
+            assert_eq!(store.pending_installs(), 1);
+        }
+        let (mut store, recovered) =
+            TestStore::open_durable(&config, &durable, "op", 0).expect("reopen");
+        assert!(recovered);
+        assert!(!store.is_hosted(1), "uncommitted installs must not surface as hosted");
+        assert_eq!(store.pending_installs(), 1);
+        let expected: u64 = fragments[..fed].iter().map(|f| f.len() as u64).sum();
+        assert_eq!(store.pending_install_bytes(1), Some(expected));
+        // The resumed migration feeds the remaining fragments and completes.
+        for (index, fragment) in fragments[fed..].iter().enumerate() {
+            store
+                .try_install_fragment(1, fragment, fed + index + 1 == fragments.len())
+                .expect("resume install");
+        }
+        assert_eq!(store.try_bin(1), Some(&bin));
+        let _ = std::fs::remove_dir_all(&durable.root);
+    }
+
+    #[test]
+    fn chunked_extraction_retires_the_stored_bin() {
+        let config = MegaphoneConfig::new(2).with_chunk_bytes(64);
+        let durable = durable_config("retire");
+        {
+            let (mut store, _) = TestStore::open_durable(&config, &durable, "op", 0).expect("open");
+            store.install(3, Bin { state: vec![9; 10], pending: Vec::new() });
+            store.checkpoint().expect("checkpoint");
+            let mut extraction = store.extract_chunked(3).expect("hosted");
+            while !extraction.is_finished() {
+                let _ = extraction.next_fragment(config.chunk_bytes);
+            }
+            store.recycle(extraction);
+        }
+        let (store, recovered) = TestStore::open_durable(&config, &durable, "op", 0).expect("reopen");
+        assert!(!store.is_hosted(3), "a migrated-away bin must not resurrect");
+        assert!(!recovered || store.hosted_count() == 0);
+        let _ = std::fs::remove_dir_all(&durable.root);
+    }
+
+    #[test]
+    fn plain_extract_keeps_the_bin_durable_for_self_migration() {
+        // A self-migration is extract + install on the same worker; it must
+        // NOT retire the stored image, or a crash after it would lose the bin.
+        let config = MegaphoneConfig::new(2).with_chunk_bytes(64);
+        let durable = durable_config("selfmig");
+        let bin: Bin<u64, Vec<u64>, (u64, u64)> = Bin { state: vec![4, 5], pending: Vec::new() };
+        {
+            let (mut store, _) = TestStore::open_durable(&config, &durable, "op", 0).expect("open");
+            store.install(0, bin.clone());
+            store.checkpoint().expect("checkpoint");
+            let load = store.load(0);
+            let contents = store.extract(0).expect("hosted");
+            store.install(0, contents);
+            store.set_load(0, load);
+        }
+        let (store, _) = TestStore::open_durable(&config, &durable, "op", 0).expect("reopen");
+        assert_eq!(store.try_bin(0), Some(&bin), "self-migrated bin still recovers");
+        let _ = std::fs::remove_dir_all(&durable.root);
+    }
+
+    #[test]
+    fn spill_evicts_and_faults_back_in() {
+        let config = MegaphoneConfig::new(2).with_chunk_bytes(64);
+        let durable = durable_config("spill");
+        let (mut store, _) = TestStore::open_durable(&config, &durable, "op", 0).expect("open");
+        let bin: Bin<u64, Vec<u64>, (u64, u64)> =
+            Bin { state: (0..50).collect(), pending: vec![(9, (8, 7))] };
+        store.install(1, bin.clone());
+        store.install(2, Bin { state: vec![1], pending: Vec::new() });
+        store.note_records(2, 100, 8); // hot: must not spill
+        assert!(store.spill_bin(1).expect("spill"));
+        assert!(store.is_hosted(1), "spilled bins stay hosted for routing");
+        assert!(store.try_bin(1).is_none(), "spilled bins are not resident");
+        assert_eq!(store.spilled_count(), 1);
+        assert_eq!(store.hosted_count(), 2);
+        assert!(store.ensure_resident(1).expect("fault in"));
+        assert_eq!(store.try_bin(1), Some(&bin), "faulted-in bin is byte-identical");
+        assert_eq!(store.spilled_count(), 0);
+        // spill_cold spills only bins at or below the record threshold.
+        assert_eq!(store.spill_cold(10).expect("spill cold"), 1);
+        assert!(store.try_bin(1).is_none());
+        assert!(store.try_bin(2).is_some(), "hot bin stays resident");
+        let _ = std::fs::remove_dir_all(&durable.root);
+    }
+
+    #[test]
+    fn spilled_bins_survive_a_reopen() {
+        let config = MegaphoneConfig::new(2).with_chunk_bytes(64);
+        let durable = durable_config("spill-reopen");
+        let bin: Bin<u64, Vec<u64>, (u64, u64)> = Bin { state: vec![3; 30], pending: Vec::new() };
+        {
+            let (mut store, _) = TestStore::open_durable(&config, &durable, "op", 0).expect("open");
+            store.install(2, bin.clone());
+            assert!(store.spill_bin(2).expect("spill"));
+        }
+        let (store, recovered) = TestStore::open_durable(&config, &durable, "op", 0).expect("reopen");
+        assert!(recovered);
+        assert_eq!(store.try_bin(2), Some(&bin), "the spill record is a durability point");
+        let _ = std::fs::remove_dir_all(&durable.root);
+    }
+
+    #[test]
+    fn checkpoint_refuses_in_flight_installs_and_recovers_after() {
+        let config = MegaphoneConfig::new(2).with_chunk_bytes(16);
+        let durable = durable_config("ckpt-busy");
+        let bin: Bin<u64, Vec<u64>, (u64, u64)> =
+            Bin { state: (0..30).collect(), pending: Vec::new() };
+        let fragments = crate::codec::encode_fragments(bin.clone(), config.chunk_bytes);
+        let (mut store, _) = TestStore::open_durable(&config, &durable, "op", 0).expect("open");
+        store.try_install_fragment(1, &fragments[0], false).expect("first fragment");
+        assert!(matches!(store.checkpoint(), Err(StorageError::Busy(_))));
+        for (index, fragment) in fragments[1..].iter().enumerate() {
+            store
+                .try_install_fragment(1, fragment, index + 2 == fragments.len())
+                .expect("install");
+        }
+        store.checkpoint().expect("checkpoint after install completes");
+        let stats = store.storage_stats().expect("durable store has stats");
+        assert_eq!(stats.wal_records, 0, "checkpoint rotates the WAL");
+        assert_eq!(stats.checkpoints, 1);
+        drop(store);
+        let (store, _) = TestStore::open_durable(&config, &durable, "op", 0).expect("reopen");
+        assert_eq!(store.try_bin(1), Some(&bin));
+        let _ = std::fs::remove_dir_all(&durable.root);
+    }
+
+    #[test]
+    fn shared_store_with_storage_installs_defaults_only_when_fresh() {
+        let config = MegaphoneConfig::new(2);
+        let durable = durable_config("shared");
+        let storage = StorageConfig::Durable(durable.clone());
+        {
+            let store = shared_bin_store_with_storage::<u64, Vec<u64>, (u64, u64)>(
+                &config, &storage, "op", 0, 2,
+            )
+            .expect("open");
+            let mut store = store.borrow_mut();
+            assert_eq!(store.hosted_count(), 2, "fresh store hosts the round-robin bins");
+            store.bin_mut(0).state = vec![42];
+            store.checkpoint().expect("checkpoint");
+        }
+        let store = shared_bin_store_with_storage::<u64, Vec<u64>, (u64, u64)>(
+            &config, &storage, "op", 0, 2,
+        )
+        .expect("reopen");
+        let store = store.borrow();
+        assert_eq!(store.hosted_count(), 2, "recovery replaces the defaults");
+        assert_eq!(store.try_bin(0).expect("hosted").state, vec![42]);
+        let in_memory = shared_bin_store_with_storage::<u64, Vec<u64>, (u64, u64)>(
+            &config,
+            &StorageConfig::InMemory,
+            "op",
+            0,
+            2,
+        )
+        .expect("in-memory");
+        assert!(!in_memory.borrow().has_backend());
+        let _ = std::fs::remove_dir_all(&durable.root);
     }
 
     #[test]

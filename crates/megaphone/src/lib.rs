@@ -96,6 +96,7 @@ pub mod interface;
 pub mod notificator;
 pub mod operator;
 pub mod routing;
+pub mod storage;
 pub mod strategies;
 
 pub use bins::{
@@ -109,6 +110,10 @@ pub use interface::{state_machine, stateful_binary, Either, MegaphoneStream};
 pub use notificator::{Notificator, PendingQueue};
 pub use operator::{stateful_unary, StatefulOutput};
 pub use routing::RoutingTable;
+pub use storage::{
+    set_worker_storage, worker_storage, DurableBackend, DurableConfig, Recovery, StorageBackend,
+    StorageConfig, StorageError, StorageHandle, StorageStats,
+};
 pub use strategies::{
     balanced_assignment, imbalanced_assignment, load_balanced_assignment, plan_migration,
     plan_rebalance, MigrationPlan, MigrationStrategy,
@@ -123,6 +128,10 @@ pub mod prelude {
     pub use crate::interface::{state_machine, stateful_binary, Either, MegaphoneStream};
     pub use crate::notificator::Notificator;
     pub use crate::operator::{stateful_unary, StatefulOutput};
+    pub use crate::storage::{
+        set_worker_storage, worker_storage, DurableConfig, StorageConfig, StorageHandle,
+        StorageStats,
+    };
     pub use crate::strategies::{
         balanced_assignment, imbalanced_assignment, load_balanced_assignment, plan_migration,
         plan_rebalance, MigrationPlan, MigrationStrategy,

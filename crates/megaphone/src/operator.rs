@@ -26,13 +26,14 @@ use timelite::order::{Timestamp, TotalOrder};
 use timelite::Data;
 
 use crate::bins::{
-    shared_bin_store, Bin, BinId, BinStats, ChunkedExtraction, MegaphoneConfig, StateFragment,
-    StatsHandle,
+    shared_bin_store_with_storage, Bin, BinId, BinStats, ChunkedExtraction, MegaphoneConfig,
+    StateFragment, StatsHandle,
 };
 use crate::codec::{ChunkedCodec, Codec};
 use crate::control::ControlInst;
 use crate::notificator::{Notificator, PendingQueue};
 use crate::routing::RoutingTable;
+use crate::storage::{worker_storage, StorageConfig, StorageHandle};
 
 /// Requirements on timestamps used by Megaphone operators: totally ordered (the
 /// epochs of a streaming computation) and serializable (pending records carry
@@ -70,6 +71,10 @@ pub struct StatefulOutput<T: Timestamp, O: Data> {
     /// approximate encoded bytes), for load-aware controllers and state-size
     /// probes in the experiment harness.
     pub stats: StatsHandle,
+    /// Probes into this worker's durable store (checkpoint, sync, spill,
+    /// counters); every call is a cheap no-op when the operator runs with the
+    /// default in-memory storage.
+    pub storage: StorageHandle,
 }
 
 impl<T: Timestamp, O: Data> StatefulOutput<T, O> {
@@ -113,8 +118,34 @@ where
     let worker_index = scope.index();
     let peers = scope.peers();
 
-    // The bin store shared by the F and S instances of this worker.
-    let store = shared_bin_store::<T, S, D>(&config, worker_index, peers);
+    // The bin store shared by the F and S instances of this worker, created
+    // under the calling thread's ambient storage configuration: in-memory by
+    // default, or recovered from a durable data directory (see
+    // `storage::set_worker_storage`).
+    let storage = worker_storage();
+    let store = shared_bin_store_with_storage::<T, S, D>(
+        &config,
+        &storage,
+        name,
+        worker_index,
+        peers,
+    )
+    .unwrap_or_else(|error| panic!("failed to open the durable store of {name}: {error}"));
+
+    // Durable stores sync their WAL once per scheduling round, after every
+    // operator has run and before the round's progress is shared: no peer can
+    // observe progress past a write that is not yet durable.
+    if matches!(storage, StorageConfig::Durable(_)) {
+        let sync_store = store.clone();
+        scope.with_builder(|builder| {
+            builder.add_sync_hook(Box::new(move || {
+                sync_store
+                    .borrow_mut()
+                    .sync()
+                    .unwrap_or_else(|error| panic!("WAL sync failed: {error}"));
+            }));
+        });
+    }
 
     // Probe on the S output frontier, monitored by F to time migrations.
     let mut probe = ProbeHandle::new();
@@ -220,7 +251,9 @@ where
                     if target == worker_index {
                         // A self-migration keeps the bin in place: re-install
                         // without the encode round trip, preserving the load
-                        // accounting that extract() clears.
+                        // accounting that extract() clears. A spilled bin
+                        // stays spilled — its durable image already is its
+                        // post-migration contents.
                         let mut store = f_store.borrow_mut();
                         let load = store.load(bin);
                         if let Some(contents) = store.extract(bin) {
@@ -290,12 +323,27 @@ where
 
     let s_store = store.clone();
     let mut fold = fold;
-    s_builder.build(move |_initial_capability| {
+    s_builder.build(move |initial_capability| {
         // Received data bundles, released in timestamp order once both input
         // frontiers have passed their time.
         let mut data_stash: PendingQueue<T, Vec<(u64, D)>> = PendingQueue::new();
         // Wake-ups for bins with post-dated records.
         let mut wakeups: PendingQueue<T, BinId> = PendingQueue::new();
+
+        // Bins recovered from a durable store may carry post-dated records
+        // whose wake-ups died with the previous process: re-register them
+        // under the operator's initial capability (clamped forward — the
+        // records' own times may already be closed), then let it drop.
+        {
+            let store = s_store.borrow();
+            if store.has_backend() {
+                for (bin, contents) in store.hosted() {
+                    for (time, _) in &contents.pending {
+                        wakeups.push_at_clamped(time.clone(), &initial_capability, bin);
+                    }
+                }
+            }
+        }
 
         move |frontiers| {
             let data_frontier = &frontiers[0];
@@ -390,12 +438,22 @@ where
 
     let stream = output_stream.probe_with(&mut probe);
     let snapshot_store = store.clone();
-    let bytes_store = store;
+    let bytes_store = store.clone();
     let stats = StatsHandle::new(
         std::rc::Rc::new(move || snapshot_store.borrow().stats()),
         std::rc::Rc::new(move || bytes_store.borrow().tracked_bytes()),
     );
-    StatefulOutput { stream, probe, stats }
+    let checkpoint_store = store.clone();
+    let sync_store = store.clone();
+    let spill_store = store.clone();
+    let stats_store = store;
+    let storage = StorageHandle::new(
+        std::rc::Rc::new(move || checkpoint_store.borrow_mut().checkpoint()),
+        std::rc::Rc::new(move || sync_store.borrow_mut().sync()),
+        std::rc::Rc::new(move |max_records| spill_store.borrow_mut().spill_cold(max_records)),
+        std::rc::Rc::new(move || stats_store.borrow().storage_stats()),
+    );
+    StatefulOutput { stream, probe, stats, storage }
 }
 
 /// Applies `fold` to one bin at one time: due post-dated records first, then the
@@ -419,6 +477,11 @@ fn process_bin<T, D, S, O, F>(
     F: FnMut(&T, Vec<D>, &mut S, &mut Notificator<T, D>) -> Vec<O>,
 {
     let mut store = store.borrow_mut();
+    // A hosted-but-spilled bin faults back in from the durable tier on its
+    // first record or wake-up.
+    store
+        .ensure_resident(bin)
+        .unwrap_or_else(|error| panic!("failed to fault bin {bin} back in: {error}"));
     let contents = match store.try_bin_mut(bin) {
         Some(contents) => contents,
         None if require_hosted => {

@@ -1,0 +1,125 @@
+//! A compact Bloom filter over bin ids, embedded in every SSTable so reads
+//! skip tables that cannot contain the requested bin without touching disk.
+//!
+//! The filter uses double hashing (Kirsch–Mitzenmacher) over two splitmix64
+//! streams, so membership tests cost two multiplies plus `k` bit probes and
+//! the filter serializes as a plain word vector through the shared [`Codec`].
+
+use crate::codec::Codec;
+
+/// Finalizer of the splitmix64 generator: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A Bloom filter sized at construction for an expected number of keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    /// The bit array, packed into 64-bit words.
+    bits: Vec<u64>,
+    /// Number of bit probes per key.
+    hashes: u32,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `items` keys at `bits_per_key` bits each.
+    ///
+    /// `k = bits_per_key * ln 2` probes minimize the false-positive rate; the
+    /// integer approximation `7/10` is within a probe of optimal for the
+    /// 8–12 bits-per-key range SSTables use.
+    pub fn new(items: usize, bits_per_key: usize) -> Self {
+        let bits = (items.max(1)).saturating_mul(bits_per_key.max(1));
+        let words = bits.div_ceil(64).max(1);
+        let hashes = ((bits_per_key * 7) / 10).clamp(1, 16) as u32;
+        BloomFilter { bits: vec![0u64; words], hashes }
+    }
+
+    /// The probe positions for `key`: double hashing over two independent
+    /// splitmix64 streams, second stream forced odd so probes cycle the table.
+    fn probes(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let h1 = splitmix64(key);
+        let h2 = splitmix64(key ^ 0xA5A5_A5A5_A5A5_A5A5) | 1;
+        let total_bits = (self.bits.len() * 64) as u64;
+        (0..self.hashes as u64)
+            .map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % total_bits) as usize)
+    }
+
+    /// Inserts `key` into the filter.
+    pub fn insert(&mut self, key: u64) {
+        let positions: Vec<usize> = self.probes(key).collect();
+        for position in positions {
+            self.bits[position / 64] |= 1u64 << (position % 64);
+        }
+    }
+
+    /// Returns `false` iff `key` was certainly never inserted.
+    pub fn contains(&self, key: u64) -> bool {
+        self.probes(key).all(|position| self.bits[position / 64] & (1u64 << (position % 64)) != 0)
+    }
+
+    /// The filter's size in bytes (the packed bit array).
+    pub fn byte_len(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+impl Codec for BloomFilter {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.hashes.encode(bytes);
+        self.bits.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        BloomFilter { hashes: u32::decode(bytes), bits: Vec::<u64>::decode(bytes) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_found() {
+        let mut bloom = BloomFilter::new(1_000, 10);
+        for key in 0..1_000u64 {
+            bloom.insert(key * 7 + 3);
+        }
+        for key in 0..1_000u64 {
+            assert!(bloom.contains(key * 7 + 3), "inserted key {key} missing");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut bloom = BloomFilter::new(1_000, 10);
+        for key in 0..1_000u64 {
+            bloom.insert(key);
+        }
+        let false_positives =
+            (1_000_000u64..1_010_000).filter(|&probe| bloom.contains(probe)).count();
+        // 10 bits/key gives ~1% theoretical; allow generous slack.
+        assert!(false_positives < 500, "{false_positives} of 10000 false positives");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bloom = BloomFilter::new(100, 10);
+        assert!(!bloom.contains(0));
+        assert!(!bloom.contains(u64::MAX));
+    }
+
+    #[test]
+    fn roundtrips_through_codec() {
+        let mut bloom = BloomFilter::new(64, 8);
+        for key in [1u64, 99, 12345] {
+            bloom.insert(key);
+        }
+        let bytes = bloom.encode_to_vec();
+        let decoded = BloomFilter::decode_from_slice(&bytes);
+        assert_eq!(bloom, decoded);
+        assert!(decoded.contains(99));
+        assert!(!decoded.contains(2));
+    }
+}

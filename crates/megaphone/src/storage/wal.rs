@@ -1,0 +1,327 @@
+//! The per-store append-only write-ahead log.
+//!
+//! Every record is framed as `[payload_len: u32 LE][crc32(payload): u32 LE]
+//! [payload]`, where the payload is the [`Codec`] encoding of a [`WalRecord`].
+//! Migration fragments are logged verbatim — the `bytes` of a
+//! [`WalRecord::Fragment`] are exactly one `Fragmenter` fragment, so replaying
+//! the log re-feeds an in-flight `Assembler` the identical byte stream it saw
+//! before the crash (fragments may only split at encoding-unit boundaries, so
+//! the original boundaries must be preserved, not re-chunked).
+//!
+//! Recovery tolerates a torn tail: [`replay_bytes`] stops at the first frame
+//! whose header is short, whose payload is truncated, or whose checksum does
+//! not match, and [`Wal::open`] truncates the file back to the last valid
+//! frame so subsequent appends continue from a clean prefix. Earlier records
+//! are never affected by a torn or corrupt tail.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::Codec;
+
+use super::{fault_tick, StorageError};
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC-32 (IEEE) checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &byte in bytes {
+        crc = CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// One logical record of the write-ahead log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// One migration fragment of `bin`, byte-for-byte as produced by the
+    /// bin's `Fragmenter` (and as shipped on the wire).
+    Fragment {
+        /// The bin being installed.
+        bin: u64,
+        /// Whether this is the bin's final fragment.
+        last: bool,
+        /// The fragment's slice of the bin's canonical encoding.
+        bytes: Vec<u8>,
+    },
+    /// Seals an install: the bin's fragments are complete and the install was
+    /// applied. A bin without a commit record is an in-flight install.
+    Commit {
+        /// The bin whose install completed.
+        bin: u64,
+        /// Total fragment bytes, as a consistency check during replay.
+        total_bytes: u64,
+    },
+    /// The bin migrated away (or was dropped); its stored image is dead.
+    Retire {
+        /// The retired bin.
+        bin: u64,
+    },
+    /// A cold bin's full encoded image, written when the bin is spilled out
+    /// of memory. The image is the concatenation of the bin's fragments, so
+    /// it doubles as the bin's migration wire image.
+    Spill {
+        /// The spilled bin.
+        bin: u64,
+        /// The bin's one-shot `Codec` encoding.
+        image: Vec<u8>,
+    },
+}
+
+impl Codec for WalRecord {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        match self {
+            WalRecord::Fragment { bin, last, bytes: payload } => {
+                0u8.encode(bytes);
+                bin.encode(bytes);
+                last.encode(bytes);
+                payload.encode(bytes);
+            }
+            WalRecord::Commit { bin, total_bytes } => {
+                1u8.encode(bytes);
+                bin.encode(bytes);
+                total_bytes.encode(bytes);
+            }
+            WalRecord::Retire { bin } => {
+                2u8.encode(bytes);
+                bin.encode(bytes);
+            }
+            WalRecord::Spill { bin, image } => {
+                3u8.encode(bytes);
+                bin.encode(bytes);
+                image.encode(bytes);
+            }
+        }
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        match u8::decode(bytes) {
+            0 => WalRecord::Fragment {
+                bin: u64::decode(bytes),
+                last: bool::decode(bytes),
+                bytes: Vec::decode(bytes),
+            },
+            1 => WalRecord::Commit { bin: u64::decode(bytes), total_bytes: u64::decode(bytes) },
+            2 => WalRecord::Retire { bin: u64::decode(bytes) },
+            3 => WalRecord::Spill { bin: u64::decode(bytes), image: Vec::decode(bytes) },
+            tag => panic!("unknown WAL record tag {tag} (checksummed frame should prevent this)"),
+        }
+    }
+}
+
+/// Bytes of the frame header preceding every payload.
+const FRAME_HEADER: usize = 8;
+
+/// Decodes every complete, checksum-valid frame from the front of `bytes`.
+///
+/// Returns the decoded records and the byte offset of the end of the last
+/// valid frame. A torn or corrupt tail (short header, truncated payload, or
+/// checksum mismatch) stops the replay without touching earlier records and
+/// without panicking.
+pub fn replay_bytes(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining < FRAME_HEADER {
+            return (records, offset);
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"))
+            as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if remaining - FRAME_HEADER < len {
+            return (records, offset);
+        }
+        let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return (records, offset);
+        }
+        records.push(WalRecord::decode_from_slice(payload));
+        offset += FRAME_HEADER + len;
+    }
+}
+
+/// An open write-ahead log file, positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: std::fs::File,
+    path: PathBuf,
+    fsync: bool,
+    bytes: u64,
+    records: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replays its valid prefix
+    /// and truncates any torn tail. Returns the log positioned for appending
+    /// plus the replayed records.
+    pub fn open(path: &Path, fsync: bool) -> Result<(Wal, Vec<WalRecord>), StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StorageError::io("wal-open", e))?;
+        let mut contents = Vec::new();
+        file.read_to_end(&mut contents).map_err(|e| StorageError::io("wal-read", e))?;
+        let (records, valid) = replay_bytes(&contents);
+        if valid < contents.len() {
+            file.set_len(valid as u64).map_err(|e| StorageError::io("wal-truncate", e))?;
+        }
+        file.seek(SeekFrom::Start(valid as u64)).map_err(|e| StorageError::io("wal-seek", e))?;
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            fsync,
+            bytes: valid as u64,
+            records: records.len() as u64,
+        };
+        Ok((wal, records))
+    }
+
+    /// Appends one record (framed and checksummed). Durability requires a
+    /// subsequent [`Wal::sync`].
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        fault_tick("wal-append")?;
+        let payload = record.encode_to_vec();
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame).map_err(|e| StorageError::io("wal-append", e))?;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Makes every appended record durable (fsync, or a plain flush when the
+    /// store was configured with `fsync: false` for tests and benchmarks).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        fault_tick("wal-sync")?;
+        if self.fsync {
+            self.file.sync_data().map_err(|e| StorageError::io("wal-sync", e))
+        } else {
+            self.file.flush().map_err(|e| StorageError::io("wal-flush", e))
+        }
+    }
+
+    /// Total framed bytes in the log.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of records in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("mp-wal-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_log() {
+        let path = temp_path("roundtrip.log");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            WalRecord::Fragment { bin: 3, last: false, bytes: vec![1, 2, 3] },
+            WalRecord::Fragment { bin: 3, last: true, bytes: vec![4] },
+            WalRecord::Commit { bin: 3, total_bytes: 4 },
+            WalRecord::Retire { bin: 9 },
+            WalRecord::Spill { bin: 7, image: vec![0; 100] },
+        ];
+        {
+            let (mut wal, recovered) = Wal::open(&path, false).expect("open");
+            assert!(recovered.is_empty());
+            for record in &records {
+                wal.append(record).expect("append");
+            }
+            wal.sync().expect("sync");
+        }
+        let (wal, recovered) = Wal::open(&path, false).expect("reopen");
+        assert_eq!(recovered, records);
+        assert_eq!(wal.records(), records.len() as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let path = temp_path("torn.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path, false).expect("open");
+            wal.append(&WalRecord::Retire { bin: 1 }).expect("append");
+            wal.append(&WalRecord::Retire { bin: 2 }).expect("append");
+            wal.sync().expect("sync");
+        }
+        // Tear the final record mid-frame.
+        let full = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() - 3]).expect("tear");
+        let (mut wal, recovered) = Wal::open(&path, false).expect("reopen");
+        assert_eq!(recovered, vec![WalRecord::Retire { bin: 1 }]);
+        wal.append(&WalRecord::Retire { bin: 5 }).expect("append after tear");
+        wal.sync().expect("sync");
+        drop(wal);
+        let (_, recovered) = Wal::open(&path, false).expect("reopen again");
+        assert_eq!(recovered, vec![WalRecord::Retire { bin: 1 }, WalRecord::Retire { bin: 5 }]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checksum_mismatch_stops_replay() {
+        let path = temp_path("corrupt.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path, false).expect("open");
+            wal.append(&WalRecord::Retire { bin: 1 }).expect("append");
+            wal.append(&WalRecord::Spill { bin: 2, image: vec![7; 32] }).expect("append");
+            wal.sync().expect("sync");
+        }
+        let mut full = std::fs::read(&path).expect("read");
+        let last = full.len() - 1;
+        full[last] ^= 0xFF; // flip a payload byte of the final record
+        std::fs::write(&path, &full).expect("corrupt");
+        let (_, recovered) = Wal::open(&path, false).expect("reopen");
+        assert_eq!(recovered, vec![WalRecord::Retire { bin: 1 }]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

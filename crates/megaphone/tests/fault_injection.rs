@@ -1,0 +1,177 @@
+//! Forced-failure tests for the durable bin store, compiled only with the
+//! `fault-inject` feature: a seeded countdown makes the n-th storage
+//! operation (WAL append, WAL sync or SSTable write) fail, and the store
+//! must degrade gracefully — the error is surfaced to the caller, the
+//! backend poisons against further writes, no partial install ever becomes
+//! visible, and a reopen of the directory recovers a consistent state.
+#![cfg(feature = "fault-inject")]
+
+use std::path::{Path, PathBuf};
+
+use megaphone::codec::encode_fragments;
+use megaphone::storage::{fault, DurableConfig, StorageError};
+use megaphone::{Bin, BinStore, MegaphoneConfig};
+
+type TestBin = Bin<u64, Vec<u64>, (u64, u64)>;
+type TestStore = BinStore<u64, Vec<u64>, (u64, u64)>;
+
+fn temp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("mp-fault-inject-{}", std::process::id()))
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(root: &Path) -> (TestStore, bool) {
+    let config = MegaphoneConfig::new(2);
+    let durable = DurableConfig::new(root).with_fsync(false);
+    TestStore::open_durable(&config, &durable, "faulty", 0).expect("open store")
+}
+
+/// Small fragments of a bin holding `values`, so installs span several
+/// WAL appends.
+fn fragments_for(values: &[u64]) -> Vec<Vec<u8>> {
+    let value = TestBin { state: values.to_vec(), pending: Vec::new() };
+    encode_fragments(value, 8)
+}
+
+/// Feeds `fragments` into `store` for `bin`; returns the first error.
+fn install_all(store: &mut TestStore, bin: usize, fragments: &[Vec<u8>]) -> Result<bool, StorageError> {
+    let mut done = false;
+    for (index, fragment) in fragments.iter().enumerate() {
+        done = store.try_install_fragment(bin, fragment, index + 1 == fragments.len())?;
+    }
+    Ok(done)
+}
+
+#[test]
+fn a_failed_fragment_append_surfaces_and_leaves_no_partial_install() {
+    let root = temp_root("append-fails");
+    let (mut store, _) = open(&root);
+    let fragments = fragments_for(&[1, 2, 3, 4, 5, 6, 7, 8]);
+    assert!(fragments.len() >= 2, "the test bin must span multiple fragments");
+
+    // The very next WAL operation — the first fragment's append — fails.
+    fault::arm(0);
+    let error = install_all(&mut store, 0, &fragments).expect_err("the armed append must fail");
+    fault::disarm();
+    assert!(matches!(error, StorageError::Injected("wal-append")), "got {error}");
+
+    // Nothing was absorbed (the append failed before the assembler saw the
+    // bytes) and the bin never appeared.
+    assert_eq!(store.pending_installs(), 0, "a failed first append must not open an assembly");
+    assert!(!store.is_hosted(0), "the failed install must not host the bin");
+
+    // The backend is poisoned: every further storage write refuses.
+    let next = store.try_install_fragment(1, &fragments[0], false);
+    assert!(matches!(next, Err(StorageError::Poisoned)), "got {next:?}");
+    assert!(matches!(store.sync(), Err(StorageError::Poisoned)));
+}
+
+#[test]
+fn a_failed_commit_keeps_the_install_pending_and_recoverable() {
+    let root = temp_root("commit-fails");
+    let fragments = fragments_for(&[10, 20, 30, 40, 50, 60]);
+    let total_bytes: u64 = fragments.iter().map(|f| f.len() as u64).sum();
+    {
+        let (mut store, _) = open(&root);
+        // All fragments append cleanly; the commit record's append — the
+        // next WAL operation after the final fragment's — fails.
+        for fragment in &fragments[..fragments.len() - 1] {
+            store.try_install_fragment(3, fragment, false).expect("clean append");
+        }
+        fault::arm(1);
+        let error = store
+            .try_install_fragment(3, fragments.last().expect("fragments"), true)
+            .expect_err("the armed commit must fail");
+        fault::disarm();
+        assert!(matches!(error, StorageError::Injected("wal-append")), "got {error}");
+
+        // No partial install: the bin is not hosted, but the assembly (and
+        // every appended fragment) is still pending — memory matches the log.
+        assert!(!store.is_hosted(3), "an uncommitted install must not host the bin");
+        assert_eq!(store.pending_installs(), 1);
+        assert_eq!(store.pending_install_bytes(3), Some(total_bytes));
+    }
+
+    // A reopen replays the appended fragments as an in-flight install. The
+    // final fragment's append *succeeded* (only the commit record is
+    // missing), so every byte is already in the log; a resuming migration
+    // sees that and seals the install with an empty final fragment.
+    let (mut store, recovered) = open(&root);
+    assert!(recovered, "the fragments must survive in the WAL");
+    let already = store.pending_install_bytes(3).expect("pending install recovered");
+    assert_eq!(already, total_bytes, "every appended fragment must be replayed");
+    assert!(!store.is_hosted(3), "an uncommitted install must stay pending across reopen");
+    let done = store.try_install_fragment(3, &[], true).expect("seal completes");
+    assert!(done, "the empty sealing fragment must complete the install");
+    assert!(store.is_hosted(3));
+    let contents = store.try_bin(3).expect("hosted bin is resident");
+    assert_eq!(contents.state, vec![10, 20, 30, 40, 50, 60]);
+}
+
+#[test]
+fn a_failed_spill_leaves_the_bin_resident() {
+    let root = temp_root("spill-fails");
+    let (mut store, _) = open(&root);
+    store.install(2, TestBin { state: vec![7; 64], pending: Vec::new() });
+
+    fault::arm(0);
+    let error = store.spill_bin(2).expect_err("the armed spill must fail");
+    fault::disarm();
+    assert!(matches!(error, StorageError::Injected("wal-append")), "got {error}");
+
+    // The image never became durable, so the bin must still be in memory.
+    assert!(store.is_hosted(2));
+    assert_eq!(store.spilled_count(), 0, "a failed spill must not mark the bin spilled");
+    assert!(store.try_bin(2).is_some(), "the bin's contents must remain resident");
+}
+
+#[test]
+fn a_failed_checkpoint_table_write_preserves_the_previous_state() {
+    let root = temp_root("checkpoint-fails");
+    let fragments = fragments_for(&[100, 200, 300]);
+    {
+        let (mut store, _) = open(&root);
+        install_all(&mut store, 1, &fragments).expect("clean install");
+        assert!(store.is_hosted(1));
+
+        // The checkpoint's full-image table write fails before the WAL is
+        // rotated or any old file deleted: nothing durable is lost.
+        fault::arm(0);
+        let error = store.checkpoint().expect_err("the armed checkpoint must fail");
+        fault::disarm();
+        assert!(matches!(error, StorageError::Injected("sst-write")), "got {error}");
+        assert!(matches!(store.sync(), Err(StorageError::Poisoned)));
+    }
+
+    let (store, recovered) = open(&root);
+    assert!(recovered, "the pre-checkpoint state must survive the failed checkpoint");
+    assert!(store.is_hosted(1), "bin 1 must recover from the unrotated WAL");
+    assert_eq!(
+        store.hosted().map(|(_, contents)| contents.state.clone()).next(),
+        Some(vec![100, 200, 300])
+    );
+}
+
+#[test]
+fn a_failed_wal_sync_poisons_the_store() {
+    let root = temp_root("sync-fails");
+    let (mut store, _) = open(&root);
+    let fragments = fragments_for(&[9, 8, 7]);
+    for fragment in &fragments[..fragments.len() - 1] {
+        store.try_install_fragment(1, fragment, false).expect("clean append");
+    }
+
+    // The commit's sync — two WAL operations after the final fragment's
+    // append (fragment append, commit append, commit sync) — fails.
+    fault::arm(2);
+    let error = store
+        .try_install_fragment(1, fragments.last().expect("fragments"), true)
+        .expect_err("the armed sync must fail");
+    fault::disarm();
+    assert!(matches!(error, StorageError::Injected("wal-sync")), "got {error}");
+    assert!(!store.is_hosted(1), "an unsynced commit must not host the bin");
+    assert!(matches!(store.sync(), Err(StorageError::Poisoned)));
+}

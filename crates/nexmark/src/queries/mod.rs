@@ -34,6 +34,11 @@ pub struct QueryOutput {
     /// (`None` for stateless and native queries), letting experiment drivers
     /// probe tracked state size and feed load-aware controllers.
     pub stats: Option<StatsHandle>,
+    /// Storage probes of every stateful operator in the query, in stream
+    /// order (empty for stateless and native queries). When the worker runs
+    /// with durable storage, these checkpoint/sync/inspect each operator's
+    /// store; with the default in-memory storage every call is a no-op.
+    pub storage: Vec<StorageHandle>,
 }
 
 impl QueryOutput {
@@ -41,13 +46,40 @@ impl QueryOutput {
     pub fn from_stream(stream: Stream<Time, String>) -> Self {
         let mut probe = ProbeHandle::new();
         let stream = stream.probe_with(&mut probe);
-        QueryOutput { stream, probe, stats: None }
+        QueryOutput { stream, probe, stats: None, storage: Vec::new() }
     }
 
-    /// Wraps a Megaphone stateful output, propagating its bin-store stats.
+    /// Wraps a Megaphone stateful output, propagating its bin-store stats and
+    /// storage probes.
     pub fn from_stateful(output: StatefulOutput<Time, String>) -> Self {
         let stats = output.stats.clone();
-        QueryOutput { stream: output.stream, probe: output.probe, stats: Some(stats) }
+        QueryOutput {
+            stream: output.stream,
+            probe: output.probe,
+            stats: Some(stats),
+            storage: vec![output.storage],
+        }
+    }
+
+    /// Checkpoints every stateful operator's durable store (full-image table
+    /// plus WAL rotation); a no-op under in-memory storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a storage error — including `Busy` when a migration's
+    /// incremental install is in flight; checkpoint at a quiescent point (all
+    /// issued control times fully absorbed).
+    pub fn checkpoint_all(&self) {
+        for handle in &self.storage {
+            handle.checkpoint().unwrap_or_else(|error| panic!("checkpoint failed: {error}"));
+        }
+    }
+
+    /// Syncs every stateful operator's WAL; a no-op under in-memory storage.
+    pub fn sync_all(&self) {
+        for handle in &self.storage {
+            handle.sync().unwrap_or_else(|error| panic!("WAL sync failed: {error}"));
+        }
     }
 
     /// A [`BinStats`] snapshot of the final stateful operator's hosted bins,

@@ -204,5 +204,9 @@ pub fn q5(
         |record| hash_code(&record.0),
         hot_fold,
     );
-    QueryOutput::from_stateful(hot)
+    let mut output = QueryOutput::from_stateful(hot);
+    // Both stages are stateful: expose stage 1's store alongside stage 2's so
+    // checkpoint/recovery covers the whole query.
+    output.storage.insert(0, counts.storage.clone());
+    output
 }

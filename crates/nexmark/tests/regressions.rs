@@ -470,3 +470,118 @@ fn q5_out_of_order_replay_matches_in_order_and_native() {
     assert_eq!(replayed, in_order, "out-of-order replay changed Q5's results");
     assert_eq!(replayed, native_replayed, "megaphone and native Q5 diverged under replay");
 }
+
+/// Runs `query` over a *long* stream — 20k events at 80 events/s span 250 s
+/// of event time, more than four of Q8's 60 s windows — on two workers.
+/// Optionally replays it out of order (`lag_ms`) and migrates every bin to
+/// the other worker halfway through; returns the sorted rows.
+fn run_query_multi_window(
+    query: &'static str,
+    native: bool,
+    lag_ms: u64,
+    migrate: bool,
+) -> Vec<String> {
+    let rate: u64 = 80;
+    let events_total: u64 = 20_000;
+    let outputs = timelite::execute(timelite::Config::process(2), move |worker| {
+        let index = worker.index();
+        let peers = worker.peers();
+        let mega_config = MegaphoneConfig::new(4);
+        let (mut control, mut input, probe, collected) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (event_input, events) = scope.new_input::<Event>();
+            let collected = Rc::new(RefCell::new(Vec::new()));
+            let collected_inner = collected.clone();
+            let output = if native {
+                build_native_query(query, &events)
+            } else {
+                build_query(query, mega_config, &control, &events)
+            };
+            output.stream.inspect(move |_t, row| collected_inner.borrow_mut().push(row.clone()));
+            (control_input, event_input, output.probe, collected)
+        });
+
+        let workload = Workload {
+            out_of_order: (lag_ms > 0).then_some(OutOfOrder { lag_ms }),
+            ..Workload::default()
+        };
+        let mut generator =
+            WorkloadGenerator::new(NexmarkConfig::with_rate(rate).with_workload(workload));
+        let epoch_ms = 1_000u64;
+        let events_per_epoch = rate * epoch_ms / 1_000;
+        let epochs = events_total / events_per_epoch;
+        for epoch in 0..epochs {
+            let start = epoch * events_per_epoch;
+            for position in start..start + events_per_epoch {
+                if position % peers as u64 == index as u64 {
+                    input.send(generator.event_at(position));
+                }
+            }
+            if migrate && index == 0 && epoch == epochs / 2 {
+                // Mid-stream migration with windows open on both sides of the
+                // move: every bin changes workers while slides, counts and
+                // join registrations are in flight.
+                let map = (0..mega_config.bins()).map(|bin| (bin + 1) % peers).collect();
+                control.send(ControlInst::Map(map));
+            }
+            let next = (epoch + 1) * epoch_ms;
+            control.advance_to(next + epoch_ms);
+            input.advance_to(next);
+            worker.step_while(|| probe.less_than(&next));
+        }
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let rows = collected.borrow().clone();
+        rows
+    });
+    let mut rows: Vec<String> = outputs.into_iter().flatten().collect();
+    rows.sort();
+    rows
+}
+
+/// Distinct `window=N` labels among `rows`.
+fn distinct_windows(rows: &[String]) -> usize {
+    let windows: std::collections::HashSet<&str> = rows
+        .iter()
+        .filter_map(|row| row.split("window=").nth(1))
+        .map(|rest| rest.split_whitespace().next().unwrap_or(rest))
+        .collect();
+    windows.len()
+}
+
+/// The pinned multi-window property (PR 4 debt): over a stream spanning four
+/// or more windows, an out-of-order replay with a mid-stream migration of
+/// every bin still produces exactly the in-order, unmigrated rows — windows
+/// keep closing correctly long after the move — and the megaphone
+/// implementation agrees with the native oracle.
+#[test]
+fn q5_multi_window_migration_under_replay_matches_in_order() {
+    let in_order = run_query_multi_window("q5", false, 0, false);
+    let migrated = run_query_multi_window("q5", false, 1_000, true);
+    let native = run_query_multi_window("q5", true, 0, false);
+    assert!(
+        distinct_windows(&in_order) >= 4,
+        "the stream must span at least four Q5 windows, got {}",
+        distinct_windows(&in_order)
+    );
+    assert_eq!(migrated, in_order, "migration + replay changed Q5's multi-window results");
+    assert_eq!(in_order, native, "megaphone and native Q5 diverged over the long stream");
+}
+
+/// The Q8 half of the multi-window pin: four or more 60 s windows, a
+/// mid-stream migration and a bounded out-of-order replay, byte-identical to
+/// the in-order unmigrated run and to the native oracle.
+#[test]
+fn q8_multi_window_migration_under_replay_matches_in_order() {
+    let in_order = run_query_multi_window("q8", false, 0, false);
+    let migrated = run_query_multi_window("q8", false, 1_000, true);
+    let native = run_query_multi_window("q8", true, 0, false);
+    assert!(
+        distinct_windows(&in_order) >= 4,
+        "the stream must span at least four Q8 windows, got {}",
+        distinct_windows(&in_order)
+    );
+    assert_eq!(migrated, in_order, "migration + replay changed Q8's multi-window results");
+    assert_eq!(in_order, native, "megaphone and native Q8 diverged over the long stream");
+}

@@ -45,6 +45,7 @@ pub struct GraphBuilder<T: Timestamp> {
     consumeds: Vec<SharedChanges<T>>,
     demux: Vec<DemuxClosure>,
     flushers: Vec<FlushClosure>,
+    sync_hooks: Vec<FlushClosure>,
     /// Identities (`Rc` data pointers) of the tees already covered by a
     /// flusher, so a tee with many channels is flushed once per round.
     flushed_tees: Vec<*const ()>,
@@ -66,8 +67,18 @@ impl<T: Timestamp> GraphBuilder<T> {
             consumeds: Vec::new(),
             demux: Vec::new(),
             flushers: Vec::new(),
+            sync_hooks: Vec::new(),
             flushed_tees: Vec::new(),
         }
+    }
+
+    /// Registers a durability hook, run once per worker scheduling round after
+    /// every operator and channel flusher and again at dataflow teardown.
+    /// Operators with external durable state (a write-ahead log) use this to
+    /// make the round's writes durable *before* the round's progress is
+    /// shared, so no peer can observe progress past an unsynced write.
+    pub fn add_sync_hook(&mut self, hook: FlushClosure) {
+        self.sync_hooks.push(hook);
     }
 
     /// Reserves a new node, returning its index.
@@ -205,6 +216,9 @@ pub struct BuiltDataflow<T: Timestamp> {
     pub demux: Vec<DemuxClosure>,
     /// Staging-buffer flush closures, run once per scheduling round.
     pub flushers: Vec<FlushClosure>,
+    /// Durability hooks, run after the flushers each round (before progress is
+    /// harvested and shared) and once more at dataflow teardown.
+    pub sync_hooks: Vec<FlushClosure>,
 }
 
 /// A user-facing handle to a dataflow under construction.
@@ -268,6 +282,7 @@ impl<T: Timestamp> Scope<T> {
             consumeds: std::mem::take(&mut builder.consumeds),
             demux: std::mem::take(&mut builder.demux),
             flushers: std::mem::take(&mut builder.flushers),
+            sync_hooks: std::mem::take(&mut builder.sync_hooks),
         }
     }
 }

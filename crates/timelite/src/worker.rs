@@ -54,6 +54,16 @@ impl<T: Timestamp> DataflowCore<T> {
     }
 }
 
+impl<T: Timestamp> Drop for DataflowCore<T> {
+    fn drop(&mut self) {
+        // Teardown flush: whatever the last rounds logged becomes durable even
+        // if the worker closure returns without a final step.
+        for hook in &mut self.built.sync_hooks {
+            hook();
+        }
+    }
+}
+
 impl<T: Timestamp> DataflowStep for DataflowCore<T> {
     fn accept(&mut self, channel: usize, payload: Payload) {
         match payload {
@@ -94,7 +104,14 @@ impl<T: Timestamp> DataflowStep for DataflowCore<T> {
             flusher();
         }
 
-        // 4. Harvest and share progress changes made by the operators. The
+        // 4. Run durability hooks: operators with external durable state (a
+        //    write-ahead log) sync it here, before the round's progress is
+        //    shared, so no peer observes progress past an unsynced write.
+        for hook in &mut self.built.sync_hooks {
+            hook();
+        }
+
+        // 5. Harvest and share progress changes made by the operators. The
         //    batch is identical for every peer; remote peers receive its wire
         //    encoding, produced once and cloned as bytes, instead of paying a
         //    full re-encode per peer.

@@ -114,6 +114,29 @@ fn skew_reaction_is_in_the_tracked_set() {
 }
 
 #[test]
+fn durable_migration_is_in_the_tracked_set() {
+    // The WAL-backed install path joined the guarded hot paths: a large
+    // regression of the durable migration bench must fail the gate.
+    let dir = temp_dir("durable");
+    let previous = write_csv(
+        &dir,
+        "prev.csv",
+        &[("bin_migrate_large_durable/install/100KB", 200_000.0), ("key_to_bin/12", 10.0)],
+    );
+    let current = write_csv(
+        &dir,
+        "curr.csv",
+        &[("bin_migrate_large_durable/install/100KB", 600_000.0), ("key_to_bin/12", 10.0)],
+    );
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(!ok, "a 3x durable install regression must fail the gate, got:\n{text}");
+    assert!(
+        text.contains("REGRESSION bin_migrate_large_durable/install/100KB"),
+        "output:\n{text}"
+    );
+}
+
+#[test]
 fn new_benchmark_without_baseline_passes() {
     let dir = temp_dir("new");
     let previous = write_csv(&dir, "prev.csv", &[("key_to_bin/12", 10.0)]);

@@ -1,0 +1,277 @@
+//! The crash-recovery evidence: SIGKILL a process between a migration's
+//! fragment pump and its commit, restart it on the same data directories, and
+//! the resumed run produces byte-identical Q5/Q8 rows to an uninterrupted run
+//! of the same phases — proving the WAL-backed bin store's atomic,
+//! crash-recoverable installs end to end.
+//!
+//! Each test runs three phases over a shared data root (the closure
+//! `mp_harness::fault_run` forks the test binary around):
+//!
+//! 1. **Phase A** — a durable single-worker dataflow folds the first half of
+//!    the event stream, checkpoints every operator store at the cut, and tears
+//!    down. The stores under `phase1/` now hold mid-stream state: open
+//!    windows, pending reminders, half-counted slides.
+//! 2. **Migrate** — every bin is pumped from the `phase1/` stores into fresh
+//!    `phase2/` stores through the same fragment/commit path the S operator
+//!    uses (`try_install_fragment`). The armed run syncs the WAL and parks at
+//!    a barrier *before the final fragment* of the largest bin of the
+//!    designated operator — all of that bin's fragments appended, no commit —
+//!    and the harness SIGKILLs it there. The restarted run re-opens `phase2/`,
+//!    finds the partial install exactly as logged (`pending_install_bytes`),
+//!    skips the already-durable fragments, and completes the commit.
+//! 3. **Phase B** — a fresh dataflow recovers the `phase2/` stores and folds
+//!    the second half of the stream; its rows are the run's result.
+//!
+//! The oracle is the same three phases on a fresh directory with every
+//! barrier a no-op. Byte-equality of the row sets pins that the kill+recovery
+//! changed nothing; the resumed-bytes count pins that the kill really landed
+//! mid-install.
+
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use megaphone::codec::encode_fragments;
+use megaphone::prelude::*;
+use megaphone::{Bin, BinId, BinStore};
+use mp_harness::{fault_run, FaultCtx};
+use nexmark::queries::q5::{HotWindows, SlideCounts};
+use nexmark::queries::q8::Q8State;
+use nexmark::{build_query, Auction, NexmarkConfig, NexmarkGenerator, Person};
+use timelite::prelude::*;
+
+/// Total events generated per run (half before the cut, half after).
+const EVENTS_TOTAL: u64 = 20_000;
+/// Event-time milliseconds per input epoch.
+const EPOCH_MS: u64 = 100;
+/// Events per second of event time: low enough that the stream spans ten of
+/// Q5's one-second slides, so windows report on both sides of the cut and the
+/// recovered state carries open counts, pending reminders and report
+/// tombstones all at once.
+const RATE: u64 = 2_000;
+/// Number of input epochs ([`EVENTS_TOTAL`] over the per-epoch event count).
+const TOTAL_EPOCHS: u64 = EVENTS_TOTAL / (RATE * EPOCH_MS / 1_000);
+/// The epoch boundary phase A stops (and checkpoints) at.
+const CUT_EPOCH: u64 = TOTAL_EPOCHS / 2;
+/// Migration fragment budget: small, so the killed bin has many fragments in
+/// flight and the crash lands squarely inside an incremental install.
+const FRAGMENT_BYTES: usize = 64;
+
+fn storage_at(root: &Path) -> StorageConfig {
+    // fsync off: SIGKILL only discards user-space state, and the WAL writes
+    // straight through to the kernel, so the kill is still a faithful crash.
+    StorageConfig::Durable(DurableConfig::new(root).with_fsync(false))
+}
+
+/// Runs `query` as a single durable worker over `epochs`, with stores rooted
+/// at `root`. With `checkpoint_at_cut` the dataflow checkpoints every store
+/// once the probe reaches the final epoch and returns without draining
+/// (mid-stream state is the point); otherwise it drains to completion and
+/// returns the emitted rows.
+fn run_phase(
+    query: &'static str,
+    root: PathBuf,
+    epochs: std::ops::Range<u64>,
+    checkpoint_at_cut: bool,
+) -> Vec<String> {
+    let results = timelite::execute(Config::thread(), move |worker| {
+        set_worker_storage(storage_at(&root));
+        let mega_config = MegaphoneConfig::new(4);
+
+        let (mut control, mut input, output, collected) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (event_input, events) = scope.new_input::<nexmark::Event>();
+            let collected = Rc::new(RefCell::new(Vec::new()));
+            let collected_inner = collected.clone();
+            let output = build_query(query, mega_config, &control, &events);
+            output.stream.inspect(move |_t, row| collected_inner.borrow_mut().push(row.clone()));
+            (control_input, event_input, output, collected)
+        });
+
+        let generator = NexmarkGenerator::new(NexmarkConfig::with_rate(RATE));
+        let events_per_epoch = RATE * EPOCH_MS / 1_000;
+        if epochs.start > 0 {
+            // Resuming past the cut: events must carry their true epoch times,
+            // not the session's initial time.
+            input.advance_to(epochs.start * EPOCH_MS);
+            control.advance_to(epochs.start * EPOCH_MS);
+        }
+        for epoch in epochs.clone() {
+            let start = epoch * events_per_epoch;
+            for position in start..start + events_per_epoch {
+                input.send(generator.event(position));
+            }
+            let next = (epoch + 1) * EPOCH_MS;
+            control.advance_to(next + EPOCH_MS);
+            input.advance_to(next);
+            worker.step_while(|| output.probe.less_than(&next));
+        }
+        if checkpoint_at_cut {
+            // The probe has reached the cut: no install is in flight, and the
+            // stores hold exactly the mid-stream state. Checkpoint and return;
+            // the post-closure drain only mutates memory that is thrown away.
+            output.checkpoint_all();
+            return Vec::new();
+        }
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let rows = collected.borrow().clone();
+        rows
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Pumps every bin of `operator` from the `phase1` store into the `phase2`
+/// store through the incremental fragment/commit path, resuming any install a
+/// previous (killed) run left in the WAL. With `kill_here`, an armed run
+/// parks at the harness barrier just before the final fragment of the
+/// largest bin — after syncing the WAL — so the SIGKILL lands between the
+/// fragment pump and the commit. Returns the fragment bytes that were skipped
+/// because the WAL had already made them durable.
+fn migrate_store<S, D>(
+    phase1: &Path,
+    phase2: &Path,
+    operator: &str,
+    kill_here: bool,
+    ctx: &FaultCtx,
+) -> u64
+where
+    S: ChunkedCodec + Default + 'static,
+    D: Codec + 'static,
+{
+    let config = MegaphoneConfig::new(4);
+    let durable1 = DurableConfig::new(phase1).with_fsync(false);
+    let (source, recovered) = BinStore::<u64, S, D>::open_durable(&config, &durable1, operator, 0)
+        .unwrap_or_else(|error| panic!("failed to open the phase-1 {operator} store: {error}"));
+    assert!(recovered, "phase 1 left no durable state for {operator}");
+    let durable2 = DurableConfig::new(phase2).with_fsync(false);
+    let (mut target, _) = BinStore::<u64, S, D>::open_durable(&config, &durable2, operator, 0)
+        .unwrap_or_else(|error| panic!("failed to open the phase-2 {operator} store: {error}"));
+
+    // The source store is read non-destructively (no retire): after a crash
+    // the restarted run recomputes the exact same fragment stream from it.
+    let mut images: Vec<(BinId, Vec<u8>)> =
+        source.hosted().map(|(bin, contents)| (bin, contents.encode_to_vec())).collect();
+    images.sort_by_key(|(bin, _)| *bin);
+    let kill_bin =
+        images.iter().max_by_key(|(bin, image)| (image.len(), *bin)).map(|&(bin, _)| bin);
+
+    let mut resumed = 0u64;
+    for (bin, image) in images {
+        if target.is_hosted(bin) {
+            continue; // Committed before the crash.
+        }
+        let value: Bin<u64, S, D> = Bin::decode_from_slice(&image);
+        let fragments = encode_fragments(value, FRAGMENT_BYTES);
+        let already = target.pending_install_bytes(bin).unwrap_or(0);
+        let total = fragments.len();
+        let mut sent = 0u64;
+        for (index, fragment) in fragments.into_iter().enumerate() {
+            let last = index + 1 == total;
+            let bytes = fragment.len() as u64;
+            if sent + bytes <= already {
+                // Already durable in the target's WAL (and re-absorbed into
+                // its pending assembly at recovery).
+                sent += bytes;
+                resumed += bytes;
+                continue;
+            }
+            assert!(
+                sent >= already,
+                "recovered byte count {already} of bin {bin} is not a fragment boundary"
+            );
+            if kill_here && Some(bin) == kill_bin && last {
+                assert!(index > 0, "the kill bin must span multiple fragments");
+                // Every fragment of this bin is appended but the commit is
+                // not: make the appends durable and offer the kill point.
+                target.sync().expect("pre-kill WAL sync failed");
+                ctx.barrier("pre-commit");
+            }
+            let done = target
+                .try_install_fragment(bin, &fragment, last)
+                .unwrap_or_else(|error| panic!("install of bin {bin} failed: {error}"));
+            assert_eq!(done, last, "bin {bin} completed on the wrong fragment");
+            sent += bytes;
+        }
+    }
+    resumed
+}
+
+/// Migrates every stateful operator of `query`, killing (when armed) inside
+/// the last operator's largest-bin install.
+fn migrate_stores(query: &str, phase1: &Path, phase2: &Path, ctx: &FaultCtx) -> u64 {
+    match query {
+        "q5" => {
+            let hot = migrate_store::<HotWindows, (u64, (u64, u64))>(
+                phase1, phase2, "Q5-Hot", false, ctx,
+            );
+            hot + migrate_store::<SlideCounts, (u64, u64)>(phase1, phase2, "Q5-Counts", true, ctx)
+        }
+        "q8" => migrate_store::<Q8State, Either<Person, Auction>>(
+            phase1, phase2, "Q8-NewSellers", true, ctx,
+        ),
+        other => panic!("no migration plan for query {other}"),
+    }
+}
+
+/// The full three-phase run (see the module docs). Returns the phase-B rows
+/// (sorted) and how many fragment bytes the migration resumed from the WAL
+/// instead of re-installing.
+fn durable_query_rows(query: &'static str, ctx: &FaultCtx) -> (Vec<String>, u64) {
+    let phase1 = ctx.data_dir.join("phase1");
+    let phase2 = ctx.data_dir.join("phase2");
+    let done = ctx.data_dir.join("phase1.done");
+    if !done.exists() {
+        run_phase(query, phase1.clone(), 0..CUT_EPOCH, true);
+        std::fs::write(&done, b"done").expect("failed to write the phase-1 marker");
+    }
+    let resumed = migrate_stores(query, &phase1, &phase2, ctx);
+    let mut rows = run_phase(query, phase2, CUT_EPOCH..TOTAL_EPOCHS, false);
+    rows.sort();
+    (rows, resumed)
+}
+
+/// Runs the kill+recovery flow and the uninterrupted oracle, and pins their
+/// equivalence.
+fn assert_recovery(test_name: &'static str, query: &'static str) {
+    // Fault run first: the forked children re-enter this test and exit inside
+    // fault_run, before the oracle below would run.
+    let outcome = fault_run(test_name, move |ctx| durable_query_rows(query, ctx));
+
+    let oracle_dir = std::env::temp_dir()
+        .join(format!("mp-recovery-oracle-{test_name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&oracle_dir);
+    std::fs::create_dir_all(&oracle_dir).expect("failed to create the oracle directory");
+    let (oracle_rows, oracle_resumed) = durable_query_rows(query, &FaultCtx::local(&oracle_dir));
+
+    let (rows, resumed) = outcome.result;
+    eprintln!(
+        "{query}: killed pid {} mid-install, resumed {resumed} fragment bytes, {} rows",
+        outcome.killed_pid,
+        rows.len()
+    );
+    assert!(!oracle_rows.is_empty(), "{query} produced no output");
+    assert_eq!(oracle_resumed, 0, "the oracle run unexpectedly resumed a partial install");
+    assert!(
+        resumed > 0,
+        "the killed run (pid {}) resumed no fragments — the SIGKILL missed the install window",
+        outcome.killed_pid
+    );
+    assert_eq!(
+        rows, oracle_rows,
+        "{query} rows after SIGKILL+recovery diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&oracle_dir);
+    let _ = std::fs::remove_dir_all(&outcome.data_dir);
+}
+
+#[test]
+fn q5_recovery_equivalence() {
+    assert_recovery("q5_recovery_equivalence", "q5");
+}
+
+#[test]
+fn q8_recovery_equivalence() {
+    assert_recovery("q8_recovery_equivalence", "q8");
+}
