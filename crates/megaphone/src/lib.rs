@@ -111,8 +111,8 @@ pub use notificator::{Notificator, PendingQueue};
 pub use operator::{stateful_unary, StatefulOutput};
 pub use routing::RoutingTable;
 pub use storage::{
-    set_worker_storage, worker_storage, DurableBackend, DurableConfig, Recovery, StorageBackend,
-    StorageConfig, StorageError, StorageHandle, StorageStats,
+    set_worker_storage, worker_storage, DurableBackend, DurableConfig, EvictionPolicy, Recovery,
+    StorageBackend, StorageConfig, StorageError, StorageHandle, StorageStats,
 };
 pub use strategies::{
     balanced_assignment, imbalanced_assignment, load_balanced_assignment, plan_migration,
@@ -129,8 +129,8 @@ pub mod prelude {
     pub use crate::notificator::Notificator;
     pub use crate::operator::{stateful_unary, StatefulOutput};
     pub use crate::storage::{
-        set_worker_storage, worker_storage, DurableConfig, StorageConfig, StorageHandle,
-        StorageStats,
+        set_worker_storage, worker_storage, DurableConfig, EvictionPolicy, StorageConfig,
+        StorageHandle, StorageStats,
     };
     pub use crate::strategies::{
         balanced_assignment, imbalanced_assignment, load_balanced_assignment, plan_migration,

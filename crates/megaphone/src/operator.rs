@@ -433,6 +433,13 @@ where
                     }
                 }
             }
+
+            // Cold-bin eviction: let the store's policy (if armed) observe
+            // this round's per-bin loads and spill whatever has gone cold.
+            s_store
+                .borrow_mut()
+                .enforce_eviction()
+                .unwrap_or_else(|error| panic!("cold-bin eviction failed: {error}"));
         }
     });
 

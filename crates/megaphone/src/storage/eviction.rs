@@ -1,0 +1,175 @@
+//! Cold-bin eviction: a load-driven policy deciding which resident bins to
+//! spill to the durable tier.
+//!
+//! The policy watches each bin's [`BinLoad`] across observation windows and
+//! calls a bin *cold* when its record count advanced by at most a threshold
+//! during a window in which the store as a whole kept processing. A bin must
+//! stay cold for a configurable number of consecutive windows (patience)
+//! before it is evicted, so a briefly idle bin is not bounced to disk and
+//! straight back.
+//!
+//! Observations are paced by progress, not wall-clock: a window closes only
+//! after the store has folded `window_records` further records in total, so a
+//! completely idle dataflow (where *every* bin looks cold) takes no
+//! observations and evicts nothing.
+
+use std::collections::HashMap;
+
+use crate::bins::BinLoad;
+
+/// The default records-per-window pacing of [`EvictionPolicy`].
+pub const DEFAULT_WINDOW_RECORDS: u64 = 1024;
+
+/// A cold-bin eviction policy over per-bin [`BinLoad`] observations.
+///
+/// Drive it with [`observe`](EvictionPolicy::observe); wire it to a store
+/// with `BinStore::set_eviction_policy`, after which the stateful operator
+/// enforces it automatically every scheduling round.
+#[derive(Debug)]
+pub struct EvictionPolicy {
+    /// A bin whose record count advances by at most this much per window is
+    /// cold for that window.
+    cold_records: u64,
+    /// Consecutive cold windows before a bin is evicted.
+    patience: u32,
+    /// Total folded records that must pass between observations.
+    window_records: u64,
+    /// Total records at the last observation (`None` before the first).
+    last_total: Option<u64>,
+    /// Per-bin record count at the last observation and current cold streak.
+    history: HashMap<u64, (u64, u32)>,
+}
+
+impl EvictionPolicy {
+    /// A policy evicting bins that fold at most `cold_records` records per
+    /// window for `patience` consecutive windows (clamped to at least 1),
+    /// with the default window pacing.
+    pub fn new(cold_records: u64, patience: u32) -> Self {
+        EvictionPolicy {
+            cold_records,
+            patience: patience.max(1),
+            window_records: DEFAULT_WINDOW_RECORDS,
+            last_total: None,
+            history: HashMap::new(),
+        }
+    }
+
+    /// Sets how many total folded records close one observation window.
+    pub fn with_window_records(mut self, records: u64) -> Self {
+        self.window_records = records.max(1);
+        self
+    }
+
+    /// Offers the policy an observation: `total_records` is the store's total
+    /// folded record count and `loads` the load of every *resident* bin.
+    /// Returns the bins to evict now — empty when the current window has not
+    /// closed yet (insufficient progress since the last observation).
+    ///
+    /// Bins absent from `loads` (migrated away or already spilled) are
+    /// forgotten; a bin's first appearance only establishes its baseline, so
+    /// a freshly hosted bin is never evicted before a full window passes.
+    pub fn observe(
+        &mut self,
+        total_records: u64,
+        loads: impl IntoIterator<Item = (u64, BinLoad)>,
+    ) -> Vec<u64> {
+        match self.last_total {
+            // Totals can shrink when loaded bins migrate away; a shrink (or
+            // the very first call) is a pure re-baseline, not an observation:
+            // per-bin deltas against the stale counts would read as cold.
+            None => {
+                self.last_total = Some(total_records);
+                self.history = loads.into_iter().map(|(bin, load)| (bin, (load.records, 0))).collect();
+                return Vec::new();
+            }
+            Some(last) if total_records < last => {
+                self.last_total = Some(total_records);
+                self.history = loads.into_iter().map(|(bin, load)| (bin, (load.records, 0))).collect();
+                return Vec::new();
+            }
+            Some(last) if total_records - last < self.window_records => return Vec::new(),
+            Some(_) => self.last_total = Some(total_records),
+        }
+        let mut evict = Vec::new();
+        let mut next: HashMap<u64, (u64, u32)> = HashMap::new();
+        for (bin, load) in loads {
+            let entry = match self.history.get(&bin) {
+                None => (load.records, 0),
+                Some(&(seen, streak)) => {
+                    let delta = load.records.saturating_sub(seen);
+                    let streak = if delta <= self.cold_records { streak + 1 } else { 0 };
+                    if streak >= self.patience {
+                        evict.push(bin);
+                    }
+                    (load.records, streak)
+                }
+            };
+            next.insert(bin, entry);
+        }
+        self.history = next;
+        evict.sort_unstable();
+        evict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(records: u64) -> BinLoad {
+        BinLoad { records, bytes: records * 8 }
+    }
+
+    #[test]
+    fn cold_bin_is_evicted_after_patience_windows() {
+        let mut policy = EvictionPolicy::new(0, 2).with_window_records(10);
+        // Window 0: baselines only.
+        assert!(policy.observe(0, [(1, load(0)), (2, load(0))]).is_empty());
+        // Window 1: bin 1 advanced, bin 2 cold (streak 1).
+        assert!(policy.observe(10, [(1, load(10)), (2, load(0))]).is_empty());
+        // Window 2: bin 2 cold again (streak 2 == patience) -> evict.
+        assert_eq!(policy.observe(20, [(1, load(20)), (2, load(0))]), vec![2]);
+    }
+
+    #[test]
+    fn activity_resets_the_cold_streak() {
+        let mut policy = EvictionPolicy::new(1, 2).with_window_records(10);
+        assert!(policy.observe(0, [(7, load(0))]).is_empty());
+        assert!(policy.observe(10, [(7, load(0))]).is_empty()); // streak 1
+        assert!(policy.observe(20, [(7, load(5))]).is_empty()); // active: reset
+        assert!(policy.observe(30, [(7, load(5))]).is_empty()); // streak 1 again
+        assert_eq!(policy.observe(40, [(7, load(5))]), vec![7]); // streak 2
+    }
+
+    #[test]
+    fn windows_are_paced_by_total_progress() {
+        let mut policy = EvictionPolicy::new(0, 1).with_window_records(100);
+        assert!(policy.observe(0, [(3, load(0))]).is_empty());
+        // No window closes while the store as a whole is idle: a policy that
+        // observed here would see every bin as cold.
+        for _ in 0..1000 {
+            assert!(policy.observe(50, [(3, load(0))]).is_empty());
+        }
+        assert_eq!(policy.observe(100, [(3, load(0))]), vec![3]);
+    }
+
+    #[test]
+    fn departed_bins_are_forgotten_and_rebaselined_on_return() {
+        let mut policy = EvictionPolicy::new(0, 1).with_window_records(10);
+        assert!(policy.observe(0, [(4, load(0))]).is_empty());
+        // Bin 4 migrated away: absent from the observation, history dropped.
+        assert!(policy.observe(10, []).is_empty());
+        // Back again: first appearance is a baseline, not an eviction.
+        assert!(policy.observe(20, [(4, load(0))]).is_empty());
+        assert_eq!(policy.observe(30, [(4, load(0))]), vec![4]);
+    }
+
+    #[test]
+    fn shrinking_totals_rebaseline_instead_of_evicting() {
+        let mut policy = EvictionPolicy::new(0, 1).with_window_records(10);
+        assert!(policy.observe(100, [(5, load(90))]).is_empty());
+        // A loaded bin migrated away: the total fell. No observation fires.
+        assert!(policy.observe(20, [(5, load(15))]).is_empty());
+        assert_eq!(policy.observe(30, [(5, load(15))]), vec![5]);
+    }
+}

@@ -30,6 +30,7 @@
 //! install only happens after the commit record is durable).
 
 pub mod bloom;
+pub mod eviction;
 pub mod sstable;
 pub mod wal;
 
@@ -39,6 +40,7 @@ use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 pub use bloom::BloomFilter;
+pub use eviction::EvictionPolicy;
 pub use sstable::SsTable;
 pub use wal::{crc32, replay_bytes, Wal, WalRecord};
 

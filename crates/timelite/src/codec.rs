@@ -14,9 +14,126 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
 
 use crate::order::Product;
 use crate::progress::{Port, ProgressUpdates};
+
+/// A ref-counted, immutable byte region plus a range into it: the zero-copy
+/// currency of the data plane.
+///
+/// A slab is created once from an owned buffer (no bytes move — the buffer is
+/// adopted) and from then on only *sliced*: [`clone`](Clone::clone) and
+/// [`slice`](Slab::slice) are O(1) reference-count bumps, never copies. A
+/// decoded TCP frame, a broadcast payload shared by several remote targets and
+/// a WAL record can therefore all alias one underlying allocation, which lives
+/// until the last slice drops.
+///
+/// Ownership rules: the underlying region is append-only *before* it becomes a
+/// slab and frozen afterwards — there is deliberately no `&mut [u8]` access,
+/// so aliasing slices can never observe a mutation.
+#[derive(Clone)]
+pub struct Slab {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Slab {
+    /// Adopts `bytes` as a new slab region. The buffer is moved, not copied.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        let end = bytes.len();
+        Slab { buf: Arc::new(bytes), start: 0, end }
+    }
+
+    /// An empty slab.
+    pub fn empty() -> Self {
+        Slab::new(Vec::new())
+    }
+
+    /// Number of bytes in this slice of the region.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` iff this slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The bytes of this slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// A sub-slice of this slice (`range` is relative to it): O(1), no copy,
+    /// shares the underlying region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` reaches past this slice's end.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Slab {
+        assert!(range.start <= range.end, "slab slice range inverted");
+        assert!(
+            self.start + range.end <= self.end,
+            "slab slice {}..{} out of bounds of {} bytes",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Slab { buf: Arc::clone(&self.buf), start: self.start + range.start, end: self.start + range.end }
+    }
+
+    /// How many slab handles share this region (for tests asserting that
+    /// cloning did not copy).
+    pub fn region_refs(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+
+    /// Returns `true` iff `other` aliases the same underlying region.
+    pub fn same_region(&self, other: &Slab) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+
+    /// Copies the slice out into an owned vector (the one deliberate copy,
+    /// for callers that must own their bytes, e.g. durable storage).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl std::ops::Deref for Slab {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Slab {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Slab {
+    fn from(bytes: Vec<u8>) -> Self {
+        Slab::new(bytes)
+    }
+}
+
+impl PartialEq for Slab {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Slab {}
+
+impl std::fmt::Debug for Slab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Slab({} bytes @ {}..{} of {})", self.len(), self.start, self.end, self.buf.len())
+    }
+}
 
 /// Types that can be serialized into the wire format.
 pub trait Codec: Sized {
@@ -278,6 +395,37 @@ mod tests {
     fn timestamps_roundtrip() {
         roundtrip(Product::new(3u64, 7u64));
         roundtrip(Product::new(Product::new(1u32, 2u32), 9u64));
+    }
+
+    #[test]
+    fn slab_adopts_without_copy_and_slices_share_the_region() {
+        let bytes: Vec<u8> = (0..64).collect();
+        let ptr = bytes.as_ptr();
+        let slab = Slab::new(bytes);
+        assert_eq!(slab.as_slice().as_ptr(), ptr, "adoption must not move the bytes");
+        let clone = slab.clone();
+        let slice = slab.slice(8..24);
+        assert!(clone.same_region(&slab));
+        assert!(slice.same_region(&slab));
+        assert_eq!(slab.region_refs(), 3);
+        assert_eq!(slice.as_slice(), &(8u8..24).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn slab_nested_subslices_compose() {
+        let slab = Slab::new((0..100u8).collect());
+        let outer = slab.slice(10..90);
+        let inner = outer.slice(5..15);
+        assert_eq!(inner.as_slice(), &(15u8..25).collect::<Vec<_>>()[..]);
+        assert_eq!(inner.slice(0..0).len(), 0, "zero-byte nested slice");
+        assert_eq!(outer.slice(0..outer.len()), outer, "full-region slice equals itself");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slab_slice_past_end_panics() {
+        let slab = Slab::new(vec![1, 2, 3]);
+        let _ = slab.slice(1..5);
     }
 
     #[test]

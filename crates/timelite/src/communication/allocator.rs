@@ -17,7 +17,7 @@ use std::any::Any;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
-use crate::codec::Codec;
+use crate::codec::{Codec, Slab};
 
 /// A message that can travel both in memory (downcast to its concrete type on
 /// the receiving worker) and over a socket (encoded into the wire format).
@@ -52,12 +52,14 @@ pub enum Payload {
     Data(Box<dyn WireMessage>),
     /// A boxed `ProgressUpdates<T>` batch for a dataflow.
     Progress(Box<dyn WireMessage>),
-    /// The wire encoding of a [`Payload::Data`] multi-batch, as received from a
-    /// remote process; the channel's demux closure decodes it.
-    DataBytes(Vec<u8>),
-    /// The wire encoding of a [`Payload::Progress`] batch, as received from a
-    /// remote process; the destination dataflow decodes it.
-    ProgressBytes(Vec<u8>),
+    /// The wire encoding of a [`Payload::Data`] multi-batch as a ref-counted
+    /// slab slice — received from a remote process (a slice of the reader's
+    /// read region) or shared by a multi-target broadcast (one encoding, many
+    /// slab handles); the channel's demux closure decodes it.
+    DataBytes(Slab),
+    /// The wire encoding of a [`Payload::Progress`] batch as a ref-counted
+    /// slab slice; the destination dataflow decodes it.
+    ProgressBytes(Slab),
 }
 
 impl std::fmt::Debug for Payload {
@@ -95,56 +97,90 @@ const KIND_PROGRESS: u8 = 1;
 /// [from u64][to u64][kind u8]`, after the `[len u64]` message prefix.
 pub const FRAME_HEADER_BYTES: usize = 4 * 8 + 1;
 
-/// Serializes `envelope` (destined for global worker `to`) into one complete
-/// wire message:
-/// `[len u64][dataflow u64][channel u64][from u64][to u64][kind u8][payload…]`,
-/// following `megaphone::codec`'s byte conventions (little-endian integers,
-/// `u64` length prefixes inside the payload). `len` counts everything after
-/// itself; it is stamped here, at encode time, so the socket writer emits the
-/// buffer as-is instead of copying it behind a separately written prefix.
-pub fn encode_frame(envelope: &Envelope, to: usize) -> Vec<u8> {
-    let payload_hint = match &envelope.payload {
-        Payload::DataBytes(bytes) | Payload::ProgressBytes(bytes) => bytes.len(),
-        _ => 64,
-    };
-    let mut frame = Vec::with_capacity(8 + FRAME_HEADER_BYTES + payload_hint);
-    0u64.encode(&mut frame); // Length placeholder, patched below.
-    (envelope.dataflow as u64).encode(&mut frame);
-    (envelope.channel as u64).encode(&mut frame);
-    (envelope.from as u64).encode(&mut frame);
-    (to as u64).encode(&mut frame);
-    match &envelope.payload {
+/// Bytes of a frame's full fixed prefix on the wire: the `[len u64]` message
+/// prefix followed by the [`FRAME_HEADER_BYTES`] header.
+pub const FRAME_PREFIX_BYTES: usize = 8 + FRAME_HEADER_BYTES;
+
+/// One outgoing wire message in scatter form: the fixed
+/// `[len u64][dataflow u64][channel u64][from u64][to u64][kind u8]` prefix as
+/// an inline array, and the payload as a ref-counted slab slice. The two parts
+/// are never glued into one contiguous buffer — the socket writer emits them
+/// with a vectored write — so a payload shared by several targets (broadcast,
+/// progress) is encoded once and its slab handle cloned per frame.
+#[derive(Clone, Debug)]
+pub struct WireFrame {
+    /// The stamped fixed prefix (`len` counts header-after-len + payload).
+    pub prefix: [u8; FRAME_PREFIX_BYTES],
+    /// The payload bytes, sliced not copied.
+    pub payload: Slab,
+}
+
+impl WireFrame {
+    /// Assembles a frame from its routing coordinates and an already-encoded
+    /// payload slab. O(1) in the payload size.
+    pub fn new(
+        dataflow: usize,
+        channel: usize,
+        from: usize,
+        to: usize,
+        kind: u8,
+        payload: Slab,
+    ) -> Self {
+        let mut prefix = [0u8; FRAME_PREFIX_BYTES];
+        let len = (FRAME_HEADER_BYTES + payload.len()) as u64;
+        prefix[..8].copy_from_slice(&len.to_le_bytes());
+        prefix[8..16].copy_from_slice(&(dataflow as u64).to_le_bytes());
+        prefix[16..24].copy_from_slice(&(channel as u64).to_le_bytes());
+        prefix[24..32].copy_from_slice(&(from as u64).to_le_bytes());
+        prefix[32..40].copy_from_slice(&(to as u64).to_le_bytes());
+        prefix[40] = kind;
+        WireFrame { prefix, payload }
+    }
+
+    /// Total bytes this frame occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        FRAME_PREFIX_BYTES + self.payload.len()
+    }
+
+    /// Glues prefix and payload into one contiguous buffer (tests and
+    /// inspection only; the writer never materializes this copy).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.wire_len());
+        bytes.extend_from_slice(&self.prefix);
+        bytes.extend_from_slice(&self.payload);
+        bytes
+    }
+}
+
+/// Serializes `envelope` (destined for global worker `to`) into one wire
+/// message, following `megaphone::codec`'s byte conventions (little-endian
+/// integers, `u64` length prefixes inside the payload). A typed payload is
+/// encoded here, once; an already-encoded payload ([`Payload::DataBytes`] /
+/// [`Payload::ProgressBytes`]) is *sliced*, not copied — forwarding and
+/// multi-target fan-out cost one slab handle per extra frame.
+pub fn encode_frame(envelope: &Envelope, to: usize) -> WireFrame {
+    let (kind, payload) = match &envelope.payload {
         Payload::Data(message) => {
-            frame.push(KIND_DATA);
-            message.encode_wire(&mut frame);
+            let mut bytes = Vec::with_capacity(64);
+            message.encode_wire(&mut bytes);
+            (KIND_DATA, Slab::new(bytes))
         }
         Payload::Progress(message) => {
-            frame.push(KIND_PROGRESS);
-            message.encode_wire(&mut frame);
+            let mut bytes = Vec::with_capacity(64);
+            message.encode_wire(&mut bytes);
+            (KIND_PROGRESS, Slab::new(bytes))
         }
-        // Forwarding an already-encoded payload re-uses its bytes verbatim.
-        Payload::DataBytes(bytes) => {
-            frame.push(KIND_DATA);
-            frame.extend_from_slice(bytes);
-        }
-        Payload::ProgressBytes(bytes) => {
-            frame.push(KIND_PROGRESS);
-            frame.extend_from_slice(bytes);
-        }
-    }
-    let len = (frame.len() - 8) as u64;
-    frame[..8].copy_from_slice(&len.to_le_bytes());
-    frame
+        Payload::DataBytes(slab) => (KIND_DATA, slab.clone()),
+        Payload::ProgressBytes(slab) => (KIND_PROGRESS, slab.clone()),
+    };
+    WireFrame::new(envelope.dataflow, envelope.channel, envelope.from, to, kind, payload)
 }
 
 /// Rebuilds `(envelope, to)` from a frame's fixed header and its payload
-/// bytes, taking ownership of the payload (no copy). The payload stays
-/// encoded ([`Payload::DataBytes`] / [`Payload::ProgressBytes`]): only the
-/// destination channel knows the concrete types to decode it into.
-pub fn decode_frame_parts(
-    header: &[u8; FRAME_HEADER_BYTES],
-    payload: Vec<u8>,
-) -> (Envelope, usize) {
+/// slab slice (no copy). The payload stays encoded ([`Payload::DataBytes`] /
+/// [`Payload::ProgressBytes`]): only the destination channel knows the
+/// concrete types to decode it into.
+pub fn decode_frame_parts(header: &[u8; FRAME_HEADER_BYTES], payload: Slab) -> (Envelope, usize) {
     let mut bytes = &header[..];
     let dataflow = u64::decode(&mut bytes) as usize;
     let channel = u64::decode(&mut bytes) as usize;
@@ -161,12 +197,12 @@ pub fn decode_frame_parts(
 
 /// Deserializes one frame body (everything after the `[len u64]` prefix) back
 /// into `(envelope, to)`. Convenience for tests and inspection; the socket
-/// reader avoids the payload copy by reading header and payload separately
-/// and calling [`decode_frame_parts`].
+/// reader slices payloads out of its read region via [`decode_frame_parts`]
+/// instead of copying them out of a contiguous frame.
 pub fn decode_frame(frame: &[u8]) -> (Envelope, usize) {
     let header: [u8; FRAME_HEADER_BYTES] =
         frame[..FRAME_HEADER_BYTES].try_into().expect("frame shorter than its header");
-    decode_frame_parts(&header, frame[FRAME_HEADER_BYTES..].to_vec())
+    decode_frame_parts(&header, Slab::new(frame[FRAME_HEADER_BYTES..].to_vec()))
 }
 
 /// A sender handle to one worker's mailbox: an in-memory channel for a worker
@@ -176,14 +212,15 @@ pub fn decode_frame(frame: &[u8]) -> (Envelope, usize) {
 pub enum WorkerSender {
     /// The peer lives in this process: envelopes are moved, never serialized.
     Local(Sender<Envelope>),
-    /// The peer lives in another process: envelopes are encoded into frames
-    /// and handed to the writer thread of the connection to that process.
+    /// The peer lives in another process: envelopes are encoded into
+    /// [`WireFrame`]s (prefix + payload slab, no contiguous copy) and handed
+    /// to the writer thread of the connection to that process.
     Remote {
         /// The destination worker's global index (baked into each frame so the
         /// receiving process can route to the right local mailbox).
         to: usize,
         /// Channel into the destination process's socket writer thread.
-        tx: Sender<Vec<u8>>,
+        tx: Sender<WireFrame>,
     },
 }
 
@@ -364,7 +401,8 @@ mod tests {
             Envelope { dataflow: 2, channel: 7, from: 4, payload: Payload::Data(Box::new(batches.clone())) },
         );
         let frame = rx.try_recv().expect("frame expected");
-        let (envelope, to) = decode_frame(&frame[8..]);
+        let bytes = frame.to_bytes();
+        let (envelope, to) = decode_frame(&bytes[8..]);
         assert_eq!(to, 0);
         assert_eq!(envelope.dataflow, 2);
         assert_eq!(envelope.channel, 7);
@@ -389,7 +427,7 @@ mod tests {
             from: 1,
             payload: Payload::Progress(Box::new(updates.clone())),
         };
-        let frame = encode_frame(&envelope, 3);
+        let frame = encode_frame(&envelope, 3).to_bytes();
         assert_eq!(
             u64::from_le_bytes(frame[..8].try_into().expect("8 bytes")) as usize,
             frame.len() - 8,

@@ -297,11 +297,15 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
     /// A broadcast pusher's remote (other-process) targets share one payload
     /// encoding: their staged buffers are maintained in lockstep — every push
     /// appends the same batch to each, and budget overflows trip for all of
-    /// them within the same push — so the wire bytes are produced once and
-    /// cloned per target instead of re-encoded `targets` times.
+    /// them within the same push — so the wire bytes are produced once, into a
+    /// ref-counted [`Slab`](crate::codec::Slab), and every extra target costs
+    /// one slab handle instead of a re-encode or a byte-vector clone.
     pub fn flush(&mut self) {
         if matches!(self.pact, Pact::Broadcast) {
-            let mut encoded: Option<Vec<u8>> = None;
+            // The desync guard compares batch *shape* (times and record
+            // counts), never re-encodes: the encode-once property is pinned by
+            // a test counting record encode calls.
+            let mut encoded: Option<(crate::codec::Slab, Vec<(T, usize)>)> = None;
             for target in 0..self.peers {
                 if self.staged[target].is_empty() || !self.senders[target].is_remote() {
                     self.flush_target(target);
@@ -309,14 +313,24 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
                 }
                 let batches = std::mem::take(&mut self.staged[target]);
                 self.staged_bytes[target] = 0;
-                if let Some(shared) = &encoded {
-                    debug_assert_eq!(
-                        &batches.encode_to_vec(),
-                        shared,
-                        "broadcast staging desynced across remote targets"
-                    );
-                }
-                let bytes = encoded.get_or_insert_with(|| batches.encode_to_vec()).clone();
+                let shape =
+                    || batches.iter().map(|(time, batch)| (time.clone(), batch.len())).collect();
+                let slab = match &encoded {
+                    Some((slab, first_shape)) => {
+                        debug_assert_eq!(
+                            &shape(),
+                            first_shape,
+                            "broadcast staging desynced across remote targets"
+                        );
+                        slab.clone()
+                    }
+                    None => {
+                        let shape: Vec<(T, usize)> = shape();
+                        let slab = crate::codec::Slab::new(batches.encode_to_vec());
+                        encoded = Some((slab.clone(), shape));
+                        slab
+                    }
+                };
                 send_to(
                     &self.senders,
                     target,
@@ -324,7 +338,7 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
                         dataflow: self.dataflow,
                         channel: self.channel,
                         from: self.index,
-                        payload: Payload::DataBytes(bytes),
+                        payload: Payload::DataBytes(slab),
                     },
                 );
             }
@@ -501,11 +515,12 @@ mod tests {
             Pusher::new(Pact::Broadcast, 0, 0, 0, 3, Rc::clone(&local), senders, produced);
         pusher.push(&4, vec![7, 8]);
         pusher.flush();
-        let frames: Vec<Vec<u8>> = frame_rx.try_iter().collect();
+        let frames: Vec<_> = frame_rx.try_iter().collect();
         assert_eq!(frames.len(), 2, "one frame per remote target");
         let mut payloads = Vec::new();
         for frame in &frames {
-            let (envelope, _to) = decode_frame(&frame[8..]);
+            let bytes = frame.to_bytes();
+            let (envelope, _to) = decode_frame(&bytes[8..]);
             match envelope.payload {
                 Payload::DataBytes(bytes) => {
                     assert_eq!(MultiBatch::<u64, u64>::decode_from_slice(&bytes), vec![(4, vec![7, 8])]);
@@ -515,8 +530,59 @@ mod tests {
             }
         }
         assert_eq!(payloads[0], payloads[1], "both targets share the encoding");
+        assert!(
+            frames[0].payload.same_region(&frames[1].payload),
+            "both targets must hold slab handles into one encoded region, not copies"
+        );
         // The local copy was delivered untouched.
         assert_eq!(local.borrow_mut().pop_front(), Some((4, vec![7, 8])));
+    }
+
+    /// Pins the encode-once property directly: broadcasting one staged batch
+    /// to several remote targets must run each record's `Codec::encode`
+    /// exactly once — the extra targets get refcounted slab handles, not
+    /// re-encodes (and no debug assertion may sneak a re-encode in either).
+    #[test]
+    fn broadcast_encodes_each_record_exactly_once() {
+        use crossbeam_channel::unbounded;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        static ENCODES: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(Clone, Debug, PartialEq)]
+        struct CountingRecord(u64);
+        impl Codec for CountingRecord {
+            fn encode(&self, bytes: &mut Vec<u8>) {
+                ENCODES.fetch_add(1, Ordering::SeqCst);
+                self.0.encode(bytes);
+            }
+            fn decode(bytes: &mut &[u8]) -> Self {
+                CountingRecord(u64::decode(bytes))
+            }
+        }
+
+        // Worker 0 of 4 with three remote targets.
+        let (frame_tx, frame_rx) = unbounded();
+        let senders = vec![
+            WorkerSender::Local(unbounded().0),
+            WorkerSender::Remote { to: 1, tx: frame_tx.clone() },
+            WorkerSender::Remote { to: 2, tx: frame_tx.clone() },
+            WorkerSender::Remote { to: 3, tx: frame_tx },
+        ];
+        let local: SharedQueue<u64, CountingRecord> = shared_queue();
+        let produced = shared_changes();
+        let mut pusher =
+            Pusher::new(Pact::Broadcast, 0, 0, 0, 4, Rc::clone(&local), senders, produced);
+        ENCODES.store(0, Ordering::SeqCst);
+        pusher.push(&1, vec![CountingRecord(10), CountingRecord(11)]);
+        pusher.push(&2, vec![CountingRecord(12)]);
+        pusher.flush();
+        assert_eq!(frame_rx.try_iter().count(), 3, "one frame per remote target");
+        assert_eq!(
+            ENCODES.load(Ordering::SeqCst),
+            3,
+            "each staged record must be encoded exactly once for the whole broadcast"
+        );
     }
 
     #[test]

@@ -16,28 +16,38 @@
 //! * **Framing**: envelopes are serialized by
 //!   [`encode_frame`](crate::communication::encode_frame) (same byte
 //!   conventions as `megaphone::codec`: little-endian integers, `u64` length
-//!   prefixes) and written as `[len u64][frame]`.
+//!   prefixes) into a [`WireFrame`] — a stamped `[len u64][header]` prefix
+//!   plus the payload as a ref-counted [`Slab`] — and
+//!   written on the wire as `[len u64][header][payload]`.
 //! * **Writer threads** (one per remote process): drain a channel of
-//!   pre-encoded frames — fed by every local worker's
-//!   [`WorkerSender::Remote`] handles — and write them to the socket. The
-//!   thread exits when all sender handles drop (the local workers finished).
-//! * **Reader threads** (one per remote process): read frames, rebuild
-//!   envelopes with still-encoded payloads
+//!   [`WireFrame`]s — fed by every local worker's [`WorkerSender::Remote`]
+//!   handles — and *scatter* them into the socket with vectored writes
+//!   (prefix and payload as separate I/O slices, many frames per syscall),
+//!   so a payload slab encoded once is never recopied, not even for
+//!   broadcasts that queue the same slab to several connections. The thread
+//!   exits when all sender handles drop (the local workers finished).
+//! * **Reader threads** (one per remote process): fill large slab regions
+//!   from the socket, slice each frame's payload out of its region zero-copy
+//!   and rebuild envelopes with still-encoded payloads
 //!   ([`Payload::DataBytes`](crate::communication::Payload::DataBytes) /
 //!   [`Payload::ProgressBytes`](crate::communication::Payload::ProgressBytes))
-//!   and push them into the destination worker's local mailbox. The thread
+//!   which they push into the destination worker's local mailbox. The thread
 //!   exits on EOF (the remote process finished).
 //!
 //! Everything above this module — pushers, pacts, progress tracking, the
 //! worker — is unchanged: a remote peer is just a [`WorkerSender`] variant.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
-use super::allocator::{decode_frame_parts, Allocator, Envelope, WorkerSender, FRAME_HEADER_BYTES};
+use super::allocator::{
+    decode_frame_parts, Allocator, Envelope, WireFrame, WorkerSender, FRAME_HEADER_BYTES,
+    FRAME_PREFIX_BYTES,
+};
+use crate::codec::Slab;
 
 /// Handshake magic: "TIMELITE" interpreted as a little-endian u64.
 const HANDSHAKE_MAGIC: u64 = u64::from_le_bytes(*b"TIMELITE");
@@ -233,21 +243,95 @@ fn connect_mesh(spec: &ClusterSpec, listener: &TcpListener) -> Vec<Option<TcpStr
     streams
 }
 
-/// The writer loop: drains pre-encoded messages (their `[len u64]` prefix was
-/// stamped at encode time, so each buffer is written as-is — no re-copy) until
-/// every sender handle has been dropped.
-fn writer_loop(mut stream: TcpStream, frames: Receiver<Vec<u8>>) {
+/// Most frames a writer gathers into a single vectored write. Two I/O slices
+/// per frame (prefix, payload) keeps the iovec under typical `IOV_MAX`.
+const WRITER_BATCH_FRAMES: usize = 64;
+
+/// Writes `frames` to `stream` as a scatter list — each frame contributes its
+/// stamped prefix and its payload slab as separate [`IoSlice`]s — so payload
+/// bytes go from their encode-time slab straight into the kernel with no
+/// intermediate contiguous copy. Handles partial vectored writes by resuming
+/// mid-slice.
+fn write_frames(stream: &mut TcpStream, frames: &[WireFrame]) -> std::io::Result<()> {
+    let slice_at = |index: usize| -> &[u8] {
+        let frame = &frames[index / 2];
+        if index.is_multiple_of(2) {
+            &frame.prefix
+        } else {
+            frame.payload.as_slice()
+        }
+    };
+    let total = frames.len() * 2;
+    let mut index = 0;
+    let mut offset = 0;
+    while index < total {
+        let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(total - index);
+        for i in index..total {
+            let slice = slice_at(i);
+            let slice = if i == index { &slice[offset..] } else { slice };
+            if !slice.is_empty() {
+                iov.push(IoSlice::new(slice));
+            }
+        }
+        if iov.is_empty() {
+            return Ok(()); // Only empty slices remained.
+        }
+        let mut written = stream.write_vectored(&iov)?;
+        if written == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        while index < total && written > 0 {
+            let remaining = slice_at(index).len() - offset;
+            if written >= remaining {
+                written -= remaining;
+                index += 1;
+                offset = 0;
+            } else {
+                offset += written;
+                written = 0;
+            }
+        }
+        // Skip slices that were already fully consumed (empty payloads).
+        while index < total && slice_at(index).len() == offset {
+            index += 1;
+            offset = 0;
+        }
+    }
+    Ok(())
+}
+
+/// The writer loop: drains [`WireFrame`]s — prefix stamped at encode time,
+/// payload a ref-counted slab — and scatters them into the socket with
+/// vectored writes, gathering every frame already queued (up to
+/// [`WRITER_BATCH_FRAMES`]) into one syscall. Exits when every sender handle
+/// has been dropped.
+fn writer_loop(mut stream: TcpStream, frames: Receiver<WireFrame>) {
+    let mut batch: Vec<WireFrame> = Vec::with_capacity(WRITER_BATCH_FRAMES);
     while let Ok(frame) = frames.recv() {
-        if stream.write_all(&frame).is_err() {
+        batch.clear();
+        batch.push(frame);
+        batch.extend(frames.try_iter().take(WRITER_BATCH_FRAMES - 1));
+        if write_frames(&mut stream, &batch).is_err() {
             // The remote process is gone; its dataflows were complete.
             return;
         }
     }
 }
 
-/// The reader loop: reads `[len u64][frame]` messages, rebuilds envelopes with
-/// still-encoded payloads and routes them into the destination worker's local
-/// mailbox, until EOF.
+/// Smallest and largest read-region sizes: the reader doubles its region
+/// whenever a refill saturates it and shrinks back toward the bytes actually
+/// read for chatty round-trip traffic, so neither large transfers nor small
+/// pings pay for the other (a region is zeroed before the `read`, so an
+/// oversized one costs a memset per refill).
+const MIN_READ_REGION_BYTES: usize = 4 << 10;
+/// See [`MIN_READ_REGION_BYTES`].
+const MAX_READ_REGION_BYTES: usize = 256 << 10;
+
+/// The reader loop: fills ref-counted slab *regions* from the socket — one
+/// `read` can return many frames — and slices each frame's payload out of the
+/// region zero-copy before routing the envelope into the destination worker's
+/// local mailbox, until EOF. A frame spanning a region boundary carries its
+/// partial prefix into the next region (the only copied bytes on the path).
 ///
 /// A broken connection *between* frames is a clean shutdown (the remote
 /// process finished and closed its socket). A failure *mid-frame* — a peer
@@ -261,33 +345,70 @@ fn reader_loop(mut stream: TcpStream, first_worker: usize, mailboxes: Vec<Sender
         eprintln!("cluster connection failed: {message}; aborting (workers would hang forever)");
         std::process::abort();
     };
+    let mut region = Slab::empty();
+    let mut pos = 0usize;
+    // Next region size: doubled when a refill fills the whole region (the
+    // socket had more in store), re-shrunk toward the bytes actually read so
+    // a mostly-idle connection zeroes kilobytes, not the maximum region.
+    let mut region_bytes = MIN_READ_REGION_BYTES;
     loop {
-        let mut len = [0u8; 8];
-        if stream.read_exact(&mut len).is_err() {
-            return; // EOF at a frame boundary: clean remote shutdown.
+        // Slice every complete frame out of the frozen region.
+        while region.len() - pos >= 8 {
+            let len =
+                u64::from_le_bytes(region[pos..pos + 8].try_into().expect("8 bytes")) as usize;
+            if len < FRAME_HEADER_BYTES {
+                fatal("frame shorter than its header");
+            }
+            if region.len() - pos < 8 + len {
+                break; // Frame continues in the next region.
+            }
+            let header: [u8; FRAME_HEADER_BYTES] = region[pos + 8..pos + FRAME_PREFIX_BYTES]
+                .try_into()
+                .expect("header bytes");
+            let payload = region.slice(pos + FRAME_PREFIX_BYTES..pos + 8 + len);
+            pos += 8 + len;
+            let (envelope, to) = decode_frame_parts(&header, payload);
+            let Some(local) =
+                to.checked_sub(first_worker).filter(|local| mailboxes.len() > *local)
+            else {
+                fatal("frame routed to a worker this process does not host");
+            };
+            // A send failure means the local worker already completed its
+            // dataflows; the message is irrelevant, exactly as for local sends.
+            let _ = mailboxes[local].send(envelope);
         }
-        let len = u64::from_le_bytes(len) as usize;
-        if len < FRAME_HEADER_BYTES {
-            fatal("frame shorter than its header");
-        }
-        // Header and payload are read separately: the payload buffer is
-        // handed to the envelope as-is, so receiving costs no copy.
-        let mut header = [0u8; FRAME_HEADER_BYTES];
-        if stream.read_exact(&mut header).is_err() {
-            fatal("peer died mid-frame (truncated header)");
-        }
-        let mut payload = vec![0u8; len - FRAME_HEADER_BYTES];
-        if stream.read_exact(&mut payload).is_err() {
-            fatal("peer died mid-frame (truncated payload)");
-        }
-        let (envelope, to) = decode_frame_parts(&header, payload);
-        let Some(local) = to.checked_sub(first_worker).filter(|local| mailboxes.len() > *local)
-        else {
-            fatal("frame routed to a worker this process does not host");
+
+        // Refill: carry the partial frame (if any) into a fresh region and
+        // block until at least the pending frame's known extent is in.
+        let tail = region.len() - pos;
+        let needed = if tail >= 8 {
+            8 + u64::from_le_bytes(region[pos..pos + 8].try_into().expect("8 bytes")) as usize
+        } else {
+            8
         };
-        // A send failure means the local worker already completed its
-        // dataflows; the message is irrelevant, exactly as for local sends.
-        let _ = mailboxes[local].send(envelope);
+        let target = region_bytes.max(needed);
+        let mut buf = vec![0u8; target];
+        buf[..tail].copy_from_slice(&region[pos..]);
+        let mut filled = tail;
+        while filled < needed {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) | Err(_) if filled == 0 => {
+                    return; // EOF at a frame boundary: clean remote shutdown.
+                }
+                Ok(0) | Err(_) => fatal("peer died mid-frame (truncated frame)"),
+                Ok(read) => filled += read,
+            }
+        }
+        region_bytes = if filled == buf.len() {
+            (target * 2).min(MAX_READ_REGION_BYTES)
+        } else {
+            (filled - tail)
+                .next_power_of_two()
+                .clamp(MIN_READ_REGION_BYTES, MAX_READ_REGION_BYTES)
+        };
+        buf.truncate(filled);
+        region = Slab::new(buf);
+        pos = 0;
     }
 }
 
@@ -347,12 +468,12 @@ pub fn cluster_allocate(spec: &ClusterSpec) -> (Vec<Allocator>, ClusterGuard) {
 
     // One writer and one reader thread per remote process. The writer handles
     // are joined by the ClusterGuard so no process exits with frames queued.
-    let mut writer_txs: Vec<Option<Sender<Vec<u8>>>> =
+    let mut writer_txs: Vec<Option<Sender<WireFrame>>> =
         (0..spec.processes()).map(|_| None).collect();
     let mut writers = Vec::new();
     for (peer, stream) in streams.into_iter().enumerate() {
         let Some(stream) = stream else { continue };
-        let (frame_tx, frame_rx) = unbounded::<Vec<u8>>();
+        let (frame_tx, frame_rx) = unbounded::<WireFrame>();
         writer_txs[peer] = Some(frame_tx);
         let write_stream = stream.try_clone().expect("failed to clone stream");
         writers.push(

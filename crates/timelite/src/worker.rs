@@ -113,17 +113,19 @@ impl<T: Timestamp> DataflowStep for DataflowCore<T> {
 
         // 5. Harvest and share progress changes made by the operators. The
         //    batch is identical for every peer; remote peers receive its wire
-        //    encoding, produced once and cloned as bytes, instead of paying a
-        //    full re-encode per peer.
+        //    encoding, produced once into a ref-counted slab and shared as
+        //    slab handles, instead of paying a re-encode or byte clone per
+        //    peer.
         let updates = self.harvest_progress();
         if !updates.is_empty() {
             self.tracker.apply(&updates);
-            let mut encoded: Option<Vec<u8>> = None;
+            let mut encoded: Option<crate::codec::Slab> = None;
             for target in 0..self.built.peers {
                 if target != self.built.index {
                     let payload = if self.built.senders[target].is_remote() {
-                        let bytes =
-                            encoded.get_or_insert_with(|| updates.encode_to_vec()).clone();
+                        let bytes = encoded
+                            .get_or_insert_with(|| crate::codec::Slab::new(updates.encode_to_vec()))
+                            .clone();
                         Payload::ProgressBytes(bytes)
                     } else {
                         Payload::Progress(Box::new(updates.clone()))

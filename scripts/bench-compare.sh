@@ -7,7 +7,8 @@
 # Tracked benchmarks are matched by group prefix (the part before the first
 # '/'); the default set covers the hot paths CI guards:
 # routing_lookup, key_to_bin, bin_encode, exchange_throughput,
-# exchange_throughput_tcp, skew_reaction, bin_migrate_large_durable.
+# exchange_throughput_tcp, saturation, skew_reaction,
+# bin_migrate_large_durable.
 # Override with BENCH_COMPARE_GROUPS (comma-separated). The factor defaults
 # to 2.0.
 set -euo pipefail
@@ -15,7 +16,7 @@ set -euo pipefail
 previous="${1:?usage: bench-compare.sh previous.csv current.csv [max-factor]}"
 current="${2:?usage: bench-compare.sh previous.csv current.csv [max-factor]}"
 factor="${3:-2.0}"
-groups="${BENCH_COMPARE_GROUPS:-routing_lookup,key_to_bin,bin_encode,exchange_throughput,exchange_throughput_tcp,skew_reaction,bin_migrate_large_durable}"
+groups="${BENCH_COMPARE_GROUPS:-routing_lookup,key_to_bin,bin_encode,exchange_throughput,exchange_throughput_tcp,saturation,skew_reaction,bin_migrate_large_durable}"
 
 awk -F, -v factor="$factor" -v groups="$groups" '
     BEGIN {

@@ -137,6 +137,28 @@ fn durable_migration_is_in_the_tracked_set() {
 }
 
 #[test]
+fn saturation_is_in_the_tracked_set() {
+    // The open-loop saturation bench joined the guarded hot paths: its mean
+    // iteration time is pinned at the schedule's epoch length while the data
+    // plane sustains the offered load, so a mean far above that floor means
+    // the fabric can no longer keep up and must fail the gate.
+    let dir = temp_dir("saturation");
+    let previous = write_csv(
+        &dir,
+        "prev.csv",
+        &[("saturation/openloop_1m", 1_000_000.0), ("key_to_bin/12", 10.0)],
+    );
+    let current = write_csv(
+        &dir,
+        "curr.csv",
+        &[("saturation/openloop_1m", 3_000_000.0), ("key_to_bin/12", 10.0)],
+    );
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(!ok, "a 3x saturation regression must fail the gate, got:\n{text}");
+    assert!(text.contains("REGRESSION saturation/openloop_1m"), "output:\n{text}");
+}
+
+#[test]
 fn new_benchmark_without_baseline_passes() {
     let dir = temp_dir("new");
     let previous = write_csv(&dir, "prev.csv", &[("key_to_bin/12", 10.0)]);

@@ -274,6 +274,47 @@ fn readme_documents_durability() {
 }
 
 #[test]
+fn readme_documents_the_data_plane() {
+    // The data-plane section must keep the copy inventory, the slab ownership
+    // rules and the queue memory-ordering argument, and the types it names
+    // must actually exist in the sources.
+    let readme = read("README.md");
+    assert!(readme.contains("## Data plane"), "README must keep the Data plane section");
+    for needle in [
+        "Copy inventory",
+        "Slab ownership rules",
+        "Lock-free mailboxes",
+        "timelite::codec::Slab",
+        "Arc<Vec<u8>>",
+        "WRITER_BATCH_FRAMES",
+        "MAX_READ_REGION_BYTES",
+        "broadcast_encodes_each_record_exactly_once",
+        "Vyukov",
+        "sleepers",
+        "queue-stress",
+        "QUEUE_STRESS_ITERS",
+        "saturation.rs",
+    ] {
+        assert!(readme.contains(needle), "Data plane section lost `{needle}`");
+    }
+    let codec = read("crates/timelite/src/codec.rs");
+    assert!(
+        codec.contains("pub struct Slab"),
+        "Slab vanished from timelite::codec — update this test and README"
+    );
+    let net = read("crates/timelite/src/communication/net.rs");
+    assert!(
+        net.contains("WRITER_BATCH_FRAMES") && net.contains("MAX_READ_REGION_BYTES"),
+        "the scatter writer / slab-region reader constants vanished from net.rs"
+    );
+    let channel = read("vendor/crossbeam-channel/src/lib.rs");
+    assert!(
+        channel.contains("Vyukov") && channel.contains("QUEUE_STRESS_ITERS"),
+        "the lock-free channel's docs/stress knob vanished — update this test and README"
+    );
+}
+
+#[test]
 fn readme_criterion_bench_list_matches_the_sources() {
     let readme = read("README.md");
     let benches = std::fs::read_dir(repo_root().join("crates/bench/benches"))

@@ -5,66 +5,120 @@
 //! the unbounded MPMC channel with cloneable senders *and* receivers, `send`,
 //! `recv`, `try_recv` and `try_iter`; this crate provides exactly that subset.
 //!
-//! The queue is *sharded into two lock domains* (a classic two-lock queue,
-//! adapted to segments): senders append to a **tail** segment behind one mutex
-//! while receivers pop from a **head** segment behind another. A receiver only
-//! touches the tail lock when its head segment runs dry, at which point it
-//! swaps the entire tail segment into the head in O(1). Senders therefore never
-//! contend with receivers while buffered messages remain, which removes the
-//! single-mutex serialization of the previous stand-in on the exchange hot
-//! path. Swap the `[workspace.dependencies]` entry for the crates.io version
-//! when network access is available.
+//! The queue core is an intrusive **lock-free MPSC linked list** in the style
+//! of Vyukov's non-intrusive queue: a sender allocates a node, atomically
+//! swaps it into the shared `tail`, and then publishes it by storing the
+//! `next` link of the previous tail. Producers never take a lock and never
+//! wait for one another — a producer preempted between its swap and its link
+//! store delays only the *consumption* of the messages behind it, never other
+//! producers. The consumer side pops from `head` behind a light mutex (the
+//! API allows cloned receivers; with the single receiver per mailbox used by
+//! `timelite` that mutex is uncontended and private to the consumer, so
+//! send/recv never share a lock — the property the previous two-lock segment
+//! queue lacked).
+//!
+//! Blocking `recv` parks on an *eventcount*: the receiver registers itself in
+//! a `sleepers` counter, snapshots a wakeup `generation`, re-checks the
+//! queue, and only then waits for the generation to move. The memory-ordering
+//! argument for no lost wakeups (all the ordering-critical atomics are
+//! `SeqCst`, so a single total order exists):
+//!
+//! * A sender publishes its node (`next` store), *then* loads `sleepers`.
+//! * A receiver increments `sleepers`, *then* re-checks the queue.
+//! * If the sender read `sleepers == 0`, that load precedes the receiver's
+//!   increment in the total order, hence the sender's earlier publish also
+//!   precedes the receiver's later re-check: the re-check finds the message.
+//! * If the sender read `sleepers > 0`, it bumps the generation under the
+//!   park mutex and notifies: the receiver either sees the moved generation
+//!   before waiting or is woken by the notification. Either way, no wakeup
+//!   is lost.
+//!
+//! Freed nodes are safe against ABA-style races by construction: a consumer
+//! frees a node only after reading a non-null `next` out of it, and a node's
+//! `next` is stored exactly once, by the producer that swapped past it — so
+//! no thread can still hold a reference into memory that gets reused.
+//!
+//! Swap the `[workspace.dependencies]` entry for the crates.io version when
+//! network access is available.
 
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How long `try_recv` spins for a producer caught between its tail swap and
+/// its link store before reporting the message as not-yet-sent.
+const LINK_SPINS: usize = 64;
 
 /// Creates an unbounded channel, returning the sending and receiving halves.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let stub =
+        Box::into_raw(Box::new(Node { next: AtomicPtr::new(ptr::null_mut()), value: None }));
     let inner = Arc::new(Inner {
-        head: Mutex::new(VecDeque::new()),
-        tail: Mutex::new(Tail { segment: VecDeque::new(), senders: 1, receivers: 1 }),
+        tail: AtomicPtr::new(stub),
+        head: Mutex::new(HeadPtr(stub)),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        sleepers: AtomicUsize::new(0),
+        generation: Mutex::new(0),
         available: Condvar::new(),
     });
     (Sender { inner: inner.clone() }, Receiver { inner })
 }
 
-/// The sender-side lock domain: the open segment plus the handle counts.
-///
-/// The handle counts live under the tail lock so that `send`'s receiver check
-/// and `try_recv`/`recv`'s sender check are consistent with the enqueued
-/// messages they race against.
-struct Tail<T> {
-    segment: VecDeque<T>,
-    senders: usize,
-    receivers: usize,
+/// One queue link: `value` is `None` only for the stub node a queue starts
+/// with (and for whichever node most recently became the new stub after a
+/// pop).
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    value: Option<T>,
 }
 
-/// Shared channel state, sharded into two lock domains.
-///
-/// Invariant: every message in `head` was sent before every message in `tail`
-/// (receivers always drain the tail segment *completely* into the head), so
-/// popping `head` first preserves the global FIFO order.
+/// The consumer's head pointer, newtyped so the containing `Mutex` is `Send`
+/// exactly when `T` is (raw pointers are not `Send` by default).
+struct HeadPtr<T>(*mut Node<T>);
+
+// SAFETY: the head pointer is just a handle to heap nodes of `T`; moving it
+// across threads is moving access to those `T`s, sound whenever `T: Send`.
+unsafe impl<T: Send> Send for HeadPtr<T> {}
+
+/// Shared channel state.
 struct Inner<T> {
-    /// Closed segment, popped by receivers.
-    head: Mutex<VecDeque<T>>,
-    /// Open segment, appended to by senders; paired with `available`.
-    tail: Mutex<Tail<T>>,
-    /// Signaled on every send and on the last sender disconnecting.
+    /// The most recently pushed node; producers swap themselves in here.
+    tail: AtomicPtr<Node<T>>,
+    /// The consumer-side stub; its `next` chain holds the queued messages.
+    head: Mutex<HeadPtr<T>>,
+    /// Live `Sender` handles.
+    senders: AtomicUsize,
+    /// Live `Receiver` handles.
+    receivers: AtomicUsize,
+    /// Receivers that are parking or parked in `recv`.
+    sleepers: AtomicUsize,
+    /// Eventcount generation; bumped (under the lock) by every wakeup.
+    generation: Mutex<u64>,
+    /// Signaled on every send observed by a sleeper and on the last sender
+    /// disconnecting.
     available: Condvar,
 }
 
 impl<T> Inner<T> {
-    /// Moves the whole tail segment into `head`, preserving order.
-    ///
-    /// Callers must hold the head lock (passed as `head`) and the tail lock.
-    fn refill(head: &mut VecDeque<T>, tail: &mut Tail<T>) {
-        if head.is_empty() {
-            std::mem::swap(head, &mut tail.segment);
-        } else {
-            head.append(&mut tail.segment);
+    /// Bumps the wakeup generation and wakes every parked receiver.
+    fn wake_all(&self) {
+        *self.generation.lock().unwrap() += 1;
+        self.available.notify_all();
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Free the stub and any messages that were never received.
+        let mut node = self.head.get_mut().unwrap().0;
+        while !node.is_null() {
+            // SAFETY: nodes from `head` onward are exclusively ours now.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next.load(SeqCst);
         }
     }
 }
@@ -100,108 +154,188 @@ pub struct RecvError;
 
 impl<T> Sender<T> {
     /// Enqueues `message`, failing only if every receiver has been dropped.
+    ///
+    /// Lock-free: the push is one atomic swap plus one atomic store, with no
+    /// waiting on other senders or on receivers.
     pub fn send(&self, message: T) -> Result<(), SendError<T>> {
-        let mut tail = self.inner.tail.lock().unwrap();
-        if tail.receivers == 0 {
+        if self.inner.receivers.load(SeqCst) == 0 {
             return Err(SendError(message));
         }
-        tail.segment.push_back(message);
-        drop(tail);
-        self.inner.available.notify_one();
+        let node =
+            Box::into_raw(Box::new(Node { next: AtomicPtr::new(ptr::null_mut()), value: Some(message) }));
+        let prev = self.inner.tail.swap(node, SeqCst);
+        // SAFETY: `prev` cannot have been freed: a consumer frees a node only
+        // after reading a non-null `next` from it, and `prev.next` stays null
+        // until this very store (we won the tail swap, so we alone set it).
+        unsafe { (*prev).next.store(node, SeqCst) };
+        // Publish-then-check; pairs with recv's register-then-recheck (see
+        // the module docs for the ordering argument).
+        if self.inner.sleepers.load(SeqCst) > 0 {
+            self.inner.wake_all();
+        }
         Ok(())
     }
 }
 
 impl<T> Receiver<T> {
     /// Dequeues a message without blocking.
-    ///
-    /// Lock order is head → tail; senders only ever take the tail lock, so the
-    /// fast path (head segment non-empty) never contends with them.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut head = self.inner.head.lock().unwrap();
-        if let Some(message) = head.pop_front() {
-            return Ok(message);
-        }
-        let mut tail = self.inner.tail.lock().unwrap();
-        Inner::refill(&mut head, &mut tail);
-        match head.pop_front() {
-            Some(message) => Ok(message),
-            None if tail.senders == 0 => Err(TryRecvError::Disconnected),
-            None => Err(TryRecvError::Empty),
+        let head_ptr = head.0;
+        // SAFETY: the node `head` points at is only freed by the popper that
+        // advances `head` past it, and we hold the head lock.
+        unsafe {
+            let mut next = (*head_ptr).next.load(SeqCst);
+            if next.is_null() {
+                if self.inner.tail.load(SeqCst) == head_ptr {
+                    // Queue looks empty. If senders remain it is Empty; if
+                    // none remain, re-check the link once — a send that
+                    // completed between the loads above and the sender-count
+                    // load below must still be delivered.
+                    if self.inner.senders.load(SeqCst) != 0 {
+                        return Err(TryRecvError::Empty);
+                    }
+                    next = (*head_ptr).next.load(SeqCst);
+                    if next.is_null() {
+                        return Err(TryRecvError::Disconnected);
+                    }
+                } else {
+                    // A sender swapped the tail but has not yet published its
+                    // link. The window is a few instructions; spin briefly,
+                    // and if the sender was preempted mid-push treat the
+                    // message as not yet sent.
+                    for _ in 0..LINK_SPINS {
+                        std::hint::spin_loop();
+                        next = (*head_ptr).next.load(SeqCst);
+                        if !next.is_null() {
+                            break;
+                        }
+                    }
+                    if next.is_null() {
+                        return Err(TryRecvError::Empty);
+                    }
+                }
+            }
+            let value = (*next).value.take().expect("queue node already consumed");
+            head.0 = next;
+            // SAFETY: `head_ptr` is unreachable now — `head` moved past it,
+            // and the producer that set its `next` is done touching it.
+            drop(Box::from_raw(head_ptr));
+            Ok(value)
         }
     }
 
     /// Blocks until a message arrives or every sender disconnects.
     pub fn recv(&self) -> Result<T, RecvError> {
         loop {
-            let mut head = self.inner.head.lock().unwrap();
-            if let Some(message) = head.pop_front() {
-                return Ok(message);
+            match self.try_recv() {
+                Ok(value) => return Ok(value),
+                Err(TryRecvError::Disconnected) => return Err(RecvError),
+                Err(TryRecvError::Empty) => {}
             }
-            let mut tail = self.inner.tail.lock().unwrap();
-            Inner::refill(&mut head, &mut tail);
-            if let Some(message) = head.pop_front() {
-                return Ok(message);
+            // Eventcount park: register as a sleeper, snapshot the wakeup
+            // generation, re-check, and wait only while no wakeup has moved
+            // the generation past the snapshot.
+            self.inner.sleepers.fetch_add(1, SeqCst);
+            let snapshot = *self.inner.generation.lock().unwrap();
+            let rechecked = self.try_recv();
+            match rechecked {
+                Ok(_) | Err(TryRecvError::Disconnected) => {
+                    self.inner.sleepers.fetch_sub(1, SeqCst);
+                    return match rechecked {
+                        Ok(value) => Ok(value),
+                        _ => Err(RecvError),
+                    };
+                }
+                Err(TryRecvError::Empty) => {
+                    let mut generation = self.inner.generation.lock().unwrap();
+                    while *generation == snapshot {
+                        generation = self.inner.available.wait(generation).unwrap();
+                    }
+                    drop(generation);
+                    self.inner.sleepers.fetch_sub(1, SeqCst);
+                }
             }
-            if tail.senders == 0 {
-                return Err(RecvError);
-            }
-            // Release the head lock before sleeping so other receivers (and
-            // `try_recv` calls) are not blocked behind a parked thread; the
-            // wait releases the tail lock atomically, so a send that happens
-            // after the emptiness check above cannot be missed.
-            drop(head);
-            let _guard: MutexGuard<'_, Tail<T>> = self.inner.available.wait(tail).unwrap();
         }
     }
 
     /// A non-blocking iterator over currently queued messages.
+    ///
+    /// Holds the (receiver-side) head lock for the iterator's whole lifetime,
+    /// so draining many messages pays for one lock round-trip instead of one
+    /// per message. Senders never take this lock, so concurrent sends are
+    /// unaffected; only other receivers wait until the iterator drops.
     pub fn try_iter(&self) -> TryIter<'_, T> {
-        TryIter { receiver: self }
+        TryIter { head: self.inner.head.lock().unwrap(), inner: &self.inner }
     }
 }
 
 /// Iterator returned by [`Receiver::try_iter`].
 pub struct TryIter<'a, T> {
-    receiver: &'a Receiver<T>,
+    head: std::sync::MutexGuard<'a, HeadPtr<T>>,
+    inner: &'a Inner<T>,
 }
 
 impl<T> Iterator for TryIter<'_, T> {
     type Item = T;
     fn next(&mut self) -> Option<T> {
-        self.receiver.try_recv().ok()
+        let head_ptr = self.head.0;
+        // SAFETY: same argument as `try_recv` — we hold the head lock, and
+        // the node `head` points at is only freed by the popper that advances
+        // `head` past it.
+        unsafe {
+            let mut next = (*head_ptr).next.load(SeqCst);
+            if next.is_null() {
+                if self.inner.tail.load(SeqCst) == head_ptr {
+                    return None;
+                }
+                // A sender swapped the tail but has not published its link
+                // yet; spin briefly exactly as `try_recv` does.
+                for _ in 0..LINK_SPINS {
+                    std::hint::spin_loop();
+                    next = (*head_ptr).next.load(SeqCst);
+                    if !next.is_null() {
+                        break;
+                    }
+                }
+                if next.is_null() {
+                    return None;
+                }
+            }
+            let value = (*next).value.take().expect("queue node already consumed");
+            self.head.0 = next;
+            drop(Box::from_raw(head_ptr));
+            Some(value)
+        }
     }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.inner.tail.lock().unwrap().senders += 1;
+        self.inner.senders.fetch_add(1, SeqCst);
         Sender { inner: self.inner.clone() }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.inner.tail.lock().unwrap().receivers += 1;
+        self.inner.receivers.fetch_add(1, SeqCst);
         Receiver { inner: self.inner.clone() }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut tail = self.inner.tail.lock().unwrap();
-        tail.senders -= 1;
-        if tail.senders == 0 {
-            drop(tail);
+        if self.inner.senders.fetch_sub(1, SeqCst) == 1 {
             // Wake blocked receivers so they observe the disconnect.
-            self.inner.available.notify_all();
+            self.inner.wake_all();
         }
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.inner.tail.lock().unwrap().receivers -= 1;
+        self.inner.receivers.fetch_sub(1, SeqCst);
     }
 }
 
@@ -227,6 +361,23 @@ impl<T> fmt::Debug for SendError<T> {
 mod tests {
     use super::*;
 
+    /// Per-test iteration scale; the CI `queue-stress` job raises it.
+    fn stress_iters(default: u64) -> u64 {
+        std::env::var("QUEUE_STRESS_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+
+    /// A tiny deterministic RNG (xorshift64*), so the stress schedules are
+    /// reproducible from their printed seed.
+    fn seeded_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed.max(1);
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
     #[test]
     fn send_and_receive_in_order() {
         let (tx, rx) = unbounded();
@@ -238,10 +389,10 @@ mod tests {
     }
 
     #[test]
-    fn order_survives_segment_refills() {
+    fn order_survives_interleaved_fill_levels() {
         let (tx, rx) = unbounded();
-        // Interleave sends and receives so messages cross the tail→head swap
-        // at every possible fill level.
+        // Interleave sends and receives so pops cross the empty/non-empty
+        // boundary at every possible fill level.
         for round in 0..50u32 {
             for offset in 0..round {
                 tx.send(round * 100 + offset).unwrap();
@@ -297,13 +448,13 @@ mod tests {
     #[test]
     fn concurrent_senders_preserve_per_sender_order() {
         const SENDERS: usize = 8;
-        const MESSAGES: u64 = 10_000;
+        let messages = stress_iters(10_000);
         let (tx, rx) = unbounded();
         let handles: Vec<_> = (0..SENDERS)
             .map(|sender| {
                 let tx = tx.clone();
                 std::thread::spawn(move || {
-                    for seq in 0..MESSAGES {
+                    for seq in 0..messages {
                         tx.send((sender, seq)).unwrap();
                     }
                 })
@@ -325,18 +476,18 @@ mod tests {
             }
         }
         // Disconnected only after every message was drained.
-        assert_eq!(received, SENDERS as u64 * MESSAGES);
+        assert_eq!(received, SENDERS as u64 * messages);
         for handle in handles {
             handle.join().unwrap();
         }
     }
 
-    /// Same as above but through the blocking `recv`, exercising the condvar
-    /// hand-off between the two lock domains.
+    /// Same as above but through the blocking `recv`, exercising the
+    /// eventcount park/wake protocol under producer contention.
     #[test]
     fn concurrent_senders_with_blocking_receiver() {
         const SENDERS: usize = 4;
-        const MESSAGES: u64 = 5_000;
+        let messages = stress_iters(5_000);
         let (tx, rx) = unbounded();
         let receiver = std::thread::spawn(move || {
             let mut next_seq = [0u64; SENDERS];
@@ -352,7 +503,7 @@ mod tests {
             .map(|sender| {
                 let tx = tx.clone();
                 std::thread::spawn(move || {
-                    for seq in 0..MESSAGES {
+                    for seq in 0..messages {
                         tx.send((sender, seq)).unwrap();
                     }
                 })
@@ -362,6 +513,181 @@ mod tests {
         for handle in handles {
             handle.join().unwrap();
         }
-        assert_eq!(receiver.join().unwrap(), SENDERS as u64 * MESSAGES);
+        assert_eq!(receiver.join().unwrap(), SENDERS as u64 * messages);
+    }
+
+    /// Seeded stress: producers pace themselves with a deterministic RNG (so
+    /// tail swaps, link stores and drains interleave differently per seed) and
+    /// the receiver mixes blocking and non-blocking pops. Per-sender FIFO and
+    /// exact message counts must survive every schedule.
+    #[test]
+    fn seeded_multi_producer_drain_order_stress() {
+        const SENDERS: usize = 6;
+        for seed in [0x9e37_79b9u64, 0xdead_beef, 0x5eed_cafe] {
+            let messages = stress_iters(4_000);
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..SENDERS)
+                .map(|sender| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        let mut rng = seeded_rng(seed ^ (sender as u64 + 1));
+                        for seq in 0..messages {
+                            tx.send((sender, seq)).unwrap();
+                            // Occasionally yield so some pushes land with the
+                            // queue empty (parked receiver) and some in bursts.
+                            if rng().is_multiple_of(64) {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+
+            let mut rng = seeded_rng(seed);
+            let mut next_seq = [0u64; SENDERS];
+            let mut received = 0u64;
+            loop {
+                let popped = if rng().is_multiple_of(4) {
+                    match rx.recv() {
+                        Ok(pair) => Ok(pair),
+                        Err(RecvError) => Err(TryRecvError::Disconnected),
+                    }
+                } else {
+                    rx.try_recv()
+                };
+                match popped {
+                    Ok((sender, seq)) => {
+                        assert_eq!(seq, next_seq[sender], "seed {seed:#x}: sender {sender} reordered");
+                        next_seq[sender] += 1;
+                        received += 1;
+                    }
+                    Err(TryRecvError::Empty) => std::thread::yield_now(),
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            assert_eq!(received, SENDERS as u64 * messages, "seed {seed:#x} lost messages");
+            for handle in handles {
+                handle.join().unwrap();
+            }
+        }
+    }
+
+    /// Closing the receiver while producers are mid-push: every producer must
+    /// see a clean prefix of accepted sends followed only by rejections, and
+    /// every value ever accepted must be dropped exactly once (the queue's
+    /// teardown frees undelivered nodes; nothing leaks, nothing double-frees).
+    #[test]
+    fn close_while_pushing_rejects_cleanly_and_leaks_nothing() {
+        use std::sync::atomic::AtomicU64;
+
+        static LIVE: AtomicU64 = AtomicU64::new(0);
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Self {
+                LIVE.fetch_add(1, SeqCst);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, SeqCst);
+            }
+        }
+
+        const SENDERS: usize = 4;
+        for seed in [3u64, 17, 255] {
+            let messages = stress_iters(2_000);
+            let (tx, rx) = unbounded::<Tracked>();
+            let handles: Vec<_> = (0..SENDERS)
+                .map(|sender| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        let mut rejected_at = None;
+                        for seq in 0..messages {
+                            match tx.send(Tracked::new()) {
+                                Ok(()) => assert!(
+                                    rejected_at.is_none(),
+                                    "seed {seed}: sender {sender} accepted after a rejection"
+                                ),
+                                Err(SendError(_)) => {
+                                    rejected_at.get_or_insert(seq);
+                                }
+                            }
+                        }
+                        rejected_at
+                    })
+                })
+                .collect();
+            drop(tx);
+            // Drain a seeded amount, then drop the receiver mid-stream.
+            let mut rng = seeded_rng(seed);
+            let drain = rng() % (messages / 2);
+            let mut drained = 0u64;
+            while drained < drain {
+                match rx.try_recv() {
+                    Ok(_) => drained += 1,
+                    Err(TryRecvError::Empty) => std::thread::yield_now(),
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            drop(rx);
+            for handle in handles {
+                handle.join().unwrap();
+            }
+            // The channel is gone: every Tracked ever constructed (delivered,
+            // queued-undelivered, or bounced by SendError) must be dropped.
+            assert_eq!(LIVE.load(SeqCst), 0, "seed {seed} leaked queued messages");
+        }
+    }
+
+    /// ABA-shaped reuse: a tight ping-pong keeps the queue oscillating between
+    /// empty and one node, so the allocator immediately recycles each freed
+    /// node's address for the next push. Stale-pointer bugs in the pop path
+    /// (freeing a node a producer still links through) show up here as lost,
+    /// duplicated or corrupted values.
+    #[test]
+    fn aba_shaped_node_reuse_round_trips_every_value() {
+        let rounds = stress_iters(50_000);
+        let (data_tx, data_rx) = unbounded();
+        let (ack_tx, ack_rx) = unbounded();
+        let producer = std::thread::spawn(move || {
+            for value in 0..rounds {
+                data_tx.send(value).unwrap();
+                // Wait for the ack so the node is freed (and its address
+                // reusable) before the next push.
+                assert_eq!(ack_rx.recv(), Ok(value));
+            }
+        });
+        for expected in 0..rounds {
+            assert_eq!(data_rx.recv(), Ok(expected));
+            ack_tx.send(expected).unwrap();
+        }
+        producer.join().unwrap();
+        assert_eq!(data_rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    /// Seeded burst/drain cycles: bursts of seeded sizes are pushed and fully
+    /// drained, so freed node addresses from one burst are recycled into the
+    /// next while order is re-verified every cycle.
+    #[test]
+    fn seeded_burst_drain_cycles_preserve_order_across_reuse() {
+        let (tx, rx) = unbounded();
+        let mut rng = seeded_rng(0xaba_aba);
+        let mut sent = 0u64;
+        let cycles = stress_iters(400);
+        for _ in 0..cycles {
+            let burst = rng() % 37 + 1;
+            for _ in 0..burst {
+                tx.send(sent).unwrap();
+                sent += 1;
+            }
+            let mut expected = sent - burst;
+            while expected < sent {
+                assert_eq!(rx.try_recv(), Ok(expected));
+                expected += 1;
+            }
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
     }
 }
