@@ -120,6 +120,26 @@ impl<T: Timestamp + TotalOrder, P> PendingQueue<T, P> {
         ready
     }
 
+    /// Returns `true` iff the earliest pending entry is already releasable
+    /// under `frontier` — i.e. a [`drain_ready`](Self::drain_ready) call now
+    /// would return work. Operators use this after processing to decide
+    /// whether to re-activate themselves: entries enqueued at the time
+    /// currently being retired are ready immediately, and no further frontier
+    /// movement (hence no tracker-driven activation) may ever arrive.
+    pub fn has_ready(&self, frontier: &Antichain<T>) -> bool {
+        self.heap
+            .peek()
+            .is_some_and(|Reverse(entry)| !frontier.less_equal(&entry.time))
+    }
+
+    /// Like [`has_ready`](Self::has_ready) for the two-frontier variant
+    /// [`drain_ready2`](Self::drain_ready2).
+    pub fn has_ready2(&self, frontier1: &Antichain<T>, frontier2: &Antichain<T>) -> bool {
+        self.heap.peek().is_some_and(|Reverse(entry)| {
+            !frontier1.less_equal(&entry.time) && !frontier2.less_equal(&entry.time)
+        })
+    }
+
     /// Like [`drain_ready`](Self::drain_ready) but requires the time to have
     /// been passed by *both* frontiers (used by `S`, which must wait for both
     /// its data and its state input).

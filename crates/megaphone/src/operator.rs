@@ -159,6 +159,12 @@ where
 
     let f_store = store.clone();
     let f_probe = probe.clone();
+    // Under demand-driven scheduling F must be woken by the downstream S
+    // output frontier it watches: that frontier's movement never touches F's
+    // own input frontiers (F is upstream), so without this registration a
+    // pending migration whose gate opens via the probe would sleep forever.
+    let f_activator = f_builder.activator();
+    probe.wake_on_change(f_activator.clone());
     f_builder.build(move |_initial_capability| {
         let mut routing = RoutingTable::<T>::new(config.initial_assignment(peers));
         // Data whose time is in advance of the control frontier: configuration
@@ -304,6 +310,13 @@ where
 
             // 6. Retire configuration updates that can no longer be looked up.
             routing.compact(data_frontier);
+
+            // 7. A migration pump that ran out of budget yields with work
+            //    remaining: re-activate for the next round rather than waiting
+            //    for an (possibly never-arriving) external event.
+            if !outgoing.is_empty() {
+                f_activator.activate();
+            }
         }
     });
 
@@ -323,6 +336,7 @@ where
 
     let s_store = store.clone();
     let mut fold = fold;
+    let s_activator = s_builder.activator();
     s_builder.build(move |initial_capability| {
         // Received data bundles, released in timestamp order once both input
         // frontiers have passed their time.
@@ -440,6 +454,17 @@ where
                 .borrow_mut()
                 .enforce_eviction()
                 .unwrap_or_else(|error| panic!("cold-bin eviction failed: {error}"));
+
+            // The fold above may have scheduled wake-ups at the very time just
+            // retired (a notificator deadline clamped to the current time):
+            // those are ready *now*, and no further frontier movement — hence
+            // no tracker-driven activation — may ever arrive. Re-activate so
+            // the deadline fires without needing a data nudge.
+            if wakeups.has_ready2(data_frontier, state_frontier)
+                || data_stash.has_ready2(data_frontier, state_frontier)
+            {
+                s_activator.activate();
+            }
         }
     });
 

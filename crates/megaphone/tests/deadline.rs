@@ -1,0 +1,68 @@
+//! A notificator deadline fires without a data nudge: a post-dated record
+//! becomes due purely through frontier movement (empty epochs), and the `S`
+//! operator must wake up and deliver it even though no further data records
+//! ever arrive.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use megaphone::prelude::*;
+
+#[test]
+fn deadline_fires_on_frontier_movement_alone() {
+    let deliveries = timelite::execute_single(|worker| {
+        let log_in: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log_out = log_in.clone();
+        let (mut control, mut input, probe) = worker.dataflow::<u64, _, _>(|scope| {
+            let (control_input, control) = scope.new_input::<ControlInst>();
+            let (data_input, data) = scope.new_input::<(u64, u64)>();
+            let log = log_in.clone();
+            let out = stateful_unary::<_, (u64, u64), u64, u64, _, _>(
+                MegaphoneConfig::new(2),
+                &control,
+                &data,
+                "Deadline",
+                |record| timelite::hashing::hash_code(&record.0),
+                move |time, records, state, notificator| {
+                    let mut outputs = Vec::new();
+                    for (key, marker) in records {
+                        if marker == 0 {
+                            // Schedule a wake-up 50 epochs in the future.
+                            notificator.notify_at(time + 50, (key, 1));
+                        } else {
+                            *state += 1;
+                            log.borrow_mut().push((*time, *state));
+                            outputs.push(*state);
+                        }
+                    }
+                    outputs
+                },
+            );
+            (control_input, data_input, out.probe)
+        });
+
+        control.advance_to(100);
+        input.advance_to(100);
+        worker.step_while(|| probe.less_than(&100));
+
+        // The only data record ever sent; it schedules a deadline at 150.
+        input.send((7, 0));
+        control.advance_to(120);
+        input.advance_to(120);
+        worker.step_while(|| probe.less_than(&120));
+        assert!(log_out.borrow().is_empty(), "the deadline must not fire early");
+
+        // Pure frontier movement past the deadline — no data at all. The S
+        // operator must be woken by the frontier change and deliver.
+        control.advance_to(200);
+        input.advance_to(200);
+        worker.step_while(|| probe.less_than(&200));
+
+        drop(control);
+        drop(input);
+        worker.step_until_complete();
+        let log = log_out.borrow().clone();
+        log
+    });
+    assert_eq!(deliveries, vec![(150, 1)], "one delivery, exactly at the deadline");
+}

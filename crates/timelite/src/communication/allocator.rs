@@ -41,6 +41,27 @@ impl<M: Any + Send + Codec> WireMessage for M {
     }
 }
 
+/// A [`WireMessage`] shared behind an `Arc`: one allocation fanned out to many
+/// same-process peers (each envelope costs one refcount bump, not a clone of
+/// the message). Blanket-implemented like `WireMessage`, with `Sync` added
+/// because the shared message is read concurrently by its receivers.
+pub trait SharedWireMessage: Send + Sync {
+    /// Converts the shared message into `Arc<dyn Any>` for in-process
+    /// delivery; the receiving dataflow downcasts without cloning the payload.
+    fn into_any_arc(self: std::sync::Arc<Self>) -> std::sync::Arc<dyn Any + Send + Sync>;
+    /// Appends the message's wire encoding to `bytes`.
+    fn encode_wire(&self, bytes: &mut Vec<u8>);
+}
+
+impl<M: Any + Send + Sync + Codec> SharedWireMessage for M {
+    fn into_any_arc(self: std::sync::Arc<Self>) -> std::sync::Arc<dyn Any + Send + Sync> {
+        self
+    }
+    fn encode_wire(&self, bytes: &mut Vec<u8>) {
+        self.encode(bytes);
+    }
+}
+
 /// The payload of an envelope: a typed data message or progress update (local
 /// delivery), or its wire encoding (received from another process and decoded
 /// by the destination channel, which knows the concrete types).
@@ -52,6 +73,10 @@ pub enum Payload {
     Data(Box<dyn WireMessage>),
     /// A boxed `ProgressUpdates<T>` batch for a dataflow.
     Progress(Box<dyn WireMessage>),
+    /// A `ProgressUpdates<T>` batch shared by every same-process peer behind
+    /// one `Arc`: the local-fanout analogue of the encode-once slab remote
+    /// peers receive — one batch allocation, N−1 refcount bumps, zero clones.
+    ProgressShared(std::sync::Arc<dyn SharedWireMessage>),
     /// The wire encoding of a [`Payload::Data`] multi-batch as a ref-counted
     /// slab slice — received from a remote process (a slice of the reader's
     /// read region) or shared by a multi-target broadcast (one encoding, many
@@ -67,6 +92,7 @@ impl std::fmt::Debug for Payload {
         match self {
             Payload::Data(_) => write!(f, "Payload::Data(..)"),
             Payload::Progress(_) => write!(f, "Payload::Progress(..)"),
+            Payload::ProgressShared(_) => write!(f, "Payload::ProgressShared(..)"),
             Payload::DataBytes(bytes) => write!(f, "Payload::DataBytes({} bytes)", bytes.len()),
             Payload::ProgressBytes(bytes) => {
                 write!(f, "Payload::ProgressBytes({} bytes)", bytes.len())
@@ -166,6 +192,14 @@ pub fn encode_frame(envelope: &Envelope, to: usize) -> WireFrame {
             (KIND_DATA, Slab::new(bytes))
         }
         Payload::Progress(message) => {
+            let mut bytes = Vec::with_capacity(64);
+            message.encode_wire(&mut bytes);
+            (KIND_PROGRESS, Slab::new(bytes))
+        }
+        // Shared progress is a local-fanout optimization; workers pre-encode
+        // a slab for remote peers instead, so this arm only runs if a shared
+        // batch is deliberately pointed at a remote sender.
+        Payload::ProgressShared(message) => {
             let mut bytes = Vec::with_capacity(64);
             message.encode_wire(&mut bytes);
             (KIND_PROGRESS, Slab::new(bytes))
@@ -286,6 +320,19 @@ impl Allocator {
     /// A non-blocking iterator over the currently pending envelopes.
     pub fn try_iter(&self) -> impl Iterator<Item = Envelope> + '_ {
         self.receiver.try_iter()
+    }
+
+    /// Parks the calling worker thread on its mailbox's eventcount until an
+    /// envelope is available (or `timeout` elapses; `None` waits
+    /// indefinitely). Returns whether the mailbox had something to receive.
+    ///
+    /// This is how an idle worker burns ~0 CPU instead of spin-yielding: every
+    /// path that can create work for a parked worker — a peer's data envelope,
+    /// a progress broadcast, a frame routed in by the cluster reader thread —
+    /// lands in this mailbox, and the channel's no-lost-wakeup protocol
+    /// guarantees a send during the park transition is observed.
+    pub fn wait(&self, timeout: Option<std::time::Duration>) -> bool {
+        self.receiver.wait(timeout)
     }
 }
 

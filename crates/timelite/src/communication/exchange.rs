@@ -23,6 +23,7 @@ use crate::codec::Codec;
 use crate::communication::allocator::{send_to, Envelope, Payload, WorkerSender};
 use crate::order::Timestamp;
 use crate::progress::ChangeBatch;
+use crate::schedule::SharedActivations;
 use crate::Data;
 
 /// The queue of received `(time, data)` bundles for one channel at one worker.
@@ -135,6 +136,11 @@ pub struct Pusher<T: Timestamp, D> {
     /// step-boundary flush, bounding staging-buffer memory and the latency of
     /// large transfers (e.g. migration fragments) under heavy fan-in.
     flush_budget: usize,
+    /// Demand-driven scheduling hooks, wired by the graph builder (absent for
+    /// pushers constructed directly, e.g. in tests and benches): the consuming
+    /// node to activate on local delivery, and the dataflow's activation set
+    /// whose dirty flags gate the worker's flush and progress work.
+    activations: Option<(usize, SharedActivations)>,
 }
 
 /// Default adaptive flush budget: 1 MiB of estimated staged bytes per target.
@@ -178,7 +184,16 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
             staged: (0..peers).map(|_| Vec::new()).collect(),
             staged_bytes: vec![0; peers],
             flush_budget: flush_budget_from_env(),
+            activations: None,
         }
+    }
+
+    /// Wires the pusher into demand-driven scheduling: a batch delivered into
+    /// the local queue activates `target_node`, a batch staged for another
+    /// worker raises the dataflow's flush flag, and every push raises the
+    /// progress flag (`produced` is accounted at push time).
+    pub fn wire_activations(&mut self, target_node: usize, set: SharedActivations) {
+        self.activations = Some((target_node, set));
     }
 
     /// The channel this pusher feeds.
@@ -198,11 +213,37 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
     /// (coalescing with the previous staged batch when the time matches). A
     /// target whose estimated staged bytes exceed the flush budget is flushed
     /// immediately rather than at the next step boundary.
+    /// Activates the consuming node: a batch is sitting in its local queue.
+    fn note_local_delivery(&self) {
+        if let Some((node, set)) = &self.activations {
+            set.borrow_mut().activate(*node);
+        }
+    }
+
+    /// Raises the dataflow's flush flag: a batch was staged for another
+    /// worker and must leave at the next flush point even if no local
+    /// operator has anything to do.
+    fn note_remote_staged(&self) {
+        if let Some((_, set)) = &self.activations {
+            set.borrow_mut().set_flush_needed();
+        }
+    }
+
+    /// Raises the dataflow's progress flag: `produced` changed, so the next
+    /// step must harvest.
+    fn note_progress(&self) {
+        if let Some((_, set)) = &self.activations {
+            set.borrow_mut().set_progress_dirty();
+        }
+    }
+
     fn deliver(&mut self, time: &T, target: usize, mut batch: Vec<D>, bytes: usize) {
         if target == self.index {
             self.local.borrow_mut().push_back((time.clone(), batch));
+            self.note_local_delivery();
             return;
         }
+        self.note_remote_staged();
         self.staged_bytes[target] += bytes;
         let staged = &mut self.staged[target];
         match staged.last_mut() {
@@ -241,10 +282,12 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
         if data.is_empty() {
             return;
         }
+        self.note_progress();
         match &self.pact {
             Pact::Pipeline => {
                 self.produced.borrow_mut().update(time.clone(), data.len() as i64);
                 self.local.borrow_mut().push_back((time.clone(), data));
+                self.note_local_delivery();
             }
             Pact::Broadcast => {
                 self.produced
@@ -266,6 +309,7 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
                 self.produced.borrow_mut().update(time.clone(), data.len() as i64);
                 if self.peers == 1 {
                     self.local.borrow_mut().push_back((time.clone(), data));
+                    self.note_local_delivery();
                     return;
                 }
                 let route = Rc::clone(route);
@@ -357,12 +401,16 @@ impl<T: Timestamp, D: Data> Pusher<T, D> {
 /// every registered channel (cloning for all but the last).
 pub struct Tee<T: Timestamp, D> {
     pushers: Vec<Pusher<T, D>>,
+    /// Set on every push, taken by the worker's per-round flusher: a clean tee
+    /// is skipped entirely, so flush work scales with dirty channels instead
+    /// of all channels.
+    dirty: bool,
 }
 
 impl<T: Timestamp, D: Data> Tee<T, D> {
     /// Creates an empty tee.
     pub fn new() -> Self {
-        Tee { pushers: Vec::new() }
+        Tee { pushers: Vec::new(), dirty: false }
     }
 
     /// Registers a new channel pusher.
@@ -385,6 +433,7 @@ impl<T: Timestamp, D: Data> Tee<T, D> {
         if data.is_empty() || self.pushers.is_empty() {
             return;
         }
+        self.dirty = true;
         let last = self.pushers.len() - 1;
         for pusher in &mut self.pushers[..last] {
             pusher.push(time, data.clone());
@@ -392,8 +441,14 @@ impl<T: Timestamp, D: Data> Tee<T, D> {
         self.pushers[last].push(time, data);
     }
 
+    /// Whether anything was pushed since the last flush.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
     /// Flushes the staging buffers of every attached channel.
     pub fn flush(&mut self) {
+        self.dirty = false;
         for pusher in &mut self.pushers {
             pusher.flush();
         }

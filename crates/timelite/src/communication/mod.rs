@@ -6,7 +6,8 @@ pub mod net;
 
 pub use allocator::{
     allocate, decode_frame, decode_frame_parts, encode_frame, send_to, Allocator, Envelope,
-    Payload, WireFrame, WireMessage, WorkerSender, FRAME_HEADER_BYTES, FRAME_PREFIX_BYTES,
+    Payload, SharedWireMessage, WireFrame, WireMessage, WorkerSender, FRAME_HEADER_BYTES,
+    FRAME_PREFIX_BYTES,
 };
 pub use net::{cluster_allocate, free_addresses, ClusterGuard, ClusterSpec};
 pub use exchange::{

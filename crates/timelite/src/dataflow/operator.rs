@@ -134,6 +134,17 @@ impl<T: Timestamp> OperatorBuilder<T> {
         self.scope.peers()
     }
 
+    /// An [`Activator`](crate::schedule::Activator) for this operator.
+    ///
+    /// The logic calls it to re-activate itself when it yields with work
+    /// remaining (e.g. a pump that ran out of per-step budget, or a stash
+    /// whose entries are already ready against the current frontiers); other
+    /// holders (probes, deadline queues) use it to wake the operator when an
+    /// external event makes it runnable without new input or frontier change.
+    pub fn activator(&self) -> crate::schedule::Activator {
+        self.scope.with_builder(|builder| builder.activator(self.node))
+    }
+
     /// Adds an input connected to `stream` with the given `pact`.
     pub fn new_input<D: Data>(&mut self, stream: &Stream<T, D>, pact: Pact<D>) -> InputPort<T, D> {
         let port = self.inputs;

@@ -5,6 +5,7 @@ use crate::dataflow::scope::Scope;
 use crate::dataflow::stream::Stream;
 use crate::order::{Timestamp, TotalOrder};
 use crate::progress::Port;
+use crate::schedule::Activator;
 use crate::Data;
 
 /// A handle through which user code introduces records into a dataflow and
@@ -21,6 +22,12 @@ pub struct InputHandle<T: Timestamp + TotalOrder, D: Data> {
     buffer: Vec<D>,
     tee: SharedTee<T, D>,
     internal: SharedChanges<T>,
+    /// Wakes the input node and raises the progress flag: `advance_to`,
+    /// `close` and `flush` run from user code *between* worker steps, so they
+    /// are the one progress mutator the step loop cannot observe through
+    /// operators running — without this hook a demand-driven worker would
+    /// never notice the released capability and stall.
+    activator: Activator,
     closed: bool,
 }
 
@@ -28,8 +35,8 @@ pub struct InputHandle<T: Timestamp + TotalOrder, D: Data> {
 const FLUSH_THRESHOLD: usize = 4096;
 
 impl<T: Timestamp + TotalOrder, D: Data> InputHandle<T, D> {
-    fn new(tee: SharedTee<T, D>, internal: SharedChanges<T>) -> Self {
-        InputHandle { time: T::minimum(), buffer: Vec::new(), tee, internal, closed: false }
+    fn new(tee: SharedTee<T, D>, internal: SharedChanges<T>, activator: Activator) -> Self {
+        InputHandle { time: T::minimum(), buffer: Vec::new(), tee, internal, activator, closed: false }
     }
 
     /// The input's current epoch.
@@ -98,6 +105,9 @@ impl<T: Timestamp + TotalOrder, D: Data> InputHandle<T, D> {
             internal.update(self.time.clone(), -1);
             drop(internal);
             self.time = time;
+            // The released capability must be harvested even though no
+            // operator ran: wake the input node.
+            self.activator.activate();
         }
     }
 
@@ -112,6 +122,7 @@ impl<T: Timestamp + TotalOrder, D: Data> InputHandle<T, D> {
             self.tee.borrow_mut().flush();
             self.internal.borrow_mut().update(self.time.clone(), -1);
             self.closed = true;
+            self.activator.activate();
         }
     }
 }
@@ -126,15 +137,15 @@ impl<T: Timestamp + TotalOrder> Scope<T> {
     /// Creates a new dataflow input, returning the handle used to supply records
     /// and the stream of those records.
     pub fn new_input<D: Data>(&mut self) -> (InputHandle<T, D>, Stream<T, D>) {
-        let (node, internal) = self.with_builder(|builder| {
+        let (node, internal, activator) = self.with_builder(|builder| {
             let node = builder.add_node("Input");
             builder.set_ports(node, 0, 1);
             let internal = shared_changes::<T>();
             builder.register_internal(node, 0, internal.clone());
-            (node, internal)
+            (node, internal, builder.activator(node))
         });
         let tee = shared_tee::<T, D>();
         let stream = Stream::new(Port::new(node, 0), tee.clone(), self.clone());
-        (InputHandle::new(tee, internal), stream)
+        (InputHandle::new(tee, internal, activator), stream)
     }
 }

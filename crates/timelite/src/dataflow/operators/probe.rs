@@ -13,16 +13,28 @@ use crate::dataflow::operator::OperatorBuilder;
 use crate::dataflow::stream::Stream;
 use crate::order::Timestamp;
 use crate::progress::Antichain;
+use crate::schedule::Activator;
 use crate::Data;
 
 /// A shared handle reporting the frontier observed at a probed stream.
 pub struct ProbeHandle<T: Timestamp> {
     frontier: Rc<RefCell<Antichain<T>>>,
+    /// Activators to fire whenever the observed frontier actually changes.
+    ///
+    /// This is how an operator watching a *downstream* frontier (Megaphone's
+    /// `F` gating migrations on the `S` output frontier) gets scheduled under
+    /// demand-driven scheduling: the downstream movement never touches the
+    /// watcher's own input frontiers, so without this wakeup the watcher
+    /// would sleep through the very event it is waiting for.
+    observers: Rc<RefCell<Vec<Activator>>>,
 }
 
 impl<T: Timestamp> Clone for ProbeHandle<T> {
     fn clone(&self) -> Self {
-        ProbeHandle { frontier: Rc::clone(&self.frontier) }
+        ProbeHandle {
+            frontier: Rc::clone(&self.frontier),
+            observers: Rc::clone(&self.observers),
+        }
     }
 }
 
@@ -38,7 +50,15 @@ impl<T: Timestamp> ProbeHandle<T> {
     /// Until attached and scheduled, the handle conservatively reports the
     /// frontier `{T::minimum()}`.
     pub fn new() -> Self {
-        ProbeHandle { frontier: Rc::new(RefCell::new(Antichain::from_elem(T::minimum()))) }
+        ProbeHandle {
+            frontier: Rc::new(RefCell::new(Antichain::from_elem(T::minimum()))),
+            observers: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Registers `activator` to fire whenever the probed frontier changes.
+    pub fn wake_on_change(&self, activator: Activator) {
+        self.observers.borrow_mut().push(activator);
     }
 
     /// Returns `true` iff the probed frontier is strictly less than `time`,
@@ -63,7 +83,14 @@ impl<T: Timestamp> ProbeHandle<T> {
     }
 
     fn install(&self, frontier: &Antichain<T>) {
-        *self.frontier.borrow_mut() = frontier.clone();
+        // Tracker frontiers are kept sorted (canonical), so `!=` detects a
+        // real movement; observers are only woken on actual change.
+        if *self.frontier.borrow() != *frontier {
+            *self.frontier.borrow_mut() = frontier.clone();
+            for observer in self.observers.borrow().iter() {
+                observer.activate();
+            }
+        }
     }
 }
 

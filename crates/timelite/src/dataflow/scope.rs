@@ -16,6 +16,7 @@ use crate::communication::{
 };
 use crate::order::Timestamp;
 use crate::progress::{Antichain, EdgeDesc, NodeDesc, Port};
+use crate::schedule::{shared_activations, Activator, SharedActivations};
 use crate::Data;
 
 /// The operator logic invoked on every scheduling step with the operator's
@@ -49,6 +50,10 @@ pub struct GraphBuilder<T: Timestamp> {
     /// Identities (`Rc` data pointers) of the tees already covered by a
     /// flusher, so a tee with many channels is flushed once per round.
     flushed_tees: Vec<*const ()>,
+    /// The dataflow's activation set: every activation source built into the
+    /// graph (demux, pushers, explicit activators) shares this handle with the
+    /// worker's step loop.
+    activations: SharedActivations,
 }
 
 impl<T: Timestamp> GraphBuilder<T> {
@@ -69,7 +74,19 @@ impl<T: Timestamp> GraphBuilder<T> {
             flushers: Vec::new(),
             sync_hooks: Vec::new(),
             flushed_tees: Vec::new(),
+            activations: shared_activations(),
         }
+    }
+
+    /// The dataflow's shared activation set.
+    pub fn activations(&self) -> SharedActivations {
+        Rc::clone(&self.activations)
+    }
+
+    /// An [`Activator`] handle for `node`, usable from operator logic, input
+    /// handles, probes and notificator deadlines to request a wakeup.
+    pub fn activator(&self, node: usize) -> Activator {
+        Activator::new(node, Rc::clone(&self.activations))
     }
 
     /// Registers a durability hook, run once per worker scheduling round after
@@ -132,6 +149,8 @@ impl<T: Timestamp> GraphBuilder<T> {
         self.consumeds.push(Rc::clone(&consumed));
 
         let demux_queue = Rc::clone(&queue);
+        let demux_activations = Rc::clone(&self.activations);
+        let consumer = target.node;
         self.demux.push(Box::new(move |payload: Payload| {
             let batches: MultiBatch<T, D> = match payload {
                 Payload::Data(message) => *message
@@ -142,9 +161,12 @@ impl<T: Timestamp> GraphBuilder<T> {
                 other => panic!("progress payload {other:?} delivered to a data channel"),
             };
             demux_queue.borrow_mut().extend(batches);
+            // Data delivery is an activation source: the consuming operator
+            // has a batch to read.
+            demux_activations.borrow_mut().activate(consumer);
         }));
 
-        let pusher = Pusher::new(
+        let mut pusher = Pusher::new(
             pact,
             self.dataflow,
             channel,
@@ -154,16 +176,23 @@ impl<T: Timestamp> GraphBuilder<T> {
             self.senders.clone(),
             produced,
         );
+        pusher.wire_activations(target.node, Rc::clone(&self.activations));
         tee.borrow_mut().add_pusher(pusher);
 
         // The worker flushes every channel's staging buffers once per
         // scheduling round, after all operators have run. One flusher covers
-        // all of a tee's channels, so register it only for new tees.
+        // all of a tee's channels, so register it only for new tees; a tee
+        // nothing was pushed into since its last flush is skipped outright.
         let tee_identity = Rc::as_ptr(tee) as *const ();
         if !self.flushed_tees.contains(&tee_identity) {
             self.flushed_tees.push(tee_identity);
             let flush_tee = Rc::clone(tee);
-            self.flushers.push(Box::new(move || flush_tee.borrow_mut().flush()));
+            self.flushers.push(Box::new(move || {
+                let mut tee = flush_tee.borrow_mut();
+                if tee.is_dirty() {
+                    tee.flush();
+                }
+            }));
         }
 
         (queue, consumed)
@@ -219,6 +248,9 @@ pub struct BuiltDataflow<T: Timestamp> {
     /// Durability hooks, run after the flushers each round (before progress is
     /// harvested and shared) and once more at dataflow teardown.
     pub sync_hooks: Vec<FlushClosure>,
+    /// The dataflow's activation set, shared with every activation source
+    /// wired into the graph; the worker's step loop drains it.
+    pub activations: SharedActivations,
 }
 
 /// A user-facing handle to a dataflow under construction.
@@ -283,6 +315,7 @@ impl<T: Timestamp> Scope<T> {
             demux: std::mem::take(&mut builder.demux),
             flushers: std::mem::take(&mut builder.flushers),
             sync_hooks: std::mem::take(&mut builder.sync_hooks),
+            activations: Rc::clone(&builder.activations),
         }
     }
 }

@@ -64,6 +64,7 @@ pub mod execute;
 pub mod hashing;
 pub mod order;
 pub mod progress;
+pub mod schedule;
 pub mod worker;
 
 pub use crate::codec::Codec;
@@ -71,6 +72,7 @@ pub use crate::dataflow::{Capability, InputHandle, InputPort, OperatorBuilder, O
 pub use crate::execute::{execute, execute_single, Config};
 pub use crate::order::{PartialOrder, Product, Timestamp, TotalOrder};
 pub use crate::progress::{Antichain, ChangeBatch, MutableAntichain};
+pub use crate::schedule::Activator;
 pub use crate::worker::Worker;
 
 /// Types that may be transported on dataflow streams.
@@ -92,6 +94,7 @@ pub mod prelude {
     pub use crate::hashing::hash_code;
     pub use crate::order::{PartialOrder, Timestamp, TotalOrder};
     pub use crate::progress::{Antichain, MutableAntichain};
+    pub use crate::schedule::Activator;
     pub use crate::worker::Worker;
     pub use crate::Data;
 }

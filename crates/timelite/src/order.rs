@@ -39,8 +39,9 @@ pub trait TotalOrder: PartialOrder {}
 /// must be a linear extension of the partial order: `a.less_equal(b)` implies
 /// `a <= b`. Timestamps are serializable ([`Codec`]) because both data
 /// envelopes and progress updates carry them across process boundaries in
-/// cluster mode.
-pub trait Timestamp: Clone + PartialOrder + Ord + Eq + Hash + Debug + Send + Codec + 'static {
+/// cluster mode, and `Send + Sync` so a progress batch can be shared with
+/// every same-process peer behind one `Arc` instead of cloned per peer.
+pub trait Timestamp: Clone + PartialOrder + Ord + Eq + Hash + Debug + Send + Sync + Codec + 'static {
     /// The smallest element of the timestamp domain.
     fn minimum() -> Self;
 }

@@ -92,6 +92,15 @@ pub struct Tracker<T: Timestamp> {
     output_frontiers: Vec<Vec<Antichain<T>>>,
     /// Nodes in topological order (sources before targets).
     topo: Vec<usize>,
+    /// `topo_rank[node]` — the node's position within `topo`; the worker sorts
+    /// each drained activation batch by this rank so demand-driven scheduling
+    /// runs nodes in the same relative order as the old full topological sweep.
+    topo_rank: Vec<usize>,
+    /// Nodes whose input frontiers changed during `propagate`, deduplicated;
+    /// drained by the worker to activate exactly the affected operators.
+    changed: Vec<usize>,
+    /// `changed_flag[node]` — whether `node` is already in `changed`.
+    changed_flag: Vec<bool>,
 }
 
 impl<T: Timestamp> Tracker<T> {
@@ -125,6 +134,10 @@ impl<T: Timestamp> Tracker<T> {
         }
 
         let topo = topological_order(&nodes, &edges);
+        let mut topo_rank = vec![0usize; nodes.len()];
+        for (rank, &node) in topo.iter().enumerate() {
+            topo_rank[node] = rank;
+        }
 
         let mut capabilities = Vec::with_capacity(nodes.len());
         for node in &nodes {
@@ -143,6 +156,7 @@ impl<T: Timestamp> Tracker<T> {
         let input_frontiers = nodes.iter().map(|n| vec![Antichain::new(); n.inputs]).collect();
         let output_frontiers = nodes.iter().map(|n| vec![Antichain::new(); n.outputs]).collect();
 
+        let changed_flag = vec![false; nodes.len()];
         let mut tracker = Tracker {
             nodes,
             edges,
@@ -152,8 +166,16 @@ impl<T: Timestamp> Tracker<T> {
             input_frontiers,
             output_frontiers,
             topo,
+            topo_rank,
+            changed: Vec::new(),
+            changed_flag,
         };
         tracker.propagate();
+        // The initial propagation "changes" every frontier from its empty
+        // placeholder; the worker activates every node at startup regardless,
+        // so start the change log clean.
+        tracker.changed.clear();
+        tracker.changed_flag.fill(false);
         tracker
     }
 
@@ -191,7 +213,15 @@ impl<T: Timestamp> Tracker<T> {
                     }
                 }
                 frontier.sort();
-                self.input_frontiers[node][port] = frontier;
+                // Both sides are sorted (canonical), so `!=` detects a real
+                // frontier movement; record the node for activation.
+                if frontier != self.input_frontiers[node][port] {
+                    if !self.changed_flag[node] {
+                        self.changed_flag[node] = true;
+                        self.changed.push(node);
+                    }
+                    self.input_frontiers[node][port] = frontier;
+                }
             }
             for port in 0..self.nodes[node].outputs {
                 let mut frontier = Antichain::new();
@@ -248,6 +278,24 @@ impl<T: Timestamp> Tracker<T> {
     /// The topological schedule order of the nodes.
     pub fn schedule_order(&self) -> &[usize] {
         &self.topo
+    }
+
+    /// `topo_rank()[node]` is the node's position in [`schedule_order`]
+    /// (sources before targets); the worker sorts activation batches by it.
+    ///
+    /// [`schedule_order`]: Tracker::schedule_order
+    pub fn topo_rank(&self) -> &[usize] {
+        &self.topo_rank
+    }
+
+    /// Drains the nodes whose input frontiers changed since the last drain
+    /// (deduplicated) into `into`. The worker feeds these straight into the
+    /// dataflow's activation set.
+    pub fn drain_changed_nodes(&mut self, into: &mut Vec<usize>) {
+        for &node in &self.changed {
+            self.changed_flag[node] = false;
+        }
+        into.append(&mut self.changed);
     }
 }
 
@@ -399,6 +447,48 @@ mod tests {
         tracker.apply(&updates);
         assert_eq!(tracker.input_frontier(3, 0).elements(), &[8]);
         assert_eq!(tracker.input_frontier(3, 1).elements(), &[0]);
+    }
+
+    #[test]
+    fn frontier_changes_are_recorded_per_node() {
+        let (nodes, edges) = linear_graph();
+        let mut tracker = Tracker::<u64>::new(nodes, edges, 1);
+        let mut changed = Vec::new();
+        tracker.drain_changed_nodes(&mut changed);
+        assert!(changed.is_empty(), "construction starts with a clean change log");
+
+        // Input advances 0 -> 5: map's input frontier moves, but sink's stays
+        // gated at 0 by map's still-held capability.
+        let mut updates = ProgressUpdates::new();
+        updates.internals.push((Port::new(0, 0), 0, -1));
+        updates.internals.push((Port::new(0, 0), 5, 1));
+        tracker.apply(&updates);
+        tracker.drain_changed_nodes(&mut changed);
+        assert_eq!(changed, vec![1]);
+        changed.clear();
+
+        // A no-op apply records no changes.
+        tracker.apply(&ProgressUpdates::new());
+        tracker.drain_changed_nodes(&mut changed);
+        assert!(changed.is_empty(), "no-op apply must not report changes");
+
+        // map drops its capability: only sink's input frontier moves.
+        let mut updates = ProgressUpdates::new();
+        updates.internals.push((Port::new(1, 0), 0, -1));
+        tracker.apply(&updates);
+        tracker.drain_changed_nodes(&mut changed);
+        assert_eq!(changed, vec![2]);
+    }
+
+    #[test]
+    fn topo_rank_inverts_schedule_order() {
+        let (nodes, edges) = linear_graph();
+        let tracker = Tracker::<u64>::new(nodes, edges, 1);
+        let order = tracker.schedule_order();
+        let rank = tracker.topo_rank();
+        for (position, &node) in order.iter().enumerate() {
+            assert_eq!(rank[node], position);
+        }
     }
 
     #[test]

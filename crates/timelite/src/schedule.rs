@@ -1,0 +1,216 @@
+//! Demand-driven operator scheduling: activation sets and activator handles.
+//!
+//! A worker used to schedule **every operator of every dataflow every round**,
+//! so per-step cost scaled with the total operator count rather than with the
+//! amount of pending work. This module provides the bookkeeping that makes
+//! scheduling demand-driven: a per-dataflow [`ActivationSet`] records exactly
+//! which nodes have a reason to run, and [`Activator`] handles let anything
+//! holding one (operator logic, input handles, probes, notificator deadlines)
+//! request a wakeup for a specific node.
+//!
+//! Activation sources:
+//!
+//! * **Data delivery** — the exchange fabric activates the consuming node when
+//!   a batch lands in its queue (both the demux path for envelopes from other
+//!   workers and the direct local-push path inside [`Pusher`]).
+//! * **Frontier changes** — the progress tracker records which nodes' input
+//!   frontiers actually changed while folding in updates, and the worker
+//!   activates exactly those.
+//! * **Explicit handles** — operators grab an [`Activator`] at build time and
+//!   re-activate themselves when they yield with work remaining (e.g. a
+//!   migration pump that ran out of byte budget); input handles activate their
+//!   node on `advance_to`/`close`; probes wake registered observers when the
+//!   observed frontier moves.
+//!
+//! The set is a bitset plus a FIFO of set bits: activating an already-queued
+//! node is a no-op, draining yields each node at most once per drain, and the
+//! worker sorts each drained batch into topological-rank order before running
+//! it so demand-driven scheduling preserves the full-sweep execution order
+//! (and therefore byte-identical observable output).
+//!
+//! [`Pusher`]: crate::communication::Pusher
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The set of dataflow nodes that currently have a reason to be scheduled.
+///
+/// Also carries two channel-level dirty flags the step loop consults so that
+/// flush and progress work, like operator execution, only happens on demand:
+/// [`flush_needed`](ActivationSet::take_flush_needed) (records were staged for
+/// non-local targets and the tees must flush) and
+/// [`progress_dirty`](ActivationSet::take_progress_dirty) (produced/consumed/
+/// internal counters changed and a harvest may find something).
+#[derive(Debug, Default)]
+pub struct ActivationSet {
+    /// `queued[node]` — whether `node` is already in `fifo`.
+    queued: Vec<bool>,
+    /// Activated nodes in activation order; each appears at most once.
+    fifo: Vec<usize>,
+    /// Records were staged toward non-self targets since the last tee flush.
+    flush_needed: bool,
+    /// Progress counters (produced/consumed/internals) changed since the last
+    /// harvest.
+    progress_dirty: bool,
+}
+
+impl ActivationSet {
+    /// Creates an empty set; `ensure` grows it as nodes are added.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the bitset to cover node indices `< nodes`.
+    pub fn ensure(&mut self, nodes: usize) {
+        if self.queued.len() < nodes {
+            self.queued.resize(nodes, false);
+        }
+    }
+
+    /// Marks `node` as having a reason to run. Idempotent while queued.
+    pub fn activate(&mut self, node: usize) {
+        self.ensure(node + 1);
+        if !self.queued[node] {
+            self.queued[node] = true;
+            self.fifo.push(node);
+        }
+    }
+
+    /// True when no node is queued.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Moves every queued node into `into` (clearing the set), preserving
+    /// activation order. The caller owns ordering policy from here — the
+    /// worker sorts by topological rank before running.
+    pub fn drain_into(&mut self, into: &mut Vec<usize>) {
+        for &node in &self.fifo {
+            self.queued[node] = false;
+        }
+        into.append(&mut self.fifo);
+    }
+
+    /// Flags that records were staged toward non-self targets.
+    pub fn set_flush_needed(&mut self) {
+        self.flush_needed = true;
+    }
+
+    /// Takes and clears the flush flag.
+    pub fn take_flush_needed(&mut self) -> bool {
+        std::mem::take(&mut self.flush_needed)
+    }
+
+    /// Reads the flush flag without clearing it.
+    pub fn flush_needed(&self) -> bool {
+        self.flush_needed
+    }
+
+    /// Flags that progress counters changed.
+    pub fn set_progress_dirty(&mut self) {
+        self.progress_dirty = true;
+    }
+
+    /// Takes and clears the progress flag.
+    pub fn take_progress_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.progress_dirty)
+    }
+
+    /// Reads the progress flag without clearing it.
+    pub fn progress_dirty(&self) -> bool {
+        self.progress_dirty
+    }
+}
+
+/// A dataflow's activation set, shared between the worker's step loop and
+/// every activation source wired into the graph.
+pub type SharedActivations = Rc<RefCell<ActivationSet>>;
+
+/// Creates a fresh [`SharedActivations`].
+pub fn shared_activations() -> SharedActivations {
+    Rc::new(RefCell::new(ActivationSet::new()))
+}
+
+/// A handle that activates one specific dataflow node.
+///
+/// Cloneable and cheap; operators obtain one from
+/// [`OperatorBuilder::activator`](crate::dataflow::OperatorBuilder::activator)
+/// and call [`activate`](Activator::activate) whenever they yield with work
+/// remaining or an external event (deadline, eviction, probe movement) makes
+/// them runnable without any new input or frontier change.
+#[derive(Clone)]
+pub struct Activator {
+    node: usize,
+    set: SharedActivations,
+}
+
+impl Activator {
+    /// Creates an activator for `node` against `set`.
+    pub fn new(node: usize, set: SharedActivations) -> Self {
+        Activator { node, set }
+    }
+
+    /// Queues the node for scheduling in its dataflow's next step.
+    pub fn activate(&self) {
+        self.set.borrow_mut().activate(self.node);
+    }
+
+    /// The node this handle activates.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+impl std::fmt::Debug for Activator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Activator").field("node", &self.node).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activate_is_idempotent_while_queued() {
+        let mut set = ActivationSet::new();
+        set.activate(2);
+        set.activate(0);
+        set.activate(2);
+        let mut drained = Vec::new();
+        set.drain_into(&mut drained);
+        assert_eq!(drained, vec![2, 0], "each node once, in activation order");
+        assert!(set.is_empty());
+        // After a drain the node can be queued again.
+        set.activate(2);
+        drained.clear();
+        set.drain_into(&mut drained);
+        assert_eq!(drained, vec![2]);
+    }
+
+    #[test]
+    fn dirty_flags_are_take_once() {
+        let mut set = ActivationSet::new();
+        assert!(!set.take_flush_needed());
+        assert!(!set.take_progress_dirty());
+        set.set_flush_needed();
+        set.set_progress_dirty();
+        assert!(set.flush_needed() && set.progress_dirty());
+        assert!(set.take_flush_needed());
+        assert!(!set.take_flush_needed());
+        assert!(set.take_progress_dirty());
+        assert!(!set.take_progress_dirty());
+    }
+
+    #[test]
+    fn activator_targets_its_node() {
+        let shared = shared_activations();
+        let activator = Activator::new(3, shared.clone());
+        assert_eq!(activator.node(), 3);
+        activator.clone().activate();
+        activator.activate();
+        let mut drained = Vec::new();
+        shared.borrow_mut().drain_into(&mut drained);
+        assert_eq!(drained, vec![3]);
+    }
+}

@@ -1,13 +1,48 @@
 //! Workers: the per-thread execution engine that schedules operators, moves data
 //! and exchanges progress information with its peers.
+//!
+//! Scheduling is *demand-driven*: each dataflow keeps an
+//! [`ActivationSet`](crate::schedule::ActivationSet) of nodes that currently
+//! have a reason to run — data was delivered, an input frontier moved, or an
+//! explicit [`Activator`](crate::schedule::Activator) fired — and a scheduling
+//! step drains only that set (in topological-rank order, so the execution
+//! order matches the old full sweep and observable output is unchanged).
+//! Channel flushes, durability hooks and progress harvests are likewise gated
+//! on dirty flags, so an idle dataflow costs a handful of flag checks per
+//! step and an idle *worker* parks on its mailbox's eventcount instead of
+//! spin-yielding.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::codec::Codec;
 use crate::communication::{send_to, Allocator, Envelope, Payload};
 use crate::dataflow::scope::{BuiltDataflow, GraphBuilder, Scope};
 use crate::order::Timestamp;
 use crate::progress::{ProgressUpdates, Tracker};
+use crate::schedule::SharedActivations;
+
+/// Progress broadcasts coalesce until the withheld batch carries this many
+/// individual changes; withholding is always safe (peers see the *older*,
+/// more conservative state) but caps how long chatty operators stay silent.
+const PROGRESS_COALESCE_CHANGES: usize = 256;
+
+/// Progress broadcasts coalesce across at most this many scheduling rounds
+/// before leaving regardless of size, bounding the latency a withheld update
+/// can add to a peer's frontier.
+const PROGRESS_COALESCE_ROUNDS: usize = 4;
+
+/// Consecutive idle `step` calls a driving loop spends yielding before it
+/// parks on the mailbox eventcount (the capped spin prelude: cheap wakeups for
+/// sub-microsecond turnarounds, a real park for genuine idleness).
+const PARK_SPIN_YIELDS: usize = 32;
+
+/// Upper bound on one mailbox park. Envelopes end a park immediately via the
+/// channel's no-lost-wakeup protocol; the timeout only bounds how stale a
+/// `step_while` condition that depends on something other than envelopes
+/// (e.g. wall-clock pacing in the benchmark harness) can get.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// A type-erased executable dataflow owned by a worker.
 trait DataflowStep {
@@ -15,52 +50,170 @@ trait DataflowStep {
     fn accept(&mut self, channel: usize, payload: Payload);
     /// Performs one scheduling round; returns `true` if any progress was made.
     fn step(&mut self) -> bool;
+    /// Broadcasts any progress still withheld by the coalescing budget.
+    fn flush_progress(&mut self);
     /// Returns `true` iff no capabilities or messages remain anywhere in the dataflow.
     fn complete(&self) -> bool;
 }
 
-/// One executable dataflow: the built graph plus its progress tracker.
+/// One executable dataflow: the built graph plus its progress tracker and the
+/// scratch state of the demand-driven step loop.
 struct DataflowCore<T: Timestamp> {
     built: BuiltDataflow<T>,
     tracker: Tracker<T>,
-    pending_progress: VecDeque<ProgressUpdates<T>>,
+    /// Progress batches received from peers, applied at the next step.
+    /// Same-process peers share one batch behind an `Arc`; batches decoded
+    /// from the wire or accepted as owned boxes are wrapped on arrival.
+    pending_progress: VecDeque<Arc<ProgressUpdates<T>>>,
+    /// The dataflow's activation set (shared with every source in the graph).
+    activations: SharedActivations,
+    /// Scratch: nodes drained from the activation set this round.
+    run_queue: Vec<usize>,
+    /// Scratch: `ran[node]` — node already ran during the current step.
+    ran: Vec<bool>,
+    /// Scratch: the nodes with `ran` set, for cheap clearing.
+    ran_list: Vec<usize>,
+    /// Scratch: re-activations of nodes that already ran this step; they are
+    /// re-queued for the *next* step so one step's work stays bounded.
+    deferred: Vec<usize>,
+    /// Scratch: nodes whose input frontiers the tracker reported changed.
+    changed: Vec<usize>,
+    /// Reusable harvest buffer (cleared and refilled each harvest; its
+    /// allocations persist across rounds).
+    harvest: ProgressUpdates<T>,
+    /// Harvested-but-not-yet-broadcast progress, coalescing across rounds.
+    /// Always already applied to the local tracker; withholding it from peers
+    /// only keeps them conservative.
+    pending_broadcast: ProgressUpdates<T>,
+    /// Rounds `pending_broadcast` has been withheld.
+    held_rounds: usize,
 }
 
 impl<T: Timestamp> DataflowCore<T> {
     fn new(built: BuiltDataflow<T>) -> Self {
         let tracker = Tracker::new(built.nodes.clone(), built.edges.clone(), built.peers);
-        DataflowCore { built, tracker, pending_progress: VecDeque::new() }
+        let nodes = tracker.node_count();
+        let activations = built.activations.clone();
+        {
+            // Every node starts activated: the first step runs the whole
+            // graph once, letting operators observe their seeded capabilities
+            // and initial frontiers (recovery wakeups, probe installs).
+            let mut activations = activations.borrow_mut();
+            activations.ensure(nodes);
+            for node in 0..nodes {
+                activations.activate(node);
+            }
+        }
+        DataflowCore {
+            built,
+            tracker,
+            pending_progress: VecDeque::new(),
+            activations,
+            run_queue: Vec::new(),
+            ran: vec![false; nodes],
+            ran_list: Vec::new(),
+            deferred: Vec::new(),
+            changed: Vec::new(),
+            harvest: ProgressUpdates::new(),
+            pending_broadcast: ProgressUpdates::new(),
+            held_rounds: 0,
+        }
     }
 
-    /// Collects progress changes recorded by operators since the last flush.
-    fn harvest_progress(&mut self) -> ProgressUpdates<T> {
-        let mut updates = ProgressUpdates::new();
+    /// Collects progress changes recorded by operators since the last harvest
+    /// into the reusable `harvest` buffer. Change batches are cheap to check
+    /// for emptiness, so clean channels cost one flag test each.
+    fn harvest_progress(&mut self) {
+        self.harvest.internals.clear();
+        self.harvest.messages.clear();
         for (port, changes) in &self.built.internals {
-            for (time, diff) in changes.borrow_mut().drain() {
-                updates.internals.push((*port, time, diff));
+            let mut changes = changes.borrow_mut();
+            if changes.is_empty() {
+                continue;
+            }
+            for (time, diff) in changes.drain() {
+                self.harvest.internals.push((*port, time, diff));
             }
         }
         for (channel, produced) in self.built.produceds.iter().enumerate() {
-            for (time, diff) in produced.borrow_mut().drain() {
-                updates.messages.push((channel, time, diff));
+            let mut produced = produced.borrow_mut();
+            if produced.is_empty() {
+                continue;
+            }
+            for (time, diff) in produced.drain() {
+                self.harvest.messages.push((channel, time, diff));
             }
         }
         for (channel, consumed) in self.built.consumeds.iter().enumerate() {
-            for (time, diff) in consumed.borrow_mut().drain() {
-                updates.messages.push((channel, time, -diff));
+            let mut consumed = consumed.borrow_mut();
+            if consumed.is_empty() {
+                continue;
+            }
+            for (time, diff) in consumed.drain() {
+                self.harvest.messages.push((channel, time, -diff));
             }
         }
-        updates
+    }
+
+    /// Activates every node the tracker reported a changed input frontier for.
+    fn activate_frontier_changes(&mut self) {
+        self.changed.clear();
+        self.tracker.drain_changed_nodes(&mut self.changed);
+        if !self.changed.is_empty() {
+            let mut activations = self.activations.borrow_mut();
+            for &node in &self.changed {
+                activations.activate(node);
+            }
+        }
+    }
+
+    /// Broadcasts the withheld progress batch to every peer: same-process
+    /// peers share one batch behind an `Arc` (one refcount bump each), remote
+    /// peers share one wire encoding behind a slab (PR 7's encode-once path).
+    fn broadcast_pending(&mut self) {
+        if self.pending_broadcast.is_empty() {
+            self.held_rounds = 0;
+            return;
+        }
+        let updates =
+            Arc::new(std::mem::replace(&mut self.pending_broadcast, ProgressUpdates::new()));
+        self.held_rounds = 0;
+        let mut encoded: Option<crate::codec::Slab> = None;
+        for target in 0..self.built.peers {
+            if target == self.built.index {
+                continue;
+            }
+            let payload = if self.built.senders[target].is_remote() {
+                let bytes = encoded
+                    .get_or_insert_with(|| crate::codec::Slab::new(updates.encode_to_vec()))
+                    .clone();
+                Payload::ProgressBytes(bytes)
+            } else {
+                Payload::ProgressShared(Arc::clone(&updates) as _)
+            };
+            send_to(
+                &self.built.senders,
+                target,
+                Envelope {
+                    dataflow: self.built.dataflow,
+                    channel: usize::MAX,
+                    from: self.built.index,
+                    payload,
+                },
+            );
+        }
     }
 }
 
 impl<T: Timestamp> Drop for DataflowCore<T> {
     fn drop(&mut self) {
         // Teardown flush: whatever the last rounds logged becomes durable even
-        // if the worker closure returns without a final step.
+        // if the worker closure returns without a final step, and any withheld
+        // progress reaches the peers still stepping.
         for hook in &mut self.built.sync_hooks {
             hook();
         }
+        self.broadcast_pending();
     }
 }
 
@@ -75,76 +228,160 @@ impl<T: Timestamp> DataflowStep for DataflowCore<T> {
                     .into_any()
                     .downcast::<ProgressUpdates<T>>()
                     .expect("progress payload of unexpected timestamp type");
-                self.pending_progress.push_back(*updates);
+                self.pending_progress.push_back(Arc::new(*updates));
+            }
+            Payload::ProgressShared(shared) => {
+                let updates = shared
+                    .into_any_arc()
+                    .downcast::<ProgressUpdates<T>>()
+                    .expect("progress payload of unexpected timestamp type");
+                self.pending_progress.push_back(updates);
             }
             Payload::ProgressBytes(bytes) => {
-                self.pending_progress.push_back(ProgressUpdates::<T>::decode_from_slice(&bytes));
+                self.pending_progress
+                    .push_back(Arc::new(ProgressUpdates::<T>::decode_from_slice(&bytes)));
             }
         }
     }
 
     fn step(&mut self) -> bool {
-        // 1. Fold in progress information received from peers.
-        let mut any_progress = !self.pending_progress.is_empty();
+        // 0. Idle fast path: nothing received, nothing activated, nothing
+        //    staged, nothing harvestable, nothing withheld — the step is a
+        //    few flag checks and the caller may park.
+        let has_pending = !self.pending_progress.is_empty();
+        {
+            let activations = self.activations.borrow();
+            if !has_pending
+                && activations.is_empty()
+                && !activations.flush_needed()
+                && !activations.progress_dirty()
+                && self.pending_broadcast.is_empty()
+            {
+                return false;
+            }
+        }
+
+        // 1. Fold in progress information received from peers and activate
+        //    the nodes whose input frontiers actually moved.
         while let Some(updates) = self.pending_progress.pop_front() {
             self.tracker.apply(&updates);
         }
+        self.activate_frontier_changes();
 
-        // 2. Schedule every operator in topological order with its current frontiers.
-        let order = self.tracker.schedule_order().to_vec();
-        for node in order {
-            let frontiers = self.tracker.input_frontiers(node);
-            (self.built.logics[node])(frontiers);
+        // 2. Drain the activation set, running each activated node at most
+        //    once, in topological-rank order — the same relative order as the
+        //    old full sweep, so observable output is unchanged (a skipped
+        //    node, with no new input and no frontier change, was a no-op).
+        //    Nodes activated *while* running (by data a predecessor pushed)
+        //    join the same step if they have not run yet; re-activations of
+        //    nodes that already ran defer to the next step, keeping one
+        //    step's work bounded.
+        let mut ops_ran = false;
+        loop {
+            self.run_queue.clear();
+            self.activations.borrow_mut().drain_into(&mut self.run_queue);
+            if self.run_queue.is_empty() {
+                break;
+            }
+            let mut fresh = false;
+            for index in 0..self.run_queue.len() {
+                let node = self.run_queue[index];
+                if self.ran[node] {
+                    self.deferred.push(node);
+                } else {
+                    fresh = true;
+                }
+            }
+            if !fresh {
+                break;
+            }
+            self.run_queue.retain(|&node| !self.ran[node]);
+            let ranks = self.tracker.topo_rank();
+            self.run_queue.sort_by_key(|&node| ranks[node]);
+            for index in 0..self.run_queue.len() {
+                let node = self.run_queue[index];
+                self.ran[node] = true;
+                self.ran_list.push(node);
+                let frontiers = self.tracker.input_frontiers(node);
+                (self.built.logics[node])(frontiers);
+                ops_ran = true;
+            }
+        }
+        for node in self.ran_list.drain(..) {
+            self.ran[node] = false;
+        }
+        if !self.deferred.is_empty() {
+            let mut activations = self.activations.borrow_mut();
+            for node in self.deferred.drain(..) {
+                activations.activate(node);
+            }
         }
 
-        // 3. Flush every channel's staging buffers: records pushed by the
+        // 3. Flush dirty channels' staging buffers: records pushed by the
         //    operators above (and by user code between steps) leave as
-        //    coalesced envelopes before progress for them is shared.
-        for flusher in &mut self.built.flushers {
-            flusher();
+        //    coalesced envelopes before progress for them is shared. Each
+        //    flusher skips its tee when nothing was pushed into it.
+        let flush_needed = self.activations.borrow_mut().take_flush_needed();
+        if flush_needed || ops_ran {
+            for flusher in &mut self.built.flushers {
+                flusher();
+            }
         }
 
         // 4. Run durability hooks: operators with external durable state (a
         //    write-ahead log) sync it here, before the round's progress is
         //    shared, so no peer observes progress past an unsynced write.
-        for hook in &mut self.built.sync_hooks {
-            hook();
+        //    Durable writes only happen inside operator logic, so the hooks
+        //    are skipped when no operator ran.
+        if ops_ran {
+            for hook in &mut self.built.sync_hooks {
+                hook();
+            }
         }
 
-        // 5. Harvest and share progress changes made by the operators. The
-        //    batch is identical for every peer; remote peers receive its wire
-        //    encoding, produced once into a ref-counted slab and shared as
-        //    slab handles, instead of paying a re-encode or byte clone per
-        //    peer.
-        let updates = self.harvest_progress();
-        if !updates.is_empty() {
-            self.tracker.apply(&updates);
-            let mut encoded: Option<crate::codec::Slab> = None;
-            for target in 0..self.built.peers {
-                if target != self.built.index {
-                    let payload = if self.built.senders[target].is_remote() {
-                        let bytes = encoded
-                            .get_or_insert_with(|| crate::codec::Slab::new(updates.encode_to_vec()))
-                            .clone();
-                        Payload::ProgressBytes(bytes)
-                    } else {
-                        Payload::Progress(Box::new(updates.clone()))
-                    };
-                    send_to(
-                        &self.built.senders,
-                        target,
-                        Envelope {
-                            dataflow: self.built.dataflow,
-                            channel: usize::MAX,
-                            from: self.built.index,
-                            payload,
-                        },
-                    );
+        // 5. Harvest the progress changes the operators (and user code)
+        //    recorded, apply them locally — activating whatever the frontier
+        //    movement makes runnable — and stage them for broadcast.
+        let progress_dirty = self.activations.borrow_mut().take_progress_dirty();
+        let mut harvested = false;
+        if progress_dirty || ops_ran {
+            self.harvest_progress();
+            if !self.harvest.is_empty() {
+                harvested = true;
+                self.tracker.apply(&self.harvest);
+                self.activate_frontier_changes();
+                if self.built.peers > 1 {
+                    self.pending_broadcast.internals.append(&mut self.harvest.internals);
+                    self.pending_broadcast.messages.append(&mut self.harvest.messages);
                 }
             }
-            any_progress = true;
         }
-        any_progress
+
+        // 6. Broadcast the withheld batch once it is large enough, old
+        //    enough, this worker's dataflow just completed (peers need the
+        //    final updates to observe completion), or the step is otherwise
+        //    going quiet (so a worker never parks on withheld progress).
+        if !self.pending_broadcast.is_empty() {
+            self.held_rounds += 1;
+            let quiet = !has_pending && !ops_ran && !harvested;
+            let changes =
+                self.pending_broadcast.internals.len() + self.pending_broadcast.messages.len();
+            if quiet
+                || changes >= PROGRESS_COALESCE_CHANGES
+                || self.held_rounds >= PROGRESS_COALESCE_ROUNDS
+                || self.tracker.is_complete()
+            {
+                self.broadcast_pending();
+            }
+        }
+
+        // Reaching here means the idle fast path did not trigger: the step
+        // received, ran, flushed, harvested or broadcast something.
+        true
+    }
+
+    fn flush_progress(&mut self) {
+        self.broadcast_pending();
     }
 
     fn complete(&self) -> bool {
@@ -217,8 +454,9 @@ impl Worker {
 
     /// Performs one round of message delivery and operator scheduling.
     ///
-    /// Returns `true` if the worker made progress (received messages or changed
-    /// progress state); callers may yield when the worker reports inactivity.
+    /// Returns `true` if the worker made progress (received messages, ran
+    /// activated operators, or changed progress state); callers may yield or
+    /// park when the worker reports inactivity.
     pub fn step(&mut self) -> bool {
         let mut active = false;
         while let Some(envelope) = self.alloc.try_recv() {
@@ -231,13 +469,49 @@ impl Worker {
         active
     }
 
-    /// Steps the worker while `condition` returns `true`, yielding when idle.
+    /// Parks an idle driving loop: a capped spin prelude of yields (cheap
+    /// sub-microsecond turnarounds), then a bounded park on the mailbox
+    /// eventcount (~0 CPU while genuinely idle). `idle_streak` counts the
+    /// consecutive idle steps seen by the caller.
+    fn idle_wait(&self, idle_streak: usize) {
+        if idle_streak <= PARK_SPIN_YIELDS {
+            std::thread::yield_now();
+        } else {
+            self.alloc.wait(Some(PARK_TIMEOUT));
+        }
+    }
+
+    /// Broadcasts any progress the coalescing budget is still withholding.
+    ///
+    /// A worker that stops stepping while holding a withheld batch would leave
+    /// its peers conservative forever — a peer whose `step_while` condition
+    /// depends on those updates would never see it satisfied. The stepping
+    /// loops call this on exit, so coalescing never outlives the loop that
+    /// accumulated it; callers hand-rolling a loop around [`step`](Self::step)
+    /// that then *stop* stepping should do the same.
+    pub fn flush_progress(&mut self) {
+        for dataflow in &mut self.dataflows {
+            dataflow.flush_progress();
+        }
+    }
+
+    /// Steps the worker while `condition` returns `true`; an idle worker
+    /// parks on its mailbox (after a capped spin prelude) instead of
+    /// busy-yielding.
     pub fn step_while(&mut self, mut condition: impl FnMut() -> bool) {
+        let mut idle_streak = 0usize;
         while condition() {
-            if !self.step() {
-                std::thread::yield_now();
+            if self.step() {
+                idle_streak = 0;
+            } else {
+                idle_streak += 1;
+                self.idle_wait(idle_streak);
             }
         }
+        // The condition can flip mid-activity (a local probe passing), so this
+        // worker may exit while still withholding coalesced progress its peers
+        // need to reach the same point: flush before handing back control.
+        self.flush_progress();
     }
 
     /// Returns `true` iff every dataflow has completed (no capabilities or
@@ -246,12 +520,106 @@ impl Worker {
         self.dataflows.iter().all(|dataflow| dataflow.complete())
     }
 
-    /// Steps the worker until every dataflow completes.
+    /// Steps the worker until every dataflow completes; idle waits park on
+    /// the mailbox eventcount.
     pub fn step_until_complete(&mut self) {
+        let mut idle_streak = 0usize;
         while !self.dataflows_complete() {
-            if !self.step() {
-                std::thread::yield_now();
+            if self.step() {
+                idle_streak = 0;
+            } else {
+                idle_streak += 1;
+                self.idle_wait(idle_streak);
             }
         }
+        self.flush_progress();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communication::allocate;
+
+    /// Local-peer progress fanout shares one allocation: every same-process
+    /// peer receives the *same* `Arc<ProgressUpdates>` (pointer-equal), not a
+    /// clone per peer. Pins the `Payload::ProgressShared` path the way
+    /// `broadcast_encodes_each_record_exactly_once` pins the encode-once slab.
+    #[test]
+    fn local_progress_fanout_shares_one_arc() {
+        let mut allocs = allocate(3);
+        let peer2 = allocs.pop().expect("three allocators");
+        let peer1 = allocs.pop().expect("three allocators");
+        let mut worker = Worker::new(allocs.pop().expect("three allocators"));
+
+        let mut input = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            stream.probe();
+            input
+        });
+        input.send(7);
+        input.advance_to(1);
+        // Step until the initial activity settles; every progress envelope
+        // this produced sits in the peers' mailboxes.
+        while worker.step() {}
+        drop(input);
+        while worker.step() {}
+
+        let shared_pointers = |alloc: &Allocator| -> Vec<*const ()> {
+            let mut pointers = Vec::new();
+            while let Some(envelope) = alloc.try_recv() {
+                match envelope.payload {
+                    Payload::ProgressShared(shared) => {
+                        pointers.push(Arc::as_ptr(&shared) as *const ());
+                    }
+                    other => panic!("expected shared progress, got {:?}", other),
+                }
+            }
+            pointers
+        };
+        let pointers1 = shared_pointers(&peer1);
+        let pointers2 = shared_pointers(&peer2);
+        assert!(!pointers1.is_empty(), "worker 0 must have broadcast progress");
+        assert_eq!(
+            pointers1, pointers2,
+            "each broadcast must hand every local peer the same allocation"
+        );
+    }
+
+    /// Progress broadcasts coalesce: updates harvested across consecutive
+    /// active rounds leave as fewer envelopes than rounds, and a worker never
+    /// goes idle while holding a withheld batch (the trailing quiet step
+    /// flushes it).
+    #[test]
+    fn progress_broadcasts_coalesce_across_rounds() {
+        let mut allocs = allocate(2);
+        let peer = allocs.pop().expect("two allocators");
+        let mut worker = Worker::new(allocs.pop().expect("two allocators"));
+
+        let mut input = worker.dataflow::<u64, _, _>(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            stream.probe();
+            input
+        });
+        // Many single-update rounds: each advance_to re-activates the input
+        // node, so each step harvests one small batch.
+        let rounds = 64u64;
+        for epoch in 0..rounds {
+            input.send(epoch);
+            input.advance_to(epoch + 1);
+            worker.step();
+        }
+        drop(input);
+        while worker.step() {}
+
+        let mut envelopes = 0usize;
+        while peer.try_recv().is_some() {
+            envelopes += 1;
+        }
+        assert!(envelopes > 0, "progress must eventually be broadcast");
+        assert!(
+            envelopes < rounds as usize,
+            "{envelopes} progress envelopes for {rounds} rounds: broadcasts did not coalesce"
+        );
     }
 }

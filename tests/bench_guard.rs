@@ -159,6 +159,28 @@ fn saturation_is_in_the_tracked_set() {
 }
 
 #[test]
+fn multi_tenant_steady_is_in_the_tracked_set() {
+    // The demand-driven scheduler's headline bench joined the guarded hot
+    // paths: a large regression of the per-step cost with many idle tenant
+    // dataflows (a return toward schedule-everything O(N) stepping) must fail
+    // the gate.
+    let dir = temp_dir("tenants");
+    let previous = write_csv(
+        &dir,
+        "prev.csv",
+        &[("multi_tenant_steady/active_step/32", 1_500.0), ("key_to_bin/12", 10.0)],
+    );
+    let current = write_csv(
+        &dir,
+        "curr.csv",
+        &[("multi_tenant_steady/active_step/32", 4_500.0), ("key_to_bin/12", 10.0)],
+    );
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(!ok, "a 3x multi-tenant step regression must fail the gate, got:\n{text}");
+    assert!(text.contains("REGRESSION multi_tenant_steady/active_step/32"), "output:\n{text}");
+}
+
+#[test]
 fn new_benchmark_without_baseline_passes() {
     let dir = temp_dir("new");
     let previous = write_csv(&dir, "prev.csv", &[("key_to_bin/12", 10.0)]);

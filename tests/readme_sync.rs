@@ -315,6 +315,46 @@ fn readme_documents_the_data_plane() {
 }
 
 #[test]
+fn readme_documents_scheduling() {
+    // The scheduling section must keep the activation-source inventory, the
+    // progress-coalescing budget and the park/wake ordering argument, and the
+    // mechanisms it names must actually exist in the sources.
+    let readme = read("README.md");
+    assert!(readme.contains("## Scheduling"), "README must keep the Scheduling section");
+    for needle in [
+        "ActivationSet",
+        "Activator",
+        "Self-reactivation",
+        "wake_on_change",
+        "topological-rank order",
+        "PROGRESS_COALESCE_CHANGES",
+        "PROGRESS_COALESCE_ROUNDS",
+        "Arc<ProgressUpdates>",
+        "local_progress_fanout_shares_one_arc",
+        "seeded_park_wake_stress_loses_no_wakeups",
+        "multi_tenant_steady",
+        "tests/activation.rs",
+    ] {
+        assert!(readme.contains(needle), "Scheduling section lost `{needle}`");
+    }
+    let schedule = read("crates/timelite/src/schedule.rs");
+    assert!(
+        schedule.contains("pub struct ActivationSet") && schedule.contains("pub struct Activator"),
+        "the activation types vanished from timelite::schedule — update this test and README"
+    );
+    let worker = read("crates/timelite/src/worker.rs");
+    assert!(
+        worker.contains("PROGRESS_COALESCE_CHANGES") && worker.contains("PROGRESS_COALESCE_ROUNDS"),
+        "the progress coalescing budget vanished from timelite::worker"
+    );
+    let channel = read("vendor/crossbeam-channel/src/lib.rs");
+    assert!(
+        channel.contains("seeded_park_wake_stress_loses_no_wakeups"),
+        "the park/wake stress test vanished from the vendored channel"
+    );
+}
+
+#[test]
 fn readme_criterion_bench_list_matches_the_sources() {
     let readme = read("README.md");
     let benches = std::fs::read_dir(repo_root().join("crates/bench/benches"))

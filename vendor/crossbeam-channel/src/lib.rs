@@ -47,6 +47,7 @@ use std::fmt;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// How long `try_recv` spins for a producer caught between its tail swap and
 /// its link store before reporting the message as not-yet-sent.
@@ -256,6 +257,103 @@ impl<T> Receiver<T> {
                     self.inner.sleepers.fetch_sub(1, SeqCst);
                 }
             }
+        }
+    }
+
+    /// Reports whether a call to [`try_recv`](Receiver::try_recv) would make
+    /// progress right now: a message is queued, or every sender is gone (the
+    /// disconnect is an observable state transition, so it counts as ready).
+    ///
+    /// This is the same head-inspection logic as `try_recv` — including the
+    /// brief spin for a producer caught between its tail swap and its link
+    /// store, and the one-shot link re-check after observing zero senders —
+    /// but it never pops, so peeking cannot reorder or consume messages.
+    pub fn is_ready(&self) -> bool {
+        let head = self.inner.head.lock().unwrap();
+        let head_ptr = head.0;
+        // SAFETY: same argument as `try_recv` — we hold the head lock, and
+        // the node `head` points at is only freed by the popper that advances
+        // `head` past it.
+        unsafe {
+            let mut next = (*head_ptr).next.load(SeqCst);
+            if !next.is_null() {
+                return true;
+            }
+            if self.inner.tail.load(SeqCst) == head_ptr {
+                if self.inner.senders.load(SeqCst) != 0 {
+                    return false;
+                }
+                // No senders remain: either a final in-flight send becomes
+                // visible on the re-check, or the channel is Disconnected.
+                // Both are "ready" — the caller's next `try_recv` progresses.
+                return true;
+            }
+            // A sender swapped the tail but has not yet published its link.
+            for _ in 0..LINK_SPINS {
+                std::hint::spin_loop();
+                next = (*head_ptr).next.load(SeqCst);
+                if !next.is_null() {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    /// Parks the calling thread until the channel is [ready](Receiver::is_ready)
+    /// or `timeout` elapses (`None` waits indefinitely). Returns whether the
+    /// channel was ready when the wait ended.
+    ///
+    /// This is `recv`'s eventcount park — register in `sleepers`, snapshot the
+    /// wakeup `generation`, re-check, and only then wait for the generation to
+    /// move — without the pop, so a worker can sleep on its mailbox and still
+    /// drain it through whatever path it prefers once woken. The no-lost-wakeup
+    /// argument is identical (see the module docs): a sender that read
+    /// `sleepers == 0` published its node before our increment in the SeqCst
+    /// total order, so our re-check finds it; a sender that read
+    /// `sleepers > 0` bumps the generation under the park mutex and notifies.
+    pub fn wait(&self, timeout: Option<Duration>) -> bool {
+        if self.is_ready() {
+            return true;
+        }
+        let deadline = timeout.map(|timeout| Instant::now() + timeout);
+        loop {
+            // Eventcount park: register, snapshot, re-check, then wait only
+            // while no wakeup has moved the generation past the snapshot.
+            self.inner.sleepers.fetch_add(1, SeqCst);
+            let snapshot = *self.inner.generation.lock().unwrap();
+            if self.is_ready() {
+                self.inner.sleepers.fetch_sub(1, SeqCst);
+                return true;
+            }
+            let mut timed_out = false;
+            let mut generation = self.inner.generation.lock().unwrap();
+            while *generation == snapshot && !timed_out {
+                match deadline {
+                    None => generation = self.inner.available.wait(generation).unwrap(),
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            timed_out = true;
+                            break;
+                        }
+                        let (guard, result) =
+                            self.inner.available.wait_timeout(generation, deadline - now).unwrap();
+                        generation = guard;
+                        timed_out = result.timed_out() && *generation == snapshot;
+                    }
+                }
+            }
+            drop(generation);
+            self.inner.sleepers.fetch_sub(1, SeqCst);
+            if self.is_ready() {
+                return true;
+            }
+            if timed_out {
+                return false;
+            }
+            // Woken by a generation bump but the message was claimed by a
+            // sibling receiver (or the wake raced a pop); park again.
         }
     }
 
@@ -665,6 +763,80 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(data_rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    /// `is_ready` must peek without consuming, report readiness exactly when
+    /// `try_recv` would progress, and treat a drained-and-disconnected channel
+    /// as ready (the disconnect is an observable transition).
+    #[test]
+    fn is_ready_peeks_without_popping() {
+        let (tx, rx) = unbounded();
+        assert!(!rx.is_ready());
+        tx.send(11u32).unwrap();
+        assert!(rx.is_ready());
+        assert!(rx.is_ready(), "peeking must not consume");
+        assert_eq!(rx.try_recv(), Ok(11));
+        assert!(!rx.is_ready());
+        drop(tx);
+        assert!(rx.is_ready(), "disconnect counts as ready");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    /// `wait` with a timeout must return false on an empty channel (after
+    /// roughly the timeout), true immediately when a message is queued, and
+    /// true on disconnect.
+    #[test]
+    fn wait_times_out_empty_and_returns_on_ready() {
+        let (tx, rx) = unbounded();
+        let start = Instant::now();
+        assert!(!rx.wait(Some(Duration::from_millis(20))));
+        assert!(start.elapsed() >= Duration::from_millis(15), "returned before the timeout");
+        tx.send(5u8).unwrap();
+        assert!(rx.wait(Some(Duration::from_millis(20))));
+        assert_eq!(rx.try_recv(), Ok(5));
+        drop(tx);
+        assert!(rx.wait(None), "disconnect must end an indefinite wait");
+    }
+
+    /// Seeded park/wake stress for the non-popping `wait`: a consumer parks
+    /// indefinitely before every pop while a seeded producer races sends into
+    /// the park transition (sometimes landing exactly between the sleeper
+    /// registration and the generation wait). A single lost wakeup hangs the
+    /// test — the CI `queue-stress` job runs this in release at high iteration
+    /// counts under a runner timeout.
+    #[test]
+    fn seeded_park_wake_stress_loses_no_wakeups() {
+        for seed in [0x00c0_ffee_u64, 0xfeed_f00d, 0x0badcafe] {
+            let rounds = stress_iters(20_000);
+            let (tx, rx) = unbounded();
+            let producer = std::thread::spawn(move || {
+                let mut rng = seeded_rng(seed);
+                for value in 0..rounds {
+                    // A mix of immediate sends (land while the consumer still
+                    // spins toward its park) and yield-delayed sends (land
+                    // mid-park-transition or against a parked sleeper).
+                    match rng() % 4 {
+                        0 => {}
+                        1 => std::thread::yield_now(),
+                        _ => {
+                            for _ in 0..rng() % 32 {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    tx.send(value).unwrap();
+                }
+            });
+            for expected in 0..rounds {
+                // Park with no timeout: a lost wakeup here hangs forever
+                // instead of being papered over by a timeout retry.
+                assert!(rx.wait(None), "seed {seed:#x}: wait returned not-ready");
+                assert_eq!(rx.try_recv(), Ok(expected), "seed {seed:#x} lost a message");
+            }
+            producer.join().unwrap();
+            assert!(rx.wait(None), "seed {seed:#x}: disconnect must wake the waiter");
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
     }
 
     /// Seeded burst/drain cycles: bursts of seeded sizes are pushed and fully
