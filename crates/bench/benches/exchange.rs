@@ -91,7 +91,8 @@ fn bench_exchange_tcp(c: &mut Criterion) {
                 process: 1,
                 workers_per_process: 1,
                 addresses: remote_addresses,
-            });
+            })
+            .expect("bootstrap failed");
             let alloc = &allocs[0];
             let mut drained = 0usize;
             loop {
@@ -121,7 +122,8 @@ fn bench_exchange_tcp(c: &mut Criterion) {
             process: 0,
             workers_per_process: 1,
             addresses,
-        });
+        })
+        .expect("bootstrap failed");
         let alloc = &allocs[0];
         let local = shared_queue::<u64, u64>();
         let produced = shared_changes::<u64>();

@@ -21,6 +21,11 @@ fn main() {
         migrate_at_ms: args.get("migrate-at-ms", 3_000),
         epoch_ms: args.get("epoch-ms", 50),
         strategy: None,
+        // --ctl <addr> exposes the live control endpoint on worker 0
+        // (port 0 for an OS-assigned port, printed to stdout).
+        ctl: args
+            .get_str("ctl")
+            .map(|addr| Box::leak(addr.to_string().into_boxed_str()) as &'static str),
     };
     println!("# NEXMark {} latency timeline (migration at {} ms)", query, base.migrate_at_ms);
     println!("# rate={}/s workers={} bins=2^{} native={}", base.rate, base.workers, base.bin_shift, base.native);

@@ -48,6 +48,11 @@ fn main() {
         threshold: if args.has("no-react") { f64::INFINITY } else { args.get("threshold", 1.25) },
         min_records: args.get("min-records", 1_000),
         paced: true,
+        // --ctl <addr> exposes the live control endpoint on worker 0
+        // (port 0 for an OS-assigned port, printed to stdout).
+        ctl: args
+            .get_str("ctl")
+            .map(|addr| Box::leak(addr.to_string().into_boxed_str()) as &'static str),
     };
     let csv_path =
         args.get_str("csv").map(str::to_string).unwrap_or_else(|| "target/skew_timeline.csv".into());

@@ -265,6 +265,7 @@ pub mod nexmark_run {
     //! NEXMark queries under open-loop load with a mid-run rebalancing migration.
 
     use megaphone::prelude::*;
+    use megaphone::{CtlCommand, CtlMigrationStatus, CtlServer};
     use mp_harness::{Clock, EpochDriver, LatencyHistogram, LatencyTimeline, TimelinePoint};
     use nexmark::{build_native_query, build_query, NexmarkConfig, NexmarkGenerator};
     use timelite::prelude::*;
@@ -290,6 +291,10 @@ pub mod nexmark_run {
         pub strategy: Option<MigrationStrategy>,
         /// Epoch granularity in milliseconds.
         pub epoch_ms: u64,
+        /// Address for the live control endpoint on worker 0 (`None` runs
+        /// without one). Port `0` asks the OS for a port; the resolved
+        /// address is printed to stdout as `ctl listening on <addr>`.
+        pub ctl: Option<&'static str>,
     }
 
     impl Default for Params {
@@ -304,6 +309,7 @@ pub mod nexmark_run {
                 migrate_at_ms: 2_000,
                 strategy: Some(MigrationStrategy::Batched(16)),
                 epoch_ms: 50,
+                ctl: None,
             }
         }
     }
@@ -320,6 +326,8 @@ pub mod nexmark_run {
         /// Peak tracked state on worker 0, from the bin store's load
         /// accounting (zero for native queries, which have no bin store).
         pub peak_state_bytes: u64,
+        /// Snapshots published on the ctl endpoint (zero without one).
+        pub snapshots_published: u64,
     }
 
     /// Runs the configured NEXMark experiment.
@@ -343,7 +351,9 @@ pub mod nexmark_run {
                 (control_input, event_input, output, rows)
             });
 
-            let plan = (!params.native)
+            // The scripted rebalancing migration, adopted at `migrate_at_ms`
+            // (unless a ctl-commanded migration is still in flight then).
+            let mut scripted = (!params.native)
                 .then_some(params.strategy)
                 .flatten()
                 .map(|strategy| {
@@ -353,7 +363,30 @@ pub mod nexmark_run {
                         &imbalanced_assignment(config.bins(), peers),
                     )
                 });
-            let mut controller = plan.map(|plan| MigrationController::<u64>::new(plan, false));
+            let mut controller: Option<MigrationController<u64>> = None;
+
+            // The live control surface (worker 0 only, when configured).
+            // This driver's snapshots cover worker 0's locally hosted bins
+            // (there is no cross-worker stat exchange here); migrate and
+            // rebalance commands are honored, the closed-loop-only commands
+            // are reported as unsupported.
+            let ctl_server = (index == 0).then_some(params.ctl).flatten().map(|addr| {
+                let server = CtlServer::bind(addr).unwrap_or_else(|error| {
+                    panic!("could not bind ctl endpoint {addr}: {error}")
+                });
+                println!("ctl listening on {}", server.local_addr());
+                server
+            });
+            let stats_handle = output.stats.clone();
+            let mut current = balanced_assignment(config.bins(), peers);
+            let mut pending_target: Option<Vec<usize>> = None;
+            let mut steps_issued = 0u64;
+            let mut mig_started = 0u64;
+            let mut mig_completed = 0u64;
+            let mut ctl_seq = 0u64;
+            let mut snapshots_published = 0u64;
+            let publish_epochs = (250 / params.epoch_ms).max(1);
+            let mut next_publish = publish_epochs;
 
             let generator = NexmarkGenerator::new(NexmarkConfig::with_rate(params.rate));
             let clock = Clock::start();
@@ -375,9 +408,32 @@ pub mod nexmark_run {
                     if index == 0 {
                         peak_state_bytes = peak_state_bytes.max(output.tracked_bytes());
                     }
-                    if index == 0 && epoch >= migrate_epoch {
-                        if let Some(controller) = controller.as_mut() {
-                            let _ = controller.advance(&output.probe, &mut control);
+                    if index == 0 {
+                        // Adopt the scripted plan once its time arrives and
+                        // no commanded migration is in flight.
+                        if epoch >= migrate_epoch && controller.is_none() {
+                            if let Some(plan) = scripted.take() {
+                                controller = Some(MigrationController::new(plan, false));
+                                pending_target =
+                                    Some(imbalanced_assignment(config.bins(), peers));
+                                mig_started += 1;
+                            }
+                        }
+                        let mut done = false;
+                        if let Some(active) = controller.as_mut() {
+                            if active.advance(&output.probe, &mut control)
+                                == ControllerStatus::Issued
+                            {
+                                steps_issued += 1;
+                            }
+                            done = active.is_complete();
+                        }
+                        if done {
+                            mig_completed += 1;
+                            if let Some(target) = pending_target.take() {
+                                current = target;
+                            }
+                            controller = None;
                         }
                     }
                     // The event stream is partitioned round-robin across workers.
@@ -394,6 +450,104 @@ pub mod nexmark_run {
                     control.advance_to(next_ms + params.epoch_ms);
                     input.advance_to(next_ms);
                     current_epoch = epoch + 1;
+                }
+                // Live operator commands and the periodic snapshot stream.
+                if let Some(server) = ctl_server.as_ref() {
+                    let mut publish_now = false;
+                    for command in server.drain_commands() {
+                        match command {
+                            CtlCommand::Snapshot => publish_now = true,
+                            CtlCommand::Migrate { bin, worker: target } => {
+                                let (bin, target) = (bin as usize, target as usize);
+                                if params.native {
+                                    eprintln!(
+                                        "ctl: migrate ignored on a native \
+                                         (non-migrateable) run"
+                                    );
+                                } else if controller.is_some()
+                                    || bin >= current.len()
+                                    || target >= peers
+                                    || current[bin] == target
+                                {
+                                    eprintln!(
+                                        "ctl: migrate {bin} -> {target} refused \
+                                         (in flight, out of range, or a no-op)"
+                                    );
+                                } else {
+                                    let plan = MigrationPlan { steps: vec![vec![(bin, target)]] };
+                                    controller = Some(MigrationController::new(plan, false));
+                                    let mut next = current.clone();
+                                    next[bin] = target;
+                                    pending_target = Some(next);
+                                    mig_started += 1;
+                                }
+                            }
+                            CtlCommand::Rebalance => {
+                                if params.native || controller.is_some() {
+                                    eprintln!(
+                                        "ctl: rebalance refused \
+                                         (native run or migration in flight)"
+                                    );
+                                } else if let Some(handle) = stats_handle.as_ref() {
+                                    let strategy = params
+                                        .strategy
+                                        .unwrap_or(MigrationStrategy::Batched(16));
+                                    let (plan, target) = plan_rebalance(
+                                        strategy,
+                                        &current,
+                                        &handle.snapshot(),
+                                        peers,
+                                    );
+                                    if plan.is_empty() {
+                                        eprintln!("ctl: rebalance refused (already balanced)");
+                                    } else {
+                                        controller =
+                                            Some(MigrationController::new(plan, false));
+                                        pending_target = Some(target);
+                                        mig_started += 1;
+                                    }
+                                }
+                            }
+                            CtlCommand::SetWorkload { .. } => eprintln!(
+                                "ctl: set-workload is not supported by the NEXMark driver"
+                            ),
+                            CtlCommand::PauseController | CtlCommand::ResumeController => {
+                                eprintln!(
+                                    "ctl: this driver's migration is scripted; \
+                                     pause/resume applies to the closed-loop driver"
+                                )
+                            }
+                        }
+                    }
+                    if publish_now || current_epoch >= next_publish {
+                        while next_publish <= current_epoch {
+                            next_publish += publish_epochs;
+                        }
+                        let merged = stats_handle
+                            .as_ref()
+                            .map(|handle| handle.snapshot())
+                            .unwrap_or_default();
+                        ctl_seq += 1;
+                        let snapshot = crate::ctl_surface::build_snapshot(
+                            ctl_seq,
+                            clock.elapsed_nanos() / 1_000_000,
+                            current_epoch,
+                            &merged,
+                            &current,
+                            peers,
+                            CtlMigrationStatus {
+                                in_flight: controller.is_some(),
+                                started: mig_started,
+                                completed: mig_completed,
+                                steps_issued,
+                            },
+                            "nexmark",
+                            false,
+                            worker.step_counts(),
+                        );
+                        server.publish(&snapshot);
+                        snapshots_published += 1;
+                    }
                 }
                 if !worker.step() {
                     std::thread::yield_now();
@@ -415,7 +569,13 @@ pub mod nexmark_run {
             if index == 0 {
                 let (points, overall) = timeline.finish();
                 let count = *rows.borrow();
-                Some(RunResult { points, overall, output_rows: count, peak_state_bytes })
+                Some(RunResult {
+                    points,
+                    overall,
+                    output_rows: count,
+                    peak_state_bytes,
+                    snapshots_published,
+                })
             } else {
                 None
             }
@@ -451,7 +611,7 @@ pub mod skew_run {
     use std::sync::{Arc, Barrier, Mutex};
 
     use megaphone::prelude::*;
-    use megaphone::ClosedLoopController;
+    use megaphone::{ClosedLoopController, CtlCommand, CtlMigrationStatus, CtlServer};
     use mp_harness::{
         Clock, EpochDriver, LatencyHistogram, LatencyTimeline, ReactionEvent, ReactionTimeline,
         TimelinePoint,
@@ -504,6 +664,10 @@ pub mod skew_run {
         pub min_records: u64,
         /// Wall-clock pacing (`true`) or deterministic logical stepping.
         pub paced: bool,
+        /// Address for the live control endpoint on worker 0 (`None` runs
+        /// without one). Port `0` asks the OS for a port; the resolved
+        /// address is printed to stdout as `ctl listening on <addr>`.
+        pub ctl: Option<&'static str>,
     }
 
     impl Default for Params {
@@ -527,6 +691,7 @@ pub mod skew_run {
                 threshold: 1.4,
                 min_records: 1_000,
                 paced: true,
+                ctl: None,
             }
         }
     }
@@ -560,6 +725,16 @@ pub mod skew_run {
         /// The imbalance ratio that triggered the last detection (1.0 if
         /// none).
         pub detection_imbalance: f64,
+        /// Result rows observed across all workers (zero for `"bidcount"`,
+        /// whose operator emits nothing).
+        pub output_rows: u64,
+        /// Order-independent fold (commutative sum of per-row hashes, each
+        /// row hashed with its timestamp) of every result row across all
+        /// workers — invariant to worker interleaving and migration timing,
+        /// so two runs over the same input must agree exactly.
+        pub output_digest: u64,
+        /// Snapshots published on the ctl endpoint (zero without one).
+        pub snapshots_published: u64,
     }
 
     /// The per-run state worker 0 reports out of the dataflow.
@@ -573,6 +748,7 @@ pub mod skew_run {
         final_assignment: Vec<usize>,
         post_migration_baseline: Option<BinStats>,
         detection_imbalance: f64,
+        snapshots_published: u64,
     }
 
     /// Milestone/counter state threaded through the controller pump.
@@ -612,21 +788,101 @@ pub mod skew_run {
         }
     }
 
+    /// The workload behind a live `set-workload <mode>` command: the skew
+    /// knobs come from the run's parameters, but onset is immediate (the
+    /// operator asked for it *now*) and `"zipf-rotate"` defaults rotation on.
+    /// Out-of-order replay and rate bursts are preserved from the parameters;
+    /// note that switching rebuilds the generator, which restarts the replay
+    /// buffer of an out-of-order stream.
+    fn workload_for_mode(mode: &str, params: &Params) -> Workload {
+        let exponent =
+            if params.zipf_hundredths > 0 { params.zipf_hundredths } else { 120 };
+        let skew = |rotate_every_ms| {
+            Some(ZipfSkew {
+                exponent_hundredths: exponent,
+                pool: params.zipf_pool.max(1),
+                onset_ms: 0,
+                rotate_every_ms,
+            })
+        };
+        Workload {
+            skew: match mode {
+                "zipf" => skew(0),
+                "zipf-rotate" => skew(if params.rotate_every_ms > 0 {
+                    params.rotate_every_ms
+                } else {
+                    1_000
+                }),
+                _ => None, // "uniform"
+            },
+            out_of_order: (params.ooo_lag_ms > 0)
+                .then_some(nexmark::OutOfOrder { lag_ms: params.ooo_lag_ms }),
+            bursts: (params.burst.0 > 0).then_some(nexmark::RateBurst {
+                period_ms: params.burst.0,
+                burst_ms: params.burst.1,
+                factor: params.burst.2,
+            }),
+        }
+    }
+
+    /// Publishes one snapshot of the run's live state to the ctl endpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn publish_snapshot(
+        server: &CtlServer,
+        controller: &ClosedLoopController<u64>,
+        merged: &BinStats,
+        seq: &mut u64,
+        published: &mut u64,
+        at_ms: u64,
+        epoch: u64,
+        steps_issued: usize,
+        workload: &str,
+        steps: (u64, u64),
+        peers: usize,
+    ) {
+        *seq += 1;
+        let snapshot = crate::ctl_surface::build_snapshot(
+            *seq,
+            at_ms,
+            epoch,
+            merged,
+            controller.current_assignment(),
+            peers,
+            CtlMigrationStatus {
+                in_flight: controller.migration_in_progress(),
+                started: controller.migrations_started() as u64,
+                completed: controller.migrations_completed() as u64,
+                steps_issued: steps_issued as u64,
+            },
+            workload,
+            controller.is_paused(),
+            steps,
+        );
+        server.publish(&snapshot);
+        *published += 1;
+    }
+
     /// Runs the configured closed-loop experiment.
     pub fn run(params: Params) -> RunResult {
         let peers = params.workers;
         let deposits: Arc<Mutex<Vec<Option<BinStats>>>> =
             Arc::new(Mutex::new(vec![None; peers]));
         let barrier = Arc::new(Barrier::new(peers));
+        // A live `set-workload` lands here as `(id, apply_epoch, mode)`:
+        // worker 0 posts it, every worker switches its generator at (or as
+        // soon as it passes) `apply_epoch`.
+        let workload_switch: Arc<Mutex<Option<(u64, u64, String)>>> = Arc::new(Mutex::new(None));
 
         let results = timelite::execute(Config::process(peers), move |worker| {
             let index = worker.index();
             let peers = worker.peers();
             let config = MegaphoneConfig::new(params.bin_shift);
 
-            let (mut control, mut input, probe, stats) = worker.dataflow::<u64, _, _>(|scope| {
+            let (mut control, mut input, probe, stats, rows) = worker.dataflow::<u64, _, _>(|scope| {
                 let (control_input, control) = scope.new_input::<ControlInst>();
                 let (event_input, events) = scope.new_input::<nexmark::Event>();
+                // (count, digest) of this worker's result rows.
+                let rows = std::rc::Rc::new(std::cell::RefCell::new((0u64, 0u64)));
                 let (probe, stats) = if params.query == "bidcount" {
                     let bids = events
                         .flat_map(|event: nexmark::Event| event.bid())
@@ -651,9 +907,19 @@ pub mod skew_run {
                         .stats
                         .clone()
                         .expect("closed-loop runs need a stateful query");
+                    let rows_inner = rows.clone();
+                    output.stream.inspect(move |time, row| {
+                        let mut cell = rows_inner.borrow_mut();
+                        cell.0 += 1;
+                        // Commutative sum of per-row hashes: the digest is
+                        // invariant to worker interleaving and migration
+                        // timing, so driven and undriven runs over the same
+                        // input can be compared exactly.
+                        cell.1 = cell.1.wrapping_add(hash_code(&(*time, row)));
+                    });
                     (output.probe, stats)
                 };
-                (control_input, event_input, probe, stats)
+                (control_input, event_input, probe, stats, rows)
             });
 
             let workload = Workload {
@@ -691,6 +957,27 @@ pub mod skew_run {
             let mut detection_imbalance = 1.0f64;
             let mut last_merged: Option<BinStats> = None;
 
+            // The live control surface (worker 0 only, when configured): a
+            // failed bind is a startup error worth dying loudly for.
+            let ctl_server = (index == 0).then_some(params.ctl).flatten().map(|addr| {
+                let server = CtlServer::bind(addr).unwrap_or_else(|error| {
+                    panic!("could not bind ctl endpoint {addr}: {error}")
+                });
+                println!("ctl listening on {}", server.local_addr());
+                server
+            });
+            let mut ctl_seq = 0u64;
+            let mut snapshots_published = 0u64;
+            let mut workload_mode = if params.zipf_hundredths == 0 {
+                "uniform".to_string()
+            } else if params.rotate_every_ms > 0 {
+                "zipf-rotate".to_string()
+            } else {
+                "zipf".to_string()
+            };
+            // Id of the last workload switch this worker applied.
+            let mut applied_workload = 0u64;
+
             let clock = Clock::start();
             let epoch_nanos = params.epoch_ms * 1_000_000;
             let mut driver = EpochDriver::new(params.rate, epoch_nanos);
@@ -713,6 +1000,18 @@ pub mod skew_run {
                 for epoch in due {
                     if epoch >= total_epochs {
                         continue;
+                    }
+                    // Apply a posted `set-workload` at its designated epoch
+                    // (or as soon as this worker passes it).
+                    let switch = workload_switch.lock().expect("workload switch").clone();
+                    if let Some((id, apply_epoch, mode)) = switch {
+                        if id > applied_workload && epoch >= apply_epoch {
+                            applied_workload = id;
+                            let workload = workload_for_mode(&mode, &params);
+                            generator = WorkloadGenerator::new(
+                                NexmarkConfig::with_rate(params.rate).with_workload(workload),
+                            );
+                        }
                     }
                     let epoch_time_ms = epoch * params.epoch_ms;
                     let now = clock.elapsed_nanos();
@@ -794,11 +1093,101 @@ pub mod skew_run {
                                     pump.awaiting_first_step = true;
                                 }
                             }
+                            // Each sampling tick also feeds the snapshot
+                            // stream on the ctl endpoint.
+                            if let (Some(server), Some(controller)) =
+                                (ctl_server.as_ref(), closed_loop.as_ref())
+                            {
+                                publish_snapshot(
+                                    server,
+                                    controller,
+                                    &merged,
+                                    &mut ctl_seq,
+                                    &mut snapshots_published,
+                                    clock.elapsed_nanos() / 1_000_000,
+                                    current_epoch,
+                                    pump.steps_issued,
+                                    &workload_mode,
+                                    worker.step_counts(),
+                                    peers,
+                                );
+                            }
                             last_merged = Some(merged);
                         }
                         if !params.paced {
                             barrier.wait();
                         }
+                    }
+                }
+                // Live operator commands, routed into the closed loop (and
+                // an on-demand snapshot). Drained every loop iteration, so a
+                // paced run reacts within an epoch.
+                if let (Some(server), Some(controller)) =
+                    (ctl_server.as_ref(), closed_loop.as_mut())
+                {
+                    let mut publish_now = false;
+                    for command in server.drain_commands() {
+                        match command {
+                            CtlCommand::Snapshot => publish_now = true,
+                            CtlCommand::Migrate { bin, worker: target } => {
+                                if controller.submit_moves(&[(bin as usize, target as usize)]) {
+                                    reaction
+                                        .record(clock.elapsed_nanos(), ReactionEvent::Detection);
+                                    pump.awaiting_first_step = true;
+                                } else {
+                                    eprintln!(
+                                        "ctl: migrate {bin} -> {target} refused \
+                                         (in flight, out of range, or a no-op)"
+                                    );
+                                }
+                            }
+                            CtlCommand::Rebalance => {
+                                let merged =
+                                    last_merged.clone().unwrap_or_else(|| stats.snapshot());
+                                if controller.submit_rebalance(&merged) {
+                                    reaction
+                                        .record(clock.elapsed_nanos(), ReactionEvent::Detection);
+                                    pump.awaiting_first_step = true;
+                                } else {
+                                    eprintln!(
+                                        "ctl: rebalance refused \
+                                         (migration in flight or already balanced)"
+                                    );
+                                }
+                            }
+                            CtlCommand::SetWorkload { mode } => {
+                                if matches!(mode.as_str(), "uniform" | "zipf" | "zipf-rotate") {
+                                    let mut slot =
+                                        workload_switch.lock().expect("workload switch");
+                                    let id = slot.as_ref().map_or(0, |(id, ..)| *id) + 1;
+                                    workload_mode.clone_from(&mode);
+                                    *slot = Some((id, current_epoch + 2, mode));
+                                } else {
+                                    eprintln!(
+                                        "ctl: unknown workload mode {mode:?} \
+                                         (uniform | zipf | zipf-rotate)"
+                                    );
+                                }
+                            }
+                            CtlCommand::PauseController => controller.set_paused(true),
+                            CtlCommand::ResumeController => controller.set_paused(false),
+                        }
+                    }
+                    if publish_now {
+                        let merged = last_merged.clone().unwrap_or_else(|| stats.snapshot());
+                        publish_snapshot(
+                            server,
+                            controller,
+                            &merged,
+                            &mut ctl_seq,
+                            &mut snapshots_published,
+                            clock.elapsed_nanos() / 1_000_000,
+                            current_epoch,
+                            pump.steps_issued,
+                            &workload_mode,
+                            worker.step_counts(),
+                            peers,
+                        );
                     }
                 }
                 if !worker.step() {
@@ -838,12 +1227,34 @@ pub mod skew_run {
                 post_migration_baseline = last_merged.clone();
                 pump.baseline_pending = false;
             }
+            // One last snapshot with the settled assignment, so a tailing
+            // client observes the final configuration (e.g. a commanded
+            // migration that only completed in the drain phase).
+            if let (Some(server), Some(controller)) =
+                (ctl_server.as_ref(), closed_loop.as_ref())
+            {
+                let merged = last_merged.clone().unwrap_or_else(|| stats.snapshot());
+                publish_snapshot(
+                    server,
+                    controller,
+                    &merged,
+                    &mut ctl_seq,
+                    &mut snapshots_published,
+                    clock.elapsed_nanos() / 1_000_000,
+                    current_epoch,
+                    pump.steps_issued,
+                    &workload_mode,
+                    worker.step_counts(),
+                    peers,
+                );
+            }
 
             drop(control);
             drop(input);
             worker.step_until_complete();
 
             let final_stats = stats.snapshot();
+            let rows_data = *rows.borrow();
             let outcome = closed_loop.map(|controller| {
                 let (points, overall) = timeline.finish();
                 MainOutcome {
@@ -856,16 +1267,21 @@ pub mod skew_run {
                     final_assignment: controller.current_assignment().to_vec(),
                     post_migration_baseline,
                     detection_imbalance,
+                    snapshots_published,
                 }
             });
-            (final_stats, outcome)
+            (final_stats, rows_data, outcome)
         });
 
         // Merge the per-worker final snapshots and derive the run's verdicts.
         let mut final_merged = BinStats::default();
         let mut outcome = None;
-        for (stats, main) in results {
+        let mut output_rows = 0u64;
+        let mut output_digest = 0u64;
+        for (stats, (rows, digest), main) in results {
             final_merged.merge(&stats);
+            output_rows += rows;
+            output_digest = output_digest.wrapping_add(digest);
             if main.is_some() {
                 outcome = main;
             }
@@ -893,6 +1309,134 @@ pub mod skew_run {
             final_assignment: outcome.final_assignment,
             final_imbalance,
             detection_imbalance: outcome.detection_imbalance,
+            output_rows,
+            output_digest,
+            snapshots_published: outcome.snapshots_published,
+        }
+    }
+}
+
+/// Assembling [`CtlSnapshot`](megaphone::CtlSnapshot)s out of live driver
+/// state — shared by the drivers that expose a `--ctl` endpoint.
+pub mod ctl_surface {
+    use megaphone::prelude::BinStats;
+    use megaphone::{CtlBinLoad, CtlMigrationStatus, CtlSnapshot, CtlWorkerLoad};
+
+    /// How many of the hottest bins a snapshot lists.
+    pub const TOP_BINS: usize = 8;
+
+    /// Assembles one snapshot from a (merged) load accounting, the live
+    /// bin-to-worker assignment and the controller's migration status.
+    /// `steps` is the worker's `(total, quiet)` step counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_snapshot(
+        seq: u64,
+        at_ms: u64,
+        epoch: u64,
+        merged: &BinStats,
+        assignment: &[usize],
+        peers: usize,
+        migration: CtlMigrationStatus,
+        workload: &str,
+        controller_paused: bool,
+        steps: (u64, u64),
+    ) -> CtlSnapshot {
+        let mut workers: Vec<CtlWorkerLoad> = (0..peers as u64)
+            .map(|worker| CtlWorkerLoad { worker, assigned_bins: 0, records: 0, bytes: 0 })
+            .collect();
+        for &worker in assignment {
+            if let Some(slot) = workers.get_mut(worker) {
+                slot.assigned_bins += 1;
+            }
+        }
+        for (bin, load) in merged.loads() {
+            let worker = assignment.get(*bin).copied().unwrap_or(0);
+            if let Some(slot) = workers.get_mut(worker) {
+                slot.records += load.records;
+                slot.bytes += load.bytes;
+            }
+        }
+        let mut hottest: Vec<(usize, u64, u64)> = merged
+            .loads()
+            .iter()
+            .filter(|(_, load)| load.records > 0)
+            .map(|(bin, load)| (*bin, load.records, load.bytes))
+            .collect();
+        hottest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let top_bins = hottest
+            .into_iter()
+            .take(TOP_BINS)
+            .map(|(bin, records, bytes)| CtlBinLoad {
+                bin: bin as u64,
+                worker: assignment.get(bin).copied().unwrap_or(0) as u64,
+                records,
+                bytes,
+            })
+            .collect();
+        let imbalance_milli = if assignment.is_empty() {
+            1_000
+        } else {
+            (merged.imbalance(assignment, peers) * 1_000.0).round() as u64
+        };
+        CtlSnapshot {
+            seq,
+            at_ms,
+            epoch,
+            total_records: merged.total_records(),
+            total_bytes: merged.total_bytes(),
+            imbalance_milli,
+            workers,
+            top_bins,
+            assignment: assignment.iter().map(|&worker| worker as u64).collect(),
+            migration,
+            workload: workload.to_string(),
+            controller_paused,
+            steps: steps.0,
+            quiet_steps: steps.1,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use megaphone::bins::{BinStore, MegaphoneConfig};
+
+        #[test]
+        fn snapshot_aggregates_per_worker_and_ranks_bins() {
+            let config = MegaphoneConfig::new(3);
+            let mut store: BinStore<u64, u64, ()> = BinStore::new(&config, 0, 1);
+            for (bin, _) in store.stats().loads().to_vec() {
+                store.note_records(bin, 1 + bin as u64, 8 * (1 + bin as u64));
+            }
+            let stats = store.stats();
+            let assignment = vec![0, 0, 0, 0, 1, 1, 1, 1];
+            let snapshot = build_snapshot(
+                7,
+                1_234,
+                9,
+                &stats,
+                &assignment,
+                2,
+                CtlMigrationStatus::default(),
+                "zipf",
+                false,
+                (100, 40),
+            );
+            assert_eq!(snapshot.seq, 7);
+            assert_eq!(snapshot.assignment, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+            assert_eq!(snapshot.workers.len(), 2);
+            assert_eq!(snapshot.workers[0].assigned_bins, 4);
+            // Bins 0..4 carry 1+2+3+4 records, bins 4..8 carry 5+6+7+8.
+            assert_eq!(snapshot.workers[0].records, 10);
+            assert_eq!(snapshot.workers[1].records, 26);
+            assert_eq!(snapshot.total_records, 36);
+            // The hottest bin leads the ranking.
+            assert_eq!(snapshot.top_bins[0].bin, 7);
+            assert_eq!(snapshot.top_bins[0].records, 8);
+            assert_eq!(snapshot.top_bins[0].worker, 1);
+            assert!(snapshot.imbalance_milli > 1_000);
+            let json = snapshot.to_json_line();
+            assert!(json.contains("\"seq\":7"), "json: {json}");
         }
     }
 }

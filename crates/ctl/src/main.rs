@@ -1,0 +1,242 @@
+//! `megaphone-ctl`: the operator CLI for a live Megaphone run.
+//!
+//! Connects to the `--ctl` endpoint a driver exposes (see the "Control
+//! surface" section of the README), tails the JSON-lines snapshot stream —
+//! optionally flattening it to CSV — and issues commands mid-run:
+//!
+//! ```text
+//! megaphone-ctl <addr> snapshot
+//! megaphone-ctl <addr> tail [--count N] [--csv path]
+//! megaphone-ctl <addr> migrate <bin> <worker>
+//! megaphone-ctl <addr> rebalance
+//! megaphone-ctl <addr> set-workload <uniform|zipf|zipf-rotate>
+//! megaphone-ctl <addr> pause-controller
+//! megaphone-ctl <addr> resume-controller
+//! ```
+//!
+//! Snapshots print to stdout as JSON lines; diagnostics go to stderr. After a
+//! command the tool waits for the next snapshot and prints it, so the effect
+//! (e.g. `migration.in_flight` flipping to `true`) is visible immediately.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use megaphone::{CtlClient, CtlCommand, CtlSnapshot};
+
+/// How long to keep retrying the initial connection (drivers print
+/// `ctl listening on <addr>` once ready, but scripts race that line).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long to wait for a snapshot before giving up (the drivers publish at
+/// least every few hundred milliseconds while running).
+const SNAPSHOT_TIMEOUT: Duration = Duration::from_secs(15);
+
+const USAGE: &str = "usage: megaphone-ctl <addr> <command>
+
+commands:
+  snapshot                                request and print one snapshot
+  tail [--count N] [--csv path]           stream snapshots (N=0: until the run ends)
+  migrate <bin> <worker>                  move one bin to a worker
+  rebalance                               plan and run a load-balancing migration
+  set-workload <uniform|zipf|zipf-rotate> switch the generated workload
+  pause-controller                        pause autonomous rebalancing
+  resume-controller                       resume autonomous rebalancing";
+
+/// The header of the flattened CSV written by `tail --csv`. Per-worker and
+/// per-bin vectors are `;`-joined within one field: workers as
+/// `worker:records:bytes`, top bins as `bin:worker:records`.
+const CSV_HEADER: &str = "seq,at_ms,epoch,total_records,total_bytes,imbalance_milli,\
+migration_in_flight,migrations_started,migrations_completed,steps_issued,\
+workload,controller_paused,steps,quiet_steps,workers,top_bins";
+
+fn csv_row(snapshot: &CtlSnapshot) -> String {
+    let workers = snapshot
+        .workers
+        .iter()
+        .map(|load| format!("{}:{}:{}", load.worker, load.records, load.bytes))
+        .collect::<Vec<_>>()
+        .join(";");
+    let top_bins = snapshot
+        .top_bins
+        .iter()
+        .map(|load| format!("{}:{}:{}", load.bin, load.worker, load.records))
+        .collect::<Vec<_>>()
+        .join(";");
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        snapshot.seq,
+        snapshot.at_ms,
+        snapshot.epoch,
+        snapshot.total_records,
+        snapshot.total_bytes,
+        snapshot.imbalance_milli,
+        snapshot.migration.in_flight,
+        snapshot.migration.started,
+        snapshot.migration.completed,
+        snapshot.migration.steps_issued,
+        snapshot.workload,
+        snapshot.controller_paused,
+        snapshot.steps,
+        snapshot.quiet_steps,
+        workers,
+        top_bins,
+    )
+}
+
+/// Receives and prints the next snapshot; `false` if none arrived in time.
+fn confirm(client: &mut CtlClient) -> bool {
+    match client.recv_snapshot() {
+        Ok(snapshot) => {
+            println!("{}", snapshot.to_json_line());
+            true
+        }
+        Err(error) => {
+            eprintln!("megaphone-ctl: no snapshot arrived to confirm the command: {error}");
+            false
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, command) = match raw.as_slice() {
+        [addr, command, ..] => (addr.as_str(), command.as_str()),
+        _ => return Err(USAGE.to_string()),
+    };
+    let rest = &raw[2..];
+
+    let mut client = CtlClient::connect_retry(addr, CONNECT_TIMEOUT)
+        .map_err(|error| format!("megaphone-ctl: {error}"))?;
+    client
+        .set_recv_timeout(Some(SNAPSHOT_TIMEOUT))
+        .map_err(|error| format!("megaphone-ctl: {error}"))?;
+
+    match command {
+        "snapshot" => {
+            client
+                .send(&CtlCommand::Snapshot)
+                .map_err(|error| format!("megaphone-ctl: send failed: {error}"))?;
+            if !confirm(&mut client) {
+                return Err("megaphone-ctl: snapshot request went unanswered".to_string());
+            }
+        }
+        "tail" => {
+            let mut count = 0usize;
+            let mut csv_path: Option<String> = None;
+            let mut index = 0;
+            while index < rest.len() {
+                match rest[index].as_str() {
+                    "--count" if index + 1 < rest.len() => {
+                        count = rest[index + 1]
+                            .parse()
+                            .map_err(|_| format!("bad --count: {}", rest[index + 1]))?;
+                        index += 2;
+                    }
+                    "--csv" if index + 1 < rest.len() => {
+                        csv_path = Some(rest[index + 1].clone());
+                        index += 2;
+                    }
+                    other => return Err(format!("unknown tail option: {other}\n\n{USAGE}")),
+                }
+            }
+            let mut csv = match csv_path.as_deref() {
+                Some(path) => {
+                    let file = File::create(path)
+                        .map_err(|error| format!("megaphone-ctl: cannot write {path}: {error}"))?;
+                    let mut writer = BufWriter::new(file);
+                    writeln!(writer, "{CSV_HEADER}")
+                        .map_err(|error| format!("megaphone-ctl: {error}"))?;
+                    Some(writer)
+                }
+                None => None,
+            };
+            let mut received = 0usize;
+            loop {
+                match client.recv_snapshot() {
+                    Ok(snapshot) => {
+                        println!("{}", snapshot.to_json_line());
+                        if let Some(writer) = csv.as_mut() {
+                            writeln!(writer, "{}", csv_row(&snapshot))
+                                .map_err(|error| format!("megaphone-ctl: {error}"))?;
+                        }
+                        received += 1;
+                        if count > 0 && received >= count {
+                            break;
+                        }
+                    }
+                    // The run ended (or stalled past the timeout): a clean
+                    // end of the stream, not an error — unless we never saw
+                    // a single snapshot.
+                    Err(error) if received > 0 => {
+                        eprintln!("megaphone-ctl: stream ended after {received} snapshots: {error}");
+                        break;
+                    }
+                    Err(error) => {
+                        return Err(format!("megaphone-ctl: no snapshots received: {error}"))
+                    }
+                }
+            }
+            if let Some(mut writer) = csv {
+                writer.flush().map_err(|error| format!("megaphone-ctl: {error}"))?;
+            }
+        }
+        "migrate" => {
+            let (bin, worker) = match rest {
+                [bin, worker] => (
+                    bin.parse::<u64>().map_err(|_| format!("bad bin: {bin}"))?,
+                    worker.parse::<u64>().map_err(|_| format!("bad worker: {worker}"))?,
+                ),
+                _ => return Err(USAGE.to_string()),
+            };
+            client
+                .send(&CtlCommand::Migrate { bin, worker })
+                .map_err(|error| format!("megaphone-ctl: send failed: {error}"))?;
+            eprintln!("megaphone-ctl: requested migration of bin {bin} to worker {worker}");
+            confirm(&mut client);
+        }
+        "rebalance" => {
+            client
+                .send(&CtlCommand::Rebalance)
+                .map_err(|error| format!("megaphone-ctl: send failed: {error}"))?;
+            eprintln!("megaphone-ctl: requested rebalance");
+            confirm(&mut client);
+        }
+        "set-workload" => {
+            let mode = match rest {
+                [mode] => mode.clone(),
+                _ => return Err(USAGE.to_string()),
+            };
+            client
+                .send(&CtlCommand::SetWorkload { mode: mode.clone() })
+                .map_err(|error| format!("megaphone-ctl: send failed: {error}"))?;
+            eprintln!("megaphone-ctl: requested workload {mode}");
+            confirm(&mut client);
+        }
+        "pause-controller" | "resume-controller" => {
+            let (command, verb) = if command == "pause-controller" {
+                (CtlCommand::PauseController, "paused")
+            } else {
+                (CtlCommand::ResumeController, "resumed")
+            };
+            client
+                .send(&command)
+                .map_err(|error| format!("megaphone-ctl: send failed: {error}"))?;
+            eprintln!("megaphone-ctl: controller {verb}");
+            confirm(&mut client);
+        }
+        other => return Err(format!("unknown command: {other}\n\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

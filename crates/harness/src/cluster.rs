@@ -95,6 +95,49 @@ pub fn process_data_dir(data_root: &std::path::Path, process: usize) -> PathBuf 
     data_root.join(format!("process-{process}"))
 }
 
+/// Unwind protection between fork and join: if the parent panics while the
+/// children are alive — a worker assertion inside the cluster computation, a
+/// bootstrap failure, a missing result file — this guard SIGKILLs the
+/// recorded children and removes their scratch state (result files and, on
+/// unwind only, the per-process data directories) instead of leaking real OS
+/// processes. Disarmed once the parent has joined the children normally.
+struct ChildReaper {
+    children: Arc<Mutex<Vec<(Child, PathBuf)>>>,
+    parent_done: Arc<AtomicBool>,
+    data_dirs: Vec<PathBuf>,
+    armed: bool,
+}
+
+impl ChildReaper {
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ChildReaper {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Stop the watchdog before killing anyone: a child killed here must
+        // not be mistaken for a crashed child (its `process::exit(102)`
+        // would swallow the panic currently unwinding).
+        self.parent_done.store(true, Ordering::SeqCst);
+        let mut children = match self.children.lock() {
+            Ok(children) => children,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for (child, out) in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_file(out.as_path());
+        }
+        for dir in &self.data_dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
 /// The cluster role a child process was spawned for.
 struct ChildRole {
     test: String,
@@ -266,6 +309,12 @@ where
                 for (child, _) in children.lock().expect("children poisoned").iter_mut() {
                     if let Ok(Some(status)) = child.try_wait() {
                         if !status.success() {
+                            // Re-check: a dead child observed *after* the
+                            // parent finished (or after the reaper killed it
+                            // during an unwind) is not a crash.
+                            if parent_done.load(Ordering::SeqCst) {
+                                return;
+                            }
                             eprintln!(
                                 "cluster child exited with {status} while the parent was \
                                  still computing; aborting instead of hanging"
@@ -279,10 +328,22 @@ where
         })
     };
 
+    // From here until the children are joined, a parent panic would leak
+    // live child processes: the reaper kills and cleans them up on unwind.
+    let mut reaper = ChildReaper {
+        children: Arc::clone(&children),
+        parent_done: Arc::clone(&parent_done),
+        data_dirs: data_root
+            .map(|root| (0..processes).map(|process| process_data_dir(root, process)).collect())
+            .unwrap_or_default(),
+        armed: true,
+    };
+
     let config = Config::cluster(0, workers_per_process, addresses);
     let mut results = timelite::execute(config, func);
-    parent_done.store(true, Ordering::Relaxed);
+    parent_done.store(true, Ordering::SeqCst);
     watchdog.join().expect("watchdog thread panicked");
+    drop(std::mem::replace(&mut reaper.children, Arc::new(Mutex::new(Vec::new()))));
     let children =
         Arc::try_unwrap(children).expect("watchdog joined").into_inner().expect("children poisoned");
 
@@ -294,5 +355,6 @@ where
         let _ = std::fs::remove_file(&out);
         results.extend(Vec::<R>::decode_from_slice(&bytes));
     }
+    reaper.disarm();
     ClusterOutcome { results, children: infos }
 }

@@ -28,7 +28,7 @@
 //! call it reaches.
 
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use timelite::codec::Codec;
@@ -85,6 +85,45 @@ impl FaultCtx {
         std::fs::write(dir.join(name), b"reached").expect("failed to write the barrier marker");
         std::thread::sleep(PARK_LIMIT);
         panic!("armed barrier {name:?} parked {PARK_LIMIT:?} without being killed");
+    }
+}
+
+/// Unwind protection for the parent: if an assertion fires between a fork and
+/// the corresponding join — the victim exits before reaching a barrier, the
+/// barrier wait times out, the recovery child fails — this guard SIGKILLs
+/// whichever child is currently alive and removes the scratch data directory
+/// instead of leaking them. Disarmed on the success path, which deliberately
+/// leaves the data directory on disk for inspection (see
+/// [`FaultOutcome::data_dir`]).
+struct FaultReaper {
+    child: Option<Child>,
+    data_dir: PathBuf,
+    armed: bool,
+}
+
+impl FaultReaper {
+    /// Registers `child` as the one to kill on unwind and hands it back for
+    /// use; any previously watched child is forgotten (callers reap it first).
+    fn watch(&mut self, child: Child) -> &mut Child {
+        self.child = Some(child);
+        self.child.as_mut().expect("just set")
+    }
+
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FaultReaper {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_dir_all(&self.data_dir);
     }
 }
 
@@ -155,33 +194,43 @@ where
             .expect("failed to spawn fault child process")
     };
 
+    // A parent panic anywhere below would leak a live child and the scratch
+    // directory; the reaper cleans both up on unwind.
+    let mut reaper = FaultReaper { child: None, data_dir: data_dir.clone(), armed: true };
+
     // Attempt 0, armed: wait for it to park at a barrier, then SIGKILL it.
-    let mut victim = spawn(0, true);
-    let killed_pid = victim.id();
-    let barriers = data_dir.join(".barriers");
-    let deadline = Instant::now() + BARRIER_WAIT;
-    loop {
-        let reached =
-            std::fs::read_dir(&barriers).map(|dir| dir.count() > 0).unwrap_or(false);
-        if reached {
-            break;
+    let killed_pid = {
+        let victim = reaper.watch(spawn(0, true));
+        let killed_pid = victim.id();
+        let barriers = data_dir.join(".barriers");
+        let deadline = Instant::now() + BARRIER_WAIT;
+        loop {
+            let reached =
+                std::fs::read_dir(&barriers).map(|dir| dir.count() > 0).unwrap_or(false);
+            if reached {
+                break;
+            }
+            if let Ok(Some(status)) = victim.try_wait() {
+                panic!("armed fault child exited with {status} before reaching a barrier");
+            }
+            assert!(
+                Instant::now() < deadline,
+                "armed fault child never reached a barrier within {BARRIER_WAIT:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
         }
-        if let Ok(Some(status)) = victim.try_wait() {
-            panic!("armed fault child exited with {status} before reaching a barrier");
-        }
-        assert!(
-            Instant::now() < deadline,
-            "armed fault child never reached a barrier within {BARRIER_WAIT:?}"
-        );
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    victim.kill().expect("failed to kill the parked fault child");
-    victim.wait().expect("failed to reap the killed fault child");
+        victim.kill().expect("failed to kill the parked fault child");
+        victim.wait().expect("failed to reap the killed fault child");
+        killed_pid
+    };
 
     // Attempt 1, unarmed: recover from the victim's leavings and finish.
-    let mut survivor = spawn(1, false);
-    let status = survivor.wait().expect("failed to wait for the recovery child");
+    let status = {
+        let survivor = reaper.watch(spawn(1, false));
+        survivor.wait().expect("failed to wait for the recovery child")
+    };
     assert!(status.success(), "recovery child exited with {status}");
     let bytes = std::fs::read(&out).expect("recovery child left no result");
+    reaper.disarm();
     FaultOutcome { result: R::decode_from_slice(&bytes), killed_pid, data_dir }
 }

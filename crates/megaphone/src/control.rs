@@ -97,6 +97,484 @@ impl Command {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Operator-facing control surface: the versioned ctl wire protocol.
+// ---------------------------------------------------------------------------
+
+/// Version of the ctl wire protocol. Every encoded [`CtlCommand`] and
+/// [`CtlSnapshot`] starts with this number; decoders reject frames from a
+/// different version instead of misinterpreting their bytes.
+pub const CTL_WIRE_VERSION: u32 = 1;
+
+/// A decode failure on the ctl wire: the fallible counterpart to the panicking
+/// [`Codec::decode`], used where the bytes come from an untrusted peer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtlWireError {
+    /// The frame was produced by a different protocol version.
+    Version {
+        /// The version the frame carries.
+        got: u32,
+        /// The version this build speaks.
+        expected: u32,
+    },
+    /// The discriminant does not name a known variant in this version.
+    UnknownVariant(u8),
+    /// The frame ended before the value was complete.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for CtlWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtlWireError::Version { got, expected } => {
+                write!(f, "ctl wire version mismatch: frame is v{got}, this build speaks v{expected}")
+            }
+            CtlWireError::UnknownVariant(d) => write!(f, "unknown ctl wire variant {d}"),
+            CtlWireError::Truncated => write!(f, "truncated ctl wire frame"),
+            CtlWireError::InvalidUtf8 => write!(f, "invalid utf-8 in ctl wire string"),
+        }
+    }
+}
+
+impl std::error::Error for CtlWireError {}
+
+// Fallible little-endian readers mirroring the `Codec` primitive encodings.
+fn try_take<'a>(bytes: &mut &'a [u8], len: usize) -> Result<&'a [u8], CtlWireError> {
+    if bytes.len() < len {
+        return Err(CtlWireError::Truncated);
+    }
+    let (head, tail) = bytes.split_at(len);
+    *bytes = tail;
+    Ok(head)
+}
+
+fn try_u8(bytes: &mut &[u8]) -> Result<u8, CtlWireError> {
+    Ok(try_take(bytes, 1)?[0])
+}
+
+fn try_bool(bytes: &mut &[u8]) -> Result<bool, CtlWireError> {
+    Ok(try_u8(bytes)? != 0)
+}
+
+fn try_u32(bytes: &mut &[u8]) -> Result<u32, CtlWireError> {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(try_take(bytes, 4)?);
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn try_u64(bytes: &mut &[u8]) -> Result<u64, CtlWireError> {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(try_take(bytes, 8)?);
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn try_string(bytes: &mut &[u8]) -> Result<String, CtlWireError> {
+    let len = try_u64(bytes)? as usize;
+    let raw = try_take(bytes, len)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| CtlWireError::InvalidUtf8)
+}
+
+fn try_version(bytes: &mut &[u8]) -> Result<(), CtlWireError> {
+    let got = try_u32(bytes)?;
+    if got != CTL_WIRE_VERSION {
+        return Err(CtlWireError::Version { got, expected: CTL_WIRE_VERSION });
+    }
+    Ok(())
+}
+
+/// A command an external operator submits to a running pipeline over the ctl
+/// endpoint. Commands are routed into the existing control stream (migrations)
+/// or the driver's run state (workload, controller pausing, snapshots).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtlCommand {
+    /// Publish a snapshot immediately, out of cadence.
+    Snapshot,
+    /// Move one bin to a worker via the control stream.
+    Migrate {
+        /// The bin to move.
+        bin: u64,
+        /// The destination worker.
+        worker: u64,
+    },
+    /// Plan and issue a full rebalance from the latest load observations.
+    Rebalance,
+    /// Switch the generated workload (`uniform`, `zipf`, `zipf-rotate`).
+    SetWorkload {
+        /// The workload mode name.
+        mode: String,
+    },
+    /// Stop the closed-loop controller from reacting to load (manual mode).
+    PauseController,
+    /// Resume closed-loop control after [`CtlCommand::PauseController`].
+    ResumeController,
+}
+
+impl CtlCommand {
+    /// Decodes a command, rejecting version skew, unknown discriminants and
+    /// truncated frames instead of panicking.
+    pub fn try_decode(bytes: &mut &[u8]) -> Result<Self, CtlWireError> {
+        try_version(bytes)?;
+        match try_u8(bytes)? {
+            0 => Ok(CtlCommand::Snapshot),
+            1 => Ok(CtlCommand::Migrate { bin: try_u64(bytes)?, worker: try_u64(bytes)? }),
+            2 => Ok(CtlCommand::Rebalance),
+            3 => Ok(CtlCommand::SetWorkload { mode: try_string(bytes)? }),
+            4 => Ok(CtlCommand::PauseController),
+            5 => Ok(CtlCommand::ResumeController),
+            other => Err(CtlWireError::UnknownVariant(other)),
+        }
+    }
+
+    /// Decodes a command from a complete buffer.
+    pub fn try_decode_from_slice(mut bytes: &[u8]) -> Result<Self, CtlWireError> {
+        Self::try_decode(&mut bytes)
+    }
+}
+
+impl Codec for CtlCommand {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        CTL_WIRE_VERSION.encode(bytes);
+        match self {
+            CtlCommand::Snapshot => 0u8.encode(bytes),
+            CtlCommand::Migrate { bin, worker } => {
+                1u8.encode(bytes);
+                bin.encode(bytes);
+                worker.encode(bytes);
+            }
+            CtlCommand::Rebalance => 2u8.encode(bytes),
+            CtlCommand::SetWorkload { mode } => {
+                3u8.encode(bytes);
+                mode.encode(bytes);
+            }
+            CtlCommand::PauseController => 4u8.encode(bytes),
+            CtlCommand::ResumeController => 5u8.encode(bytes),
+        }
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        Self::try_decode(bytes).unwrap_or_else(|error| panic!("{error}"))
+    }
+}
+
+/// One worker's load in a [`CtlSnapshot`], aggregated over its assigned bins.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CtlWorkerLoad {
+    /// The worker index.
+    pub worker: u64,
+    /// Bins currently assigned to this worker.
+    pub assigned_bins: u64,
+    /// Records tracked across those bins since the run started.
+    pub records: u64,
+    /// Bytes tracked across those bins since the run started.
+    pub bytes: u64,
+}
+
+impl Codec for CtlWorkerLoad {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.worker.encode(bytes);
+        self.assigned_bins.encode(bytes);
+        self.records.encode(bytes);
+        self.bytes.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        CtlWorkerLoad {
+            worker: u64::decode(bytes),
+            assigned_bins: u64::decode(bytes),
+            records: u64::decode(bytes),
+            bytes: u64::decode(bytes),
+        }
+    }
+}
+
+impl CtlWorkerLoad {
+    fn try_decode(bytes: &mut &[u8]) -> Result<Self, CtlWireError> {
+        Ok(CtlWorkerLoad {
+            worker: try_u64(bytes)?,
+            assigned_bins: try_u64(bytes)?,
+            records: try_u64(bytes)?,
+            bytes: try_u64(bytes)?,
+        })
+    }
+}
+
+/// One heavily loaded bin in a [`CtlSnapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CtlBinLoad {
+    /// The bin.
+    pub bin: u64,
+    /// The worker currently hosting it.
+    pub worker: u64,
+    /// Records tracked in this bin since the run started.
+    pub records: u64,
+    /// Bytes tracked in this bin since the run started.
+    pub bytes: u64,
+}
+
+impl Codec for CtlBinLoad {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.bin.encode(bytes);
+        self.worker.encode(bytes);
+        self.records.encode(bytes);
+        self.bytes.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        CtlBinLoad {
+            bin: u64::decode(bytes),
+            worker: u64::decode(bytes),
+            records: u64::decode(bytes),
+            bytes: u64::decode(bytes),
+        }
+    }
+}
+
+impl CtlBinLoad {
+    fn try_decode(bytes: &mut &[u8]) -> Result<Self, CtlWireError> {
+        Ok(CtlBinLoad {
+            bin: try_u64(bytes)?,
+            worker: try_u64(bytes)?,
+            records: try_u64(bytes)?,
+            bytes: try_u64(bytes)?,
+        })
+    }
+}
+
+/// Migration progress in a [`CtlSnapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CtlMigrationStatus {
+    /// Whether a migration is currently in flight.
+    pub in_flight: bool,
+    /// Migrations started since the run began.
+    pub started: u64,
+    /// Migrations fully absorbed since the run began.
+    pub completed: u64,
+    /// Control-stream steps issued since the run began.
+    pub steps_issued: u64,
+}
+
+impl Codec for CtlMigrationStatus {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        self.in_flight.encode(bytes);
+        self.started.encode(bytes);
+        self.completed.encode(bytes);
+        self.steps_issued.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        CtlMigrationStatus {
+            in_flight: bool::decode(bytes),
+            started: u64::decode(bytes),
+            completed: u64::decode(bytes),
+            steps_issued: u64::decode(bytes),
+        }
+    }
+}
+
+impl CtlMigrationStatus {
+    fn try_decode(bytes: &mut &[u8]) -> Result<Self, CtlWireError> {
+        Ok(CtlMigrationStatus {
+            in_flight: try_bool(bytes)?,
+            started: try_u64(bytes)?,
+            completed: try_u64(bytes)?,
+            steps_issued: try_u64(bytes)?,
+        })
+    }
+}
+
+/// One periodic observation of a running pipeline, streamed as a length-framed
+/// binary record on the wire and rendered as a JSON line for humans and CSV
+/// tailers (see [`CtlSnapshot::to_json_line`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CtlSnapshot {
+    /// Monotone sequence number of this snapshot within the run.
+    pub seq: u64,
+    /// Milliseconds since the run started.
+    pub at_ms: u64,
+    /// The driver's current epoch (the probe frontier, i.e. event time).
+    pub epoch: u64,
+    /// Records tracked across all bins since the run started.
+    pub total_records: u64,
+    /// Bytes tracked across all bins since the run started.
+    pub total_bytes: u64,
+    /// Load imbalance (max worker share over mean), in thousandths.
+    pub imbalance_milli: u64,
+    /// Per-worker load, one entry per worker.
+    pub workers: Vec<CtlWorkerLoad>,
+    /// The most heavily loaded bins, descending by records.
+    pub top_bins: Vec<CtlBinLoad>,
+    /// The full bin-to-worker assignment the controller currently targets.
+    pub assignment: Vec<u64>,
+    /// Migration progress.
+    pub migration: CtlMigrationStatus,
+    /// The generated workload mode currently in effect.
+    pub workload: String,
+    /// Whether the closed-loop controller is paused.
+    pub controller_paused: bool,
+    /// Worker-0 scheduler steps taken so far (progress summary).
+    pub steps: u64,
+    /// How many of those steps were quiet (no work to do).
+    pub quiet_steps: u64,
+}
+
+impl Codec for CtlSnapshot {
+    fn encode(&self, bytes: &mut Vec<u8>) {
+        CTL_WIRE_VERSION.encode(bytes);
+        self.seq.encode(bytes);
+        self.at_ms.encode(bytes);
+        self.epoch.encode(bytes);
+        self.total_records.encode(bytes);
+        self.total_bytes.encode(bytes);
+        self.imbalance_milli.encode(bytes);
+        self.workers.encode(bytes);
+        self.top_bins.encode(bytes);
+        self.assignment.encode(bytes);
+        self.migration.encode(bytes);
+        self.workload.encode(bytes);
+        self.controller_paused.encode(bytes);
+        self.steps.encode(bytes);
+        self.quiet_steps.encode(bytes);
+    }
+    fn decode(bytes: &mut &[u8]) -> Self {
+        Self::try_decode(bytes).unwrap_or_else(|error| panic!("{error}"))
+    }
+}
+
+impl CtlSnapshot {
+    /// Decodes a snapshot, rejecting version skew and truncated frames
+    /// instead of panicking.
+    pub fn try_decode(bytes: &mut &[u8]) -> Result<Self, CtlWireError> {
+        try_version(bytes)?;
+        let seq = try_u64(bytes)?;
+        let at_ms = try_u64(bytes)?;
+        let epoch = try_u64(bytes)?;
+        let total_records = try_u64(bytes)?;
+        let total_bytes = try_u64(bytes)?;
+        let imbalance_milli = try_u64(bytes)?;
+        let workers = try_vec(bytes, CtlWorkerLoad::try_decode)?;
+        let top_bins = try_vec(bytes, CtlBinLoad::try_decode)?;
+        let assignment = try_vec(bytes, try_u64)?;
+        let migration = CtlMigrationStatus::try_decode(bytes)?;
+        let workload = try_string(bytes)?;
+        let controller_paused = try_bool(bytes)?;
+        let steps = try_u64(bytes)?;
+        let quiet_steps = try_u64(bytes)?;
+        Ok(CtlSnapshot {
+            seq,
+            at_ms,
+            epoch,
+            total_records,
+            total_bytes,
+            imbalance_milli,
+            workers,
+            top_bins,
+            assignment,
+            migration,
+            workload,
+            controller_paused,
+            steps,
+            quiet_steps,
+        })
+    }
+
+    /// Decodes a snapshot from a complete buffer.
+    pub fn try_decode_from_slice(mut bytes: &[u8]) -> Result<Self, CtlWireError> {
+        Self::try_decode(&mut bytes)
+    }
+
+    /// Renders the snapshot as one line of JSON (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write;
+        let mut line = String::with_capacity(256);
+        write!(
+            line,
+            "{{\"seq\":{},\"at_ms\":{},\"epoch\":{},\"total_records\":{},\"total_bytes\":{},\
+             \"imbalance_milli\":{}",
+            self.seq, self.at_ms, self.epoch, self.total_records, self.total_bytes,
+            self.imbalance_milli
+        )
+        .unwrap();
+        line.push_str(",\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write!(
+                line,
+                "{{\"worker\":{},\"assigned_bins\":{},\"records\":{},\"bytes\":{}}}",
+                w.worker, w.assigned_bins, w.records, w.bytes
+            )
+            .unwrap();
+        }
+        line.push_str("],\"top_bins\":[");
+        for (i, b) in self.top_bins.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write!(
+                line,
+                "{{\"bin\":{},\"worker\":{},\"records\":{},\"bytes\":{}}}",
+                b.bin, b.worker, b.records, b.bytes
+            )
+            .unwrap();
+        }
+        line.push_str("],\"assignment\":[");
+        for (i, worker) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write!(line, "{worker}").unwrap();
+        }
+        write!(
+            line,
+            "],\"migration\":{{\"in_flight\":{},\"started\":{},\"completed\":{},\
+             \"steps_issued\":{}}},\"workload\":\"{}\",\"controller_paused\":{},\
+             \"steps\":{},\"quiet_steps\":{}}}",
+            self.migration.in_flight,
+            self.migration.started,
+            self.migration.completed,
+            self.migration.steps_issued,
+            json_escape(&self.workload),
+            self.controller_paused,
+            self.steps,
+            self.quiet_steps
+        )
+        .unwrap();
+        line
+    }
+}
+
+fn try_vec<T>(
+    bytes: &mut &[u8],
+    item: impl Fn(&mut &[u8]) -> Result<T, CtlWireError>,
+) -> Result<Vec<T>, CtlWireError> {
+    let len = try_u64(bytes)? as usize;
+    // Guard the pre-allocation against a corrupt length header; longer vectors
+    // still decode, they just grow.
+    let mut items = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        items.push(item(bytes)?);
+    }
+    Ok(items)
+}
+
+fn json_escape(raw: &str) -> String {
+    let mut escaped = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                write!(escaped, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +616,72 @@ mod tests {
         assert_eq!(ControlInst::Move(3, 0).bins(8), vec![3]);
         assert_eq!(ControlInst::Map(vec![0, 1]).bins(8), vec![0, 1]);
         assert!(ControlInst::None.bins(8).is_empty());
+    }
+
+    #[test]
+    fn ctl_command_roundtrips_through_codec() {
+        for command in [
+            CtlCommand::Snapshot,
+            CtlCommand::Migrate { bin: 17, worker: 3 },
+            CtlCommand::Rebalance,
+            CtlCommand::SetWorkload { mode: "zipf-rotate".into() },
+            CtlCommand::PauseController,
+            CtlCommand::ResumeController,
+        ] {
+            let bytes = command.encode_to_vec();
+            assert_eq!(CtlCommand::try_decode_from_slice(&bytes), Ok(command));
+        }
+    }
+
+    #[test]
+    fn ctl_decode_rejects_version_skew() {
+        let mut bytes = CtlCommand::Rebalance.encode_to_vec();
+        bytes[0] = bytes[0].wrapping_add(1);
+        assert_eq!(
+            CtlCommand::try_decode_from_slice(&bytes),
+            Err(CtlWireError::Version { got: CTL_WIRE_VERSION + 1, expected: CTL_WIRE_VERSION })
+        );
+    }
+
+    #[test]
+    fn ctl_decode_rejects_unknown_variant_and_truncation() {
+        let mut bytes = CtlCommand::Snapshot.encode_to_vec();
+        *bytes.last_mut().unwrap() = 99;
+        assert_eq!(CtlCommand::try_decode_from_slice(&bytes), Err(CtlWireError::UnknownVariant(99)));
+        let bytes = CtlCommand::Migrate { bin: 1, worker: 2 }.encode_to_vec();
+        assert_eq!(
+            CtlCommand::try_decode_from_slice(&bytes[..bytes.len() - 1]),
+            Err(CtlWireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn ctl_snapshot_roundtrips_and_renders_json() {
+        let snapshot = CtlSnapshot {
+            seq: 4,
+            at_ms: 1200,
+            epoch: 17,
+            total_records: 100,
+            total_bytes: 800,
+            imbalance_milli: 1500,
+            workers: vec![
+                CtlWorkerLoad { worker: 0, assigned_bins: 3, records: 70, bytes: 560 },
+                CtlWorkerLoad { worker: 1, assigned_bins: 1, records: 30, bytes: 240 },
+            ],
+            top_bins: vec![CtlBinLoad { bin: 2, worker: 0, records: 50, bytes: 400 }],
+            assignment: vec![0, 1, 0, 0],
+            migration: CtlMigrationStatus { in_flight: true, started: 2, completed: 1, steps_issued: 5 },
+            workload: "zipf \"hot\"".into(),
+            controller_paused: false,
+            steps: 1000,
+            quiet_steps: 400,
+        };
+        let bytes = snapshot.encode_to_vec();
+        assert_eq!(CtlSnapshot::try_decode_from_slice(&bytes), Ok(snapshot.clone()));
+        let line = snapshot.to_json_line();
+        assert!(line.starts_with("{\"seq\":4,"));
+        assert!(line.contains("\"assignment\":[0,1,0,0]"));
+        assert!(line.contains("\"workload\":\"zipf \\\"hot\\\"\""));
+        assert!(!line.contains('\n'));
     }
 }

@@ -162,6 +162,7 @@ pub struct ClosedLoopController<T: Timestamp + TotalOrder> {
     migrations_started: usize,
     migrations_completed: usize,
     last_imbalance: f64,
+    paused: bool,
 }
 
 impl<T: Timestamp + TotalOrder> ClosedLoopController<T> {
@@ -192,6 +193,7 @@ impl<T: Timestamp + TotalOrder> ClosedLoopController<T> {
             migrations_started: 0,
             migrations_completed: 0,
             last_imbalance: 1.0,
+            paused: false,
         }
     }
 
@@ -229,12 +231,68 @@ impl<T: Timestamp + TotalOrder> ClosedLoopController<T> {
         self.previous = stats.clone();
     }
 
+    /// Pauses or resumes the closed loop. While paused,
+    /// [`observe`](Self::observe) keeps the delta baseline moving but never
+    /// initiates a migration, so resuming reacts to post-resume load only —
+    /// in-flight migrations still run to completion, and operator-submitted
+    /// migrations ([`submit_moves`](Self::submit_moves),
+    /// [`submit_rebalance`](Self::submit_rebalance)) are unaffected.
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+    }
+
+    /// Whether the closed loop is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Submits an operator-requested migration of explicit `(bin, worker)`
+    /// moves as a single all-at-once step. Returns `false` (and adopts
+    /// nothing) while another migration is in flight, or if any move is out of
+    /// range or a no-op against the current assignment.
+    pub fn submit_moves(&mut self, moves: &[(BinId, usize)]) -> bool {
+        if self.inner.is_some() || moves.is_empty() {
+            return false;
+        }
+        let mut target = self.current.clone();
+        for &(bin, worker) in moves {
+            if bin >= target.len() || worker >= self.peers || target[bin] == worker {
+                return false;
+            }
+            target[bin] = worker;
+        }
+        let plan = MigrationPlan { steps: vec![moves.to_vec()] };
+        self.inner = Some(MigrationController::new(plan, self.gap));
+        self.target = Some(target);
+        self.migrations_started += 1;
+        true
+    }
+
+    /// Submits an operator-requested rebalance planned over `stats` (use the
+    /// cumulative merged snapshot: the operator asked to balance total
+    /// observed load, not the last delta), regardless of threshold or pause
+    /// state. Returns `false` while another migration is in flight or when the
+    /// plan is empty (already balanced).
+    pub fn submit_rebalance(&mut self, stats: &BinStats) -> bool {
+        if self.inner.is_some() {
+            return false;
+        }
+        let (plan, target) = plan_rebalance(self.strategy, &self.current, stats, self.peers);
+        if plan.is_empty() {
+            return false;
+        }
+        self.inner = Some(MigrationController::new(plan, self.gap));
+        self.target = Some(target);
+        self.migrations_started += 1;
+        true
+    }
+
     /// Feeds a merged (cumulative) snapshot of every worker's bin loads.
     /// Returns `true` iff this observation initiated a migration.
     pub fn observe(&mut self, stats: &BinStats) -> bool {
         let delta = stats.delta_since(&self.previous);
         self.previous = stats.clone();
-        if self.inner.is_some() || delta.total_records() < self.min_records.max(1) {
+        if self.paused || self.inner.is_some() || delta.total_records() < self.min_records.max(1) {
             return false;
         }
         self.last_imbalance = delta.imbalance(&self.current, self.peers);
@@ -421,6 +479,85 @@ mod tests {
         // Re-observing identical cumulative stats is a zero delta: still quiet.
         assert!(!controller.observe(&two_worker_snapshot(&config, 40, 0)));
         assert_eq!(controller.migrations_started(), 0);
+    }
+
+    #[test]
+    fn operator_moves_and_rebalance_bypass_threshold_but_not_in_flight_guard() {
+        use crate::bins::MegaphoneConfig;
+        use crate::strategies::balanced_assignment;
+
+        let config = MegaphoneConfig::new(4);
+        let current = balanced_assignment(config.bins(), 2);
+        let mut controller: ClosedLoopController<u64> = ClosedLoopController::new(
+            MigrationStrategy::AllAtOnce,
+            current.clone(),
+            2,
+            false,
+            1_000.0, // a threshold autonomy can never reach
+            1,
+        );
+
+        // Out-of-range and no-op moves are rejected wholesale.
+        assert!(!controller.submit_moves(&[(0, 7)]));
+        assert!(!controller.submit_moves(&[(999, 1)]));
+        assert!(!controller.submit_moves(&[(0, current[0])]));
+        assert!(!controller.migration_in_progress());
+
+        // A valid move starts a migration despite the unreachable threshold.
+        let target_worker = 1 - current[3];
+        assert!(controller.submit_moves(&[(3, target_worker)]));
+        assert!(controller.migration_in_progress());
+        assert_eq!(controller.migrations_started(), 1);
+        // While in flight, further operator commands are refused.
+        assert!(!controller.submit_moves(&[(2, 1 - current[2])]));
+        assert!(!controller.submit_rebalance(&two_worker_snapshot(&config, 100, 1)));
+        assert_eq!(controller.migrations_started(), 1);
+    }
+
+    #[test]
+    fn operator_rebalance_plans_over_cumulative_stats() {
+        use crate::bins::MegaphoneConfig;
+        use crate::strategies::balanced_assignment;
+
+        let config = MegaphoneConfig::new(4);
+        let current = balanced_assignment(config.bins(), 2);
+        let mut controller: ClosedLoopController<u64> = ClosedLoopController::new(
+            MigrationStrategy::AllAtOnce,
+            current,
+            2,
+            false,
+            1_000.0,
+            1,
+        );
+        // Balanced load: nothing to do, command refused.
+        assert!(!controller.submit_rebalance(&two_worker_snapshot(&config, 100, 100)));
+        // Skewed load: the rebalance starts even though the threshold never fired.
+        assert!(controller.submit_rebalance(&two_worker_snapshot(&config, 1_000, 1)));
+        assert!(controller.migration_in_progress());
+    }
+
+    #[test]
+    fn paused_closed_loop_observes_without_migrating() {
+        use crate::bins::MegaphoneConfig;
+        use crate::strategies::balanced_assignment;
+
+        let config = MegaphoneConfig::new(4);
+        let current = balanced_assignment(config.bins(), 2);
+        let mut controller: ClosedLoopController<u64> =
+            ClosedLoopController::new(MigrationStrategy::Fluid, current, 2, false, 1.5, 10);
+        controller.set_paused(true);
+        assert!(controller.is_paused());
+        // Heavy skew while paused: no migration…
+        assert!(!controller.observe(&two_worker_snapshot(&config, 10_000, 1)));
+        assert_eq!(controller.migrations_started(), 0);
+        // …and the baseline kept moving, so resuming sees only *new* load: the
+        // identical cumulative snapshot is a zero delta.
+        controller.set_paused(false);
+        assert!(!controller.observe(&two_worker_snapshot(&config, 10_000, 1)));
+        assert_eq!(controller.migrations_started(), 0);
+        // Fresh post-resume skew triggers as usual.
+        assert!(controller.observe(&two_worker_snapshot(&config, 30_000, 2)));
+        assert_eq!(controller.migrations_started(), 1);
     }
 
     #[test]

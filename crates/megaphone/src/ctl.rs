@@ -1,0 +1,388 @@
+//! The operator-facing control surface: a TCP endpoint on a live pipeline.
+//!
+//! Megaphone's thesis is that reconfiguration is a *runtime* operation: an
+//! external controller observes live load and moves state while the query
+//! keeps running. This module is that external seam. A driver (worker 0 of a
+//! run) binds a [`CtlServer`]; operators connect a [`CtlClient`] (usually via
+//! the `megaphone-ctl` binary) to
+//!
+//! * receive the periodic [`CtlSnapshot`] stream
+//!   (per-worker load, hottest bins, the current assignment, migration
+//!   progress), and
+//! * submit [`CtlCommand`]s — `migrate`,
+//!   `rebalance`, `set-workload`, `snapshot`, `pause/resume-controller` —
+//!   which the driver routes into the existing control stream.
+//!
+//! The wire format reuses the cluster transport's conventions
+//! ([`timelite::communication::net`]): every message is a little-endian
+//! `[len u64][payload]` frame ([`write_len_frame`]/[`read_len_frame`]), and a
+//! connection opens with a magic + version handshake so foreign or
+//! version-skewed peers are rejected at the door instead of misparsed.
+//!
+//! The server never blocks the pipeline: publishing is a best-effort write to
+//! whoever is connected (a dead client is dropped, not retried), command
+//! intake is a queue the driver drains between epochs, and a client that
+//! disconnects mid-stream — or never speaks — affects nobody else.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use timelite::communication::{read_len_frame, write_len_frame};
+
+use crate::codec::Codec;
+use crate::control::{CtlCommand, CtlSnapshot, CTL_WIRE_VERSION};
+
+/// Handshake magic: "MEGACTL1" as a little-endian u64. Distinct from the
+/// worker mesh's magic so a ctl client dialing a worker port (or vice versa)
+/// is rejected instead of confusing the mesh bootstrap.
+pub const CTL_MAGIC: u64 = u64::from_le_bytes(*b"MEGACTL1");
+
+/// The byte the server sends to admit a client, followed by its own version.
+const CTL_ACK: u8 = 0xC7;
+
+/// Handshake read timeout: a connection that never completes the handshake
+/// must not wedge its service thread forever.
+const CTL_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Upper bound on one command frame (commands are tiny).
+const MAX_COMMAND_FRAME: usize = 64 << 10;
+
+/// Upper bound on one snapshot frame (a snapshot carries the full
+/// assignment vector, still far below this).
+const MAX_SNAPSHOT_FRAME: usize = 64 << 20;
+
+/// State shared between the accept/reader threads and the driver's handle.
+struct Shared {
+    /// Commands received from any client, drained by the driver each epoch.
+    commands: Mutex<VecDeque<CtlCommand>>,
+    /// The write side of every admitted client connection.
+    clients: Mutex<Vec<TcpStream>>,
+    /// Set by `Drop` to stop the accept loop.
+    shutdown: AtomicBool,
+}
+
+/// The pipeline side of the control surface: binds a TCP endpoint, admits
+/// clients, queues their commands and fans snapshots out to them.
+///
+/// Owned by the driver (worker 0); dropped when the run ends, which stops the
+/// accept loop and hangs up on connected clients.
+pub struct CtlServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+}
+
+impl CtlServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7700`, port `0` for OS-assigned) and
+    /// starts accepting clients in a background thread.
+    pub fn bind(addr: &str) -> io::Result<CtlServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            commands: Mutex::new(VecDeque::new()),
+            clients: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("megaphone-ctl-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(CtlServer { shared, local_addr })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Takes every command received since the last drain, in arrival order.
+    pub fn drain_commands(&self) -> Vec<CtlCommand> {
+        let mut queue = self.shared.commands.lock().expect("ctl commands poisoned");
+        queue.drain(..).collect()
+    }
+
+    /// Writes `snapshot` to every connected client and returns how many
+    /// received it. A client whose socket errors is dropped — a tailer that
+    /// disconnected mid-stream must not fail the run or the other clients.
+    pub fn publish(&self, snapshot: &CtlSnapshot) -> usize {
+        let frame = snapshot.encode_to_vec();
+        let mut clients = self.shared.clients.lock().expect("ctl clients poisoned");
+        clients.retain_mut(|stream| write_len_frame(stream, &frame).is_ok());
+        clients.len()
+    }
+
+    /// The number of currently connected clients.
+    pub fn client_count(&self) -> usize {
+        self.shared.clients.lock().expect("ctl clients poisoned").len()
+    }
+}
+
+impl Drop for CtlServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Hang up on connected clients so their blocking reads end now.
+        self.shared.clients.lock().expect("ctl clients poisoned").clear();
+    }
+}
+
+/// Polls the (non-blocking) listener, handshakes each connection and spawns a
+/// per-client command reader. Exits when the server handle is dropped.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let client_shared = Arc::clone(&shared);
+                // A separate thread per handshake: a client that connects and
+                // stalls must not block further accepts.
+                let _ = std::thread::Builder::new()
+                    .name("megaphone-ctl-client".to_string())
+                    .spawn(move || serve_client(stream, client_shared));
+            }
+            Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return, // Listener gone; nothing left to accept.
+        }
+    }
+}
+
+/// Handshakes one client and then reads its command frames until it hangs up.
+/// Every failure just ends this client's thread: the surface survives dropped,
+/// foreign and version-skewed clients by construction.
+fn serve_client(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(CTL_HANDSHAKE_TIMEOUT));
+    let mut hello = [0u8; 12];
+    if stream.read_exact(&mut hello).is_err() {
+        return;
+    }
+    let magic = u64::from_le_bytes(hello[..8].try_into().expect("8 bytes"));
+    let version = u32::from_le_bytes(hello[8..].try_into().expect("4 bytes"));
+    if magic != CTL_MAGIC {
+        return; // Not a ctl client; drop silently.
+    }
+    // Answer with our version even on skew, so the client can report the
+    // mismatch precisely instead of seeing a bare hangup.
+    let mut ack = [0u8; 5];
+    ack[0] = CTL_ACK;
+    ack[1..].copy_from_slice(&CTL_WIRE_VERSION.to_le_bytes());
+    if stream.write_all(&ack).is_err() || version != CTL_WIRE_VERSION {
+        return;
+    }
+    let _ = stream.set_read_timeout(None);
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    shared.clients.lock().expect("ctl clients poisoned").push(write_half);
+    loop {
+        let Ok(frame) = read_len_frame(&mut stream, MAX_COMMAND_FRAME) else {
+            return; // Disconnect (or an unframeable peer): this client is done.
+        };
+        match CtlCommand::try_decode_from_slice(&frame) {
+            Ok(command) => {
+                shared.commands.lock().expect("ctl commands poisoned").push_back(command);
+            }
+            // A malformed or version-skewed frame after a good handshake:
+            // drop the frame, keep the connection.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// The operator side of the control surface: connects to a [`CtlServer`],
+/// submits commands and receives the snapshot stream.
+pub struct CtlClient {
+    stream: TcpStream,
+}
+
+impl CtlClient {
+    /// Connects to `addr` and performs the magic + version handshake.
+    pub fn connect(addr: &str) -> io::Result<CtlClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let _ = stream.set_read_timeout(Some(CTL_HANDSHAKE_TIMEOUT));
+        let mut hello = [0u8; 12];
+        hello[..8].copy_from_slice(&CTL_MAGIC.to_le_bytes());
+        hello[8..].copy_from_slice(&CTL_WIRE_VERSION.to_le_bytes());
+        stream.write_all(&hello)?;
+        let mut ack = [0u8; 5];
+        stream.read_exact(&mut ack).map_err(|error| {
+            io::Error::new(error.kind(), format!("ctl handshake failed (not a ctl endpoint?): {error}"))
+        })?;
+        if ack[0] != CTL_ACK {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "ctl endpoint sent a bad ack"));
+        }
+        let server_version = u32::from_le_bytes(ack[1..].try_into().expect("4 bytes"));
+        if server_version != CTL_WIRE_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "ctl wire version mismatch: endpoint speaks v{server_version}, \
+                     this client speaks v{CTL_WIRE_VERSION}"
+                ),
+            ));
+        }
+        let _ = stream.set_read_timeout(None);
+        Ok(CtlClient { stream })
+    }
+
+    /// Connects, retrying while the endpoint comes up (e.g. a driver still in
+    /// its bootstrap), until `timeout` elapses.
+    pub fn connect_retry(addr: &str, timeout: Duration) -> io::Result<CtlClient> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match CtlClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(error) if Instant::now() >= deadline => {
+                    return Err(io::Error::new(
+                        error.kind(),
+                        format!("could not reach ctl endpoint {addr} within {timeout:?}: {error}"),
+                    ));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Submits one command.
+    pub fn send(&mut self, command: &CtlCommand) -> io::Result<()> {
+        write_len_frame(&mut self.stream, &command.encode_to_vec())
+    }
+
+    /// Receives the next snapshot, blocking until one arrives (or until the
+    /// timeout set by [`set_recv_timeout`](Self::set_recv_timeout)).
+    pub fn recv_snapshot(&mut self) -> io::Result<CtlSnapshot> {
+        let frame = read_len_frame(&mut self.stream, MAX_SNAPSHOT_FRAME)?;
+        CtlSnapshot::try_decode_from_slice(&frame)
+            .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))
+    }
+
+    /// Bounds how long [`recv_snapshot`](Self::recv_snapshot) blocks (`None`
+    /// waits indefinitely).
+    pub fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{CtlMigrationStatus, CtlWorkerLoad};
+
+    fn snapshot(seq: u64) -> CtlSnapshot {
+        CtlSnapshot {
+            seq,
+            at_ms: 100 * seq,
+            epoch: seq,
+            total_records: 10,
+            total_bytes: 80,
+            imbalance_milli: 1000,
+            workers: vec![CtlWorkerLoad { worker: 0, assigned_bins: 4, records: 10, bytes: 80 }],
+            top_bins: Vec::new(),
+            assignment: vec![0, 0, 0, 0],
+            migration: CtlMigrationStatus::default(),
+            workload: "uniform".to_string(),
+            controller_paused: false,
+            steps: 100,
+            quiet_steps: 40,
+        }
+    }
+
+    #[test]
+    fn commands_flow_client_to_server() {
+        let server = CtlServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().to_string();
+        let mut client = CtlClient::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+        client.send(&CtlCommand::Migrate { bin: 3, worker: 1 }).expect("send");
+        client.send(&CtlCommand::Rebalance).expect("send");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut received = Vec::new();
+        while received.len() < 2 {
+            received.extend(server.drain_commands());
+            assert!(Instant::now() < deadline, "commands never arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            received,
+            vec![CtlCommand::Migrate { bin: 3, worker: 1 }, CtlCommand::Rebalance]
+        );
+    }
+
+    #[test]
+    fn snapshots_fan_out_and_dead_clients_are_dropped() {
+        let server = CtlServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().to_string();
+        let mut alive = CtlClient::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+        let doomed = CtlClient::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.client_count() < 2 {
+            assert!(Instant::now() < deadline, "clients never admitted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.publish(&snapshot(0)), 2);
+        assert_eq!(alive.recv_snapshot().expect("snapshot"), snapshot(0));
+        drop(doomed);
+        // The dead client is detected on write (possibly needing a second
+        // publish for the first to fill the socket's buffers with RST).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut seq = 1;
+        loop {
+            let reached = server.publish(&snapshot(seq));
+            assert_eq!(alive.recv_snapshot().expect("snapshot").seq, seq);
+            if reached == 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "dead client never dropped");
+            seq += 1;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn foreign_magic_is_rejected_and_surface_survives() {
+        let server = CtlServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().to_string();
+        // A stray client speaking the wrong protocol: write junk, hang up.
+        let mut stray = TcpStream::connect(&addr).expect("connect");
+        stray.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+        drop(stray);
+        // The surface still admits a real client afterwards.
+        let mut client = CtlClient::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+        client.send(&CtlCommand::Snapshot).expect("send");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let commands = server.drain_commands();
+            if commands == vec![CtlCommand::Snapshot] {
+                break;
+            }
+            assert!(commands.is_empty(), "unexpected commands: {commands:?}");
+            assert!(Instant::now() < deadline, "command never arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.client_count(), 1);
+    }
+
+    #[test]
+    fn version_skew_is_reported_to_the_client() {
+        let server = CtlServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().to_string();
+        // Handshake by hand with a bumped version: the server answers with its
+        // own version and hangs up; a real client would surface the mismatch.
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let mut hello = [0u8; 12];
+        hello[..8].copy_from_slice(&CTL_MAGIC.to_le_bytes());
+        hello[8..].copy_from_slice(&(CTL_WIRE_VERSION + 1).to_le_bytes());
+        stream.write_all(&hello).expect("hello");
+        let mut ack = [0u8; 5];
+        stream.read_exact(&mut ack).expect("ack");
+        assert_eq!(ack[0], CTL_ACK);
+        assert_eq!(u32::from_le_bytes(ack[1..].try_into().expect("4 bytes")), CTL_WIRE_VERSION);
+        // The connection is closed: the next read sees EOF.
+        let mut probe = [0u8; 1];
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        assert_eq!(stream.read(&mut probe).unwrap_or(0), 0, "skewed client must be hung up on");
+        drop(server);
+    }
+}

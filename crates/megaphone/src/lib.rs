@@ -92,6 +92,7 @@ pub mod bins;
 pub mod codec;
 pub mod control;
 pub mod controller;
+pub mod ctl;
 pub mod interface;
 pub mod notificator;
 pub mod operator;
@@ -104,8 +105,12 @@ pub use bins::{
     StateFragment, StatsHandle,
 };
 pub use codec::{Assembler, ChunkedCodec, Codec, Fragmenter};
-pub use control::{Command, ControlInst};
+pub use control::{
+    Command, ControlInst, CtlBinLoad, CtlCommand, CtlMigrationStatus, CtlSnapshot, CtlWireError,
+    CtlWorkerLoad, CTL_WIRE_VERSION,
+};
 pub use controller::{ClosedLoopController, ControllerStatus, MigrationController};
+pub use ctl::{CtlClient, CtlServer, CTL_MAGIC};
 pub use interface::{state_machine, stateful_binary, Either, MegaphoneStream};
 pub use notificator::{Notificator, PendingQueue};
 pub use operator::{stateful_unary, StatefulOutput};

@@ -1,0 +1,215 @@
+//! Property-style tests for the ctl wire protocol: over randomized (seeded,
+//! reproducible — the build is offline, so no `proptest`) commands and
+//! snapshots, encoding must round-trip exactly through the fallible decode
+//! path, and hostile inputs — version skew, unknown discriminants, truncation
+//! at every byte boundary — must come back as typed [`CtlWireError`]s, never
+//! as panics or silently wrong values. This is the contract the control
+//! endpoint relies on to survive garbage from arbitrary TCP peers.
+
+use megaphone::codec::Codec;
+use megaphone::{
+    CtlBinLoad, CtlCommand, CtlMigrationStatus, CtlSnapshot, CtlWireError, CtlWorkerLoad,
+    CTL_WIRE_VERSION,
+};
+
+/// A deterministic xorshift64* generator, reproducible from the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn string(&mut self, max_len: u64) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| match self.below(4) {
+                0 => char::from_u32(0x00a1 + self.below(0x4_0000) as u32).unwrap_or('\u{2603}'),
+                _ => char::from_u32(0x20 + self.below(0x5e) as u32).unwrap(),
+            })
+            .collect()
+    }
+}
+
+fn random_command(rng: &mut Rng) -> CtlCommand {
+    match rng.below(6) {
+        0 => CtlCommand::Snapshot,
+        1 => CtlCommand::Migrate { bin: rng.next(), worker: rng.next() },
+        2 => CtlCommand::Rebalance,
+        3 => CtlCommand::SetWorkload { mode: rng.string(24) },
+        4 => CtlCommand::PauseController,
+        _ => CtlCommand::ResumeController,
+    }
+}
+
+fn random_snapshot(rng: &mut Rng) -> CtlSnapshot {
+    let workers = (0..rng.below(8))
+        .map(|worker| CtlWorkerLoad {
+            worker,
+            assigned_bins: rng.below(64),
+            records: rng.next(),
+            bytes: rng.next(),
+        })
+        .collect();
+    let top_bins = (0..rng.below(8))
+        .map(|_| CtlBinLoad {
+            bin: rng.below(64),
+            worker: rng.below(8),
+            records: rng.next(),
+            bytes: rng.next(),
+        })
+        .collect();
+    CtlSnapshot {
+        seq: rng.next(),
+        at_ms: rng.next(),
+        epoch: rng.next(),
+        total_records: rng.next(),
+        total_bytes: rng.next(),
+        imbalance_milli: rng.below(10_000),
+        workers,
+        top_bins,
+        assignment: (0..rng.below(64)).map(|_| rng.below(8)).collect(),
+        migration: CtlMigrationStatus {
+            in_flight: rng.below(2) == 1,
+            started: rng.below(100),
+            completed: rng.below(100),
+            steps_issued: rng.below(1_000),
+        },
+        workload: rng.string(24),
+        controller_paused: rng.below(2) == 1,
+        steps: rng.next(),
+        quiet_steps: rng.next(),
+    }
+}
+
+const CASES: u64 = 256;
+
+#[test]
+fn random_commands_round_trip_through_the_fallible_decoder() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let command = random_command(&mut rng);
+        let bytes = command.encode_to_vec();
+        assert_eq!(
+            CtlCommand::try_decode_from_slice(&bytes),
+            Ok(command.clone()),
+            "seed {seed}: command round-trip diverged"
+        );
+        // The slice decoder and the cursor decoder agree, and the cursor
+        // consumes the frame exactly.
+        let mut cursor = &bytes[..];
+        assert_eq!(CtlCommand::try_decode(&mut cursor), Ok(command));
+        assert!(cursor.is_empty(), "seed {seed}: command decode left trailing bytes");
+    }
+}
+
+#[test]
+fn random_snapshots_round_trip_through_the_fallible_decoder() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let snapshot = random_snapshot(&mut rng);
+        let bytes = snapshot.encode_to_vec();
+        assert_eq!(
+            CtlSnapshot::try_decode_from_slice(&bytes),
+            Ok(snapshot.clone()),
+            "seed {seed}: snapshot round-trip diverged"
+        );
+        let mut cursor = &bytes[..];
+        assert_eq!(CtlSnapshot::try_decode(&mut cursor), Ok(snapshot));
+        assert!(cursor.is_empty(), "seed {seed}: snapshot decode left trailing bytes");
+    }
+}
+
+#[test]
+fn version_skew_is_rejected_with_both_versions_reported() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let mut bytes = random_command(&mut rng).encode_to_vec();
+        // Any version other than the current one must be rejected, whether
+        // older (0) or newer (≥ 2).
+        let skew = if rng.below(2) == 0 { 0 } else { (rng.next() as u32).max(2) };
+        bytes[..4].copy_from_slice(&skew.to_le_bytes());
+        assert_eq!(
+            CtlCommand::try_decode_from_slice(&bytes),
+            Err(CtlWireError::Version { got: skew, expected: CTL_WIRE_VERSION }),
+            "seed {seed}: version {skew} must be rejected"
+        );
+        let mut snapshot_bytes = random_snapshot(&mut rng).encode_to_vec();
+        snapshot_bytes[..4].copy_from_slice(&skew.to_le_bytes());
+        assert_eq!(
+            CtlSnapshot::try_decode_from_slice(&snapshot_bytes),
+            Err(CtlWireError::Version { got: skew, expected: CTL_WIRE_VERSION }),
+            "seed {seed}: snapshot version {skew} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn unknown_command_variants_are_rejected_not_guessed() {
+    for discriminant in 6..=u8::MAX {
+        let mut bytes = Vec::new();
+        CTL_WIRE_VERSION.encode(&mut bytes);
+        discriminant.encode(&mut bytes);
+        // Trailing garbage must not rescue an unknown variant.
+        bytes.extend_from_slice(&[0xAB; 16]);
+        assert_eq!(
+            CtlCommand::try_decode_from_slice(&bytes),
+            Err(CtlWireError::UnknownVariant(discriminant)),
+            "discriminant {discriminant} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_a_typed_error_not_a_panic() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed * 2 + 1);
+        let command_bytes = random_command(&mut rng).encode_to_vec();
+        for len in 0..command_bytes.len() {
+            let result = CtlCommand::try_decode_from_slice(&command_bytes[..len]);
+            assert!(
+                result.is_err(),
+                "seed {seed}: command truncated to {len}/{} bytes decoded as {result:?}",
+                command_bytes.len()
+            );
+        }
+        let snapshot_bytes = random_snapshot(&mut rng).encode_to_vec();
+        // Every prefix must fail closed (skip the full length, which is valid).
+        for len in (0..snapshot_bytes.len()).step_by(7) {
+            let result = CtlSnapshot::try_decode_from_slice(&snapshot_bytes[..len]);
+            assert!(
+                result.is_err(),
+                "seed {seed}: snapshot truncated to {len}/{} bytes decoded as {result:?}",
+                snapshot_bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_json_lines_are_single_line_and_carry_the_key_fields() {
+    let mut rng = Rng::new(7);
+    for _ in 0..32 {
+        let snapshot = random_snapshot(&mut rng);
+        let line = snapshot.to_json_line();
+        assert!(!line.contains('\n'), "a JSON line must be a single line: {line}");
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+        assert!(line.contains(&format!("\"seq\":{}", snapshot.seq)), "missing seq: {line}");
+        assert!(
+            line.contains(&format!("\"total_records\":{}", snapshot.total_records)),
+            "missing total_records: {line}"
+        );
+    }
+}

@@ -14,10 +14,63 @@
 //! above this seam: pushers and workers only ever call [`send_to`].
 
 use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use crate::codec::{Codec, Slab};
+
+/// Shared record of remote-peer health, written by a process's socket reader
+/// and writer threads and read by its workers through
+/// [`Allocator::peer_failure`].
+///
+/// A *fatal* report means a peer died in a way that strands this process —
+/// a connection broken mid-frame, or a frame routed to a worker this process
+/// does not host. The reader thread used to abort the whole process on these
+/// (it is the only thread that can observe them, and silently returning would
+/// leave the workers waiting forever on envelopes that never arrive);
+/// recording the failure here instead lets each worker raise an ordinary,
+/// catchable panic from its own step loop. Write errors on the outgoing side
+/// are counted but not fatal: a remote that finished its dataflows closes its
+/// socket while our last frames may still be in flight, and that benign race
+/// must not fail a completed computation.
+#[derive(Debug, Default)]
+pub struct PeerStatus {
+    fatal: AtomicBool,
+    reason: Mutex<Option<String>>,
+    write_errors: AtomicUsize,
+}
+
+impl PeerStatus {
+    /// Records a stranding failure. The first reason wins; later reports only
+    /// keep the flag set.
+    pub(crate) fn report_fatal(&self, reason: String) {
+        let mut slot = self.reason.lock().expect("peer status poisoned");
+        slot.get_or_insert(reason);
+        drop(slot);
+        self.fatal.store(true, Ordering::Release);
+    }
+
+    /// Counts a failed socket write (benign on its own; see the type docs).
+    pub(crate) fn report_write_error(&self) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The first stranding failure reported, if any. The fast path is one
+    /// relaxed load.
+    pub fn fatal(&self) -> Option<String> {
+        if !self.fatal.load(Ordering::Acquire) {
+            return None;
+        }
+        self.reason.lock().expect("peer status poisoned").clone()
+    }
+
+    /// How many outgoing socket writes have failed.
+    pub fn write_errors(&self) -> usize {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+}
 
 /// A message that can travel both in memory (downcast to its concrete type on
 /// the receiving worker) and over a socket (encoded into the wire format).
@@ -282,6 +335,9 @@ pub struct Allocator {
     peers: usize,
     senders: Vec<WorkerSender>,
     receiver: Receiver<Envelope>,
+    /// Remote-peer health, shared with this process's socket threads in
+    /// cluster mode; `None` for purely in-process fabrics.
+    peer_status: Option<Arc<PeerStatus>>,
 }
 
 impl Allocator {
@@ -294,7 +350,22 @@ impl Allocator {
         senders: Vec<WorkerSender>,
         receiver: Receiver<Envelope>,
     ) -> Self {
-        Allocator { index, peers, senders, receiver }
+        Allocator { index, peers, senders, receiver, peer_status: None }
+    }
+
+    /// Attaches the shared remote-peer health record (cluster bootstrap only).
+    pub(crate) fn with_peer_status(mut self, status: Arc<PeerStatus>) -> Self {
+        self.peer_status = Some(status);
+        self
+    }
+
+    /// The first stranding remote-peer failure the socket threads reported, if
+    /// any: a connection broken mid-frame or a misrouted frame. Once this
+    /// returns `Some`, envelopes from that peer will never arrive; the worker
+    /// surfaces it as a panic from its step loop. Costs one `Option` check (and
+    /// one relaxed load in cluster mode) — cheap enough for every step.
+    pub fn peer_failure(&self) -> Option<String> {
+        self.peer_status.as_ref()?.fatal()
     }
 
     /// This worker's index.

@@ -37,17 +37,23 @@
 //! Everything above this module — pushers, pacts, progress tracking, the
 //! worker — is unchanged: a remote peer is just a [`WorkerSender`] variant.
 
-use std::io::{IoSlice, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use super::allocator::{
-    decode_frame_parts, Allocator, Envelope, WireFrame, WorkerSender, FRAME_HEADER_BYTES,
-    FRAME_PREFIX_BYTES,
+    decode_frame_parts, Allocator, Envelope, PeerStatus, WireFrame, WorkerSender,
+    FRAME_HEADER_BYTES, FRAME_PREFIX_BYTES,
 };
 use crate::codec::Slab;
+
+/// Builds an [`io::Error`] with bootstrap context attached.
+fn bootstrap_error(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, message.into())
+}
 
 /// Handshake magic: "TIMELITE" interpreted as a little-endian u64.
 const HANDSHAKE_MAGIC: u64 = u64::from_le_bytes(*b"TIMELITE");
@@ -136,8 +142,10 @@ impl ClusterSpec {
 /// up, sends the handshake `[MAGIC u64][cluster id u64][my process u64]`, and
 /// awaits the acceptor's admission byte. A listener that rejects the
 /// handshake (a different cluster that happened to win our port in a
-/// bind-then-drop race) closes the connection, and the dial is retried.
-fn dial_peer(spec: &ClusterSpec, peer: usize) -> TcpStream {
+/// bind-then-drop race) closes the connection, and the dial is retried. A peer
+/// that stays unreachable past the bootstrap deadline is a clean startup
+/// error, not a panic.
+fn dial_peer(spec: &ClusterSpec, peer: usize) -> io::Result<TcpStream> {
     let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
     loop {
         if let Ok(mut stream) = TcpStream::connect(&spec.addresses[peer]) {
@@ -151,15 +159,16 @@ fn dial_peer(spec: &ClusterSpec, peer: usize) -> TcpStream {
                 && stream.read_exact(&mut ack).is_ok()
                 && ack[0] == HANDSHAKE_ACK
             {
-                stream.set_read_timeout(None).expect("failed to clear read timeout");
-                return stream;
+                stream.set_read_timeout(None)?;
+                return Ok(stream);
             }
         }
-        assert!(
-            Instant::now() < deadline,
-            "could not reach process {peer} of this cluster at {}",
-            spec.addresses[peer]
-        );
+        if Instant::now() >= deadline {
+            return Err(bootstrap_error(format!(
+                "could not reach process {peer} of this cluster at {}",
+                spec.addresses[peer]
+            )));
+        }
         std::thread::sleep(Duration::from_millis(10));
     }
 }
@@ -168,32 +177,40 @@ fn dial_peer(spec: &ClusterSpec, peer: usize) -> TcpStream {
 /// connection from every higher-indexed process — in whatever order they
 /// arrive, demultiplexed by the handshake's process index. Finishes with a
 /// barrier byte exchanged on every socket, so no process starts computing
-/// before all of its peers have their full mesh up.
-fn connect_mesh(spec: &ClusterSpec, listener: &TcpListener) -> Vec<Option<TcpStream>> {
+/// before all of its peers have their full mesh up. Every failure — accept
+/// errors, timeouts, broken barriers — surfaces as an [`io::Error`] so the
+/// caller can report a clean startup failure instead of panicking mid-thread.
+fn connect_mesh(spec: &ClusterSpec, listener: &TcpListener) -> io::Result<Vec<Option<TcpStream>>> {
     let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
     let mut streams: Vec<Option<TcpStream>> = (0..spec.processes()).map(|_| None).collect();
     for (peer, stream) in streams.iter_mut().enumerate().take(spec.process) {
-        *stream = Some(dial_peer(spec, peer));
+        *stream = Some(dial_peer(spec, peer)?);
     }
     // Accept with a deadline: a peer that died before connecting (or never
     // started) must fail the bootstrap loudly, not hang it forever.
-    listener.set_nonblocking(true).expect("failed to make listener non-blocking");
+    listener.set_nonblocking(true)?;
     let mut awaited = spec.processes() - spec.process - 1;
     while awaited > 0 {
         let (mut stream, _) = match listener.accept() {
             Ok(accepted) => accepted,
-            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
-                assert!(
-                    Instant::now() < deadline,
-                    "process {} timed out awaiting {awaited} peer connection(s)",
-                    spec.process
-                );
+            Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(bootstrap_error(format!(
+                        "process {} timed out awaiting {awaited} peer connection(s)",
+                        spec.process
+                    )));
+                }
                 std::thread::sleep(Duration::from_millis(5));
                 continue;
             }
-            Err(error) => panic!("listener accept failed: {error}"),
+            Err(error) => {
+                return Err(io::Error::new(
+                    error.kind(),
+                    format!("listener accept failed: {error}"),
+                ));
+            }
         };
-        stream.set_nonblocking(false).expect("failed to make stream blocking");
+        stream.set_nonblocking(false)?;
         let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
         let mut hello = [0u8; 24];
         if stream.read_exact(&mut hello).is_err() {
@@ -215,7 +232,7 @@ fn connect_mesh(spec: &ClusterSpec, listener: &TcpListener) -> Vec<Option<TcpStr
         if stream.write_all(&[HANDSHAKE_ACK]).is_err() {
             continue;
         }
-        stream.set_read_timeout(None).expect("failed to clear read timeout");
+        stream.set_read_timeout(None)?;
         // A redial from an already-admitted peer (its ack read timed out, so
         // it dropped the socket we stored and dialed again) replaces the dead
         // stream; it was already counted, so `awaited` only moves for new
@@ -227,20 +244,59 @@ fn connect_mesh(spec: &ClusterSpec, listener: &TcpListener) -> Vec<Option<TcpStr
     // Rendezvous barrier: write one byte on every socket, then await one from
     // every socket. All writes complete before any read, so the exchange
     // cannot deadlock, and nobody proceeds while a peer is still connecting.
-    for stream in streams.iter_mut().flatten() {
-        stream.set_nodelay(true).expect("failed to set TCP_NODELAY");
-        stream.write_all(&[0xB7]).expect("barrier write failed");
+    for (peer, stream) in streams.iter_mut().enumerate() {
+        let Some(stream) = stream else { continue };
+        stream.set_nodelay(true)?;
+        stream.write_all(&[0xB7]).map_err(|error| {
+            io::Error::new(error.kind(), format!("barrier write to process {peer} failed: {error}"))
+        })?;
     }
     // The barrier read waits for the slowest peer's mesh, but never longer
     // than the bootstrap deadline.
-    for stream in streams.iter_mut().flatten() {
+    for (peer, stream) in streams.iter_mut().enumerate() {
+        let Some(stream) = stream else { continue };
         let mut ack = [0u8; 1];
         let _ = stream.set_read_timeout(Some(BOOTSTRAP_TIMEOUT));
-        stream.read_exact(&mut ack).expect("barrier read failed");
-        assert_eq!(ack[0], 0xB7, "peer sent a malformed barrier byte");
-        stream.set_read_timeout(None).expect("failed to clear read timeout");
+        stream.read_exact(&mut ack).map_err(|error| {
+            io::Error::new(error.kind(), format!("barrier read from process {peer} failed: {error}"))
+        })?;
+        if ack[0] != 0xB7 {
+            return Err(bootstrap_error(format!("process {peer} sent a malformed barrier byte")));
+        }
+        stream.set_read_timeout(None)?;
     }
-    streams
+    Ok(streams)
+}
+
+// ---------------------------------------------------------------------------
+// Plain length-prefixed frames, shared with auxiliary endpoints.
+// ---------------------------------------------------------------------------
+
+/// Writes one `[len u64][payload]` frame — the same little-endian length
+/// prefix the worker mesh uses, without the routing header. Auxiliary
+/// endpoints (e.g. `megaphone`'s ctl surface) reuse this framing so every
+/// socket in the system speaks one byte convention.
+pub fn write_len_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Reads one `[len u64][payload]` frame written by [`write_len_frame`],
+/// rejecting frames longer than `max_len` (a corrupt or hostile length prefix
+/// must not trigger an unbounded allocation).
+pub fn read_len_frame<R: Read>(reader: &mut R, max_len: usize) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 8];
+    reader.read_exact(&mut prefix)?;
+    let len = u64::from_le_bytes(prefix) as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_len} byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
 }
 
 /// Most frames a writer gathers into a single vectored write. Two I/O slices
@@ -305,14 +361,20 @@ fn write_frames(stream: &mut TcpStream, frames: &[WireFrame]) -> std::io::Result
 /// vectored writes, gathering every frame already queued (up to
 /// [`WRITER_BATCH_FRAMES`]) into one syscall. Exits when every sender handle
 /// has been dropped.
-fn writer_loop(mut stream: TcpStream, frames: Receiver<WireFrame>) {
+/// A write error is *reported* (counted on the shared [`PeerStatus`]) but not
+/// fatal: a remote that finished its dataflows closes its socket while our
+/// final frames may still be queued, and that benign race must not fail a
+/// completed computation. A remote that died mid-computation is detected by
+/// the reader thread instead, which sees the truncated incoming stream.
+fn writer_loop(mut stream: TcpStream, frames: Receiver<WireFrame>, status: Arc<PeerStatus>) {
     let mut batch: Vec<WireFrame> = Vec::with_capacity(WRITER_BATCH_FRAMES);
     while let Ok(frame) = frames.recv() {
         batch.clear();
         batch.push(frame);
         batch.extend(frames.try_iter().take(WRITER_BATCH_FRAMES - 1));
         if write_frames(&mut stream, &batch).is_err() {
-            // The remote process is gone; its dataflows were complete.
+            // The remote process is gone; drain and drop remaining frames.
+            status.report_write_error();
             return;
         }
     }
@@ -335,16 +397,24 @@ const MAX_READ_REGION_BYTES: usize = 256 << 10;
 ///
 /// A broken connection *between* frames is a clean shutdown (the remote
 /// process finished and closed its socket). A failure *mid-frame* — a peer
-/// that died half-way through a write — is fatal to the whole process: this
-/// thread is the only one that can observe the peer's death, and merely
-/// panicking here would leave the worker threads spinning forever on
-/// envelopes that will never arrive. Aborting turns the hang into a loud,
-/// immediate failure.
-fn reader_loop(mut stream: TcpStream, first_worker: usize, mailboxes: Vec<Sender<Envelope>>) {
-    let fatal = |message: &str| -> ! {
-        eprintln!("cluster connection failed: {message}; aborting (workers would hang forever)");
-        std::process::abort();
-    };
+/// that died half-way through a write — strands this process: this thread is
+/// the only one that can observe the peer's death, and exiting silently would
+/// leave the worker threads waiting forever on envelopes that never arrive.
+/// The failure is recorded on the shared [`PeerStatus`]; each worker's step
+/// loop checks it and raises an ordinary, catchable panic (replacing the
+/// process-wide `abort()` this thread used to call).
+fn reader_loop(
+    mut stream: TcpStream,
+    first_worker: usize,
+    mailboxes: Vec<Sender<Envelope>>,
+    status: Arc<PeerStatus>,
+) {
+    macro_rules! fatal {
+        ($message:expr) => {{
+            status.report_fatal(format!("cluster connection failed: {}", $message));
+            return;
+        }};
+    }
     let mut region = Slab::empty();
     let mut pos = 0usize;
     // Next region size: doubled when a refill fills the whole region (the
@@ -357,7 +427,7 @@ fn reader_loop(mut stream: TcpStream, first_worker: usize, mailboxes: Vec<Sender
             let len =
                 u64::from_le_bytes(region[pos..pos + 8].try_into().expect("8 bytes")) as usize;
             if len < FRAME_HEADER_BYTES {
-                fatal("frame shorter than its header");
+                fatal!("frame shorter than its header");
             }
             if region.len() - pos < 8 + len {
                 break; // Frame continues in the next region.
@@ -371,7 +441,7 @@ fn reader_loop(mut stream: TcpStream, first_worker: usize, mailboxes: Vec<Sender
             let Some(local) =
                 to.checked_sub(first_worker).filter(|local| mailboxes.len() > *local)
             else {
-                fatal("frame routed to a worker this process does not host");
+                fatal!("frame routed to a worker this process does not host");
             };
             // A send failure means the local worker already completed its
             // dataflows; the message is irrelevant, exactly as for local sends.
@@ -395,7 +465,7 @@ fn reader_loop(mut stream: TcpStream, first_worker: usize, mailboxes: Vec<Sender
                 Ok(0) | Err(_) if filled == 0 => {
                     return; // EOF at a frame boundary: clean remote shutdown.
                 }
-                Ok(0) | Err(_) => fatal("peer died mid-frame (truncated frame)"),
+                Ok(0) | Err(_) => fatal!("peer died mid-frame (truncated frame)"),
                 Ok(read) => filled += read,
             }
         }
@@ -442,20 +512,29 @@ impl ClusterGuard {
 /// [`ClusterGuard`] to flush before the process exits. The allocators carry
 /// *global* worker indices: worker `w` of process `p` is global worker
 /// `p * workers_per_process + w` of `processes * workers_per_process` peers.
-pub fn cluster_allocate(spec: &ClusterSpec) -> (Vec<Allocator>, ClusterGuard) {
+///
+/// A failed bootstrap — an address that cannot be bound, a peer that never
+/// answers, a broken handshake or barrier — returns an [`io::Error`] naming
+/// the step that failed, so callers can surface a clean startup error.
+pub fn cluster_allocate(spec: &ClusterSpec) -> io::Result<(Vec<Allocator>, ClusterGuard)> {
     spec.validate();
     if spec.processes() == 1 {
-        return (super::allocator::allocate(spec.workers_per_process), ClusterGuard::default());
+        return Ok((super::allocator::allocate(spec.workers_per_process), ClusterGuard::default()));
     }
 
-    let listener =
-        TcpListener::bind(&spec.addresses[spec.process]).unwrap_or_else(|error| {
-            panic!("process {} could not bind {}: {error}", spec.process, spec.addresses[spec.process])
-        });
+    let listener = TcpListener::bind(&spec.addresses[spec.process]).map_err(|error| {
+        io::Error::new(
+            error.kind(),
+            format!(
+                "process {} could not bind {}: {error}",
+                spec.process, spec.addresses[spec.process]
+            ),
+        )
+    })?;
 
     // Rendezvous: exactly one socket per unordered process pair (lower index
     // accepts, higher index dials), finished by a barrier on every socket.
-    let streams = connect_mesh(spec, &listener);
+    let streams = connect_mesh(spec, &listener)?;
 
     // Local mailboxes, one per local worker.
     let mut mailbox_txs = Vec::with_capacity(spec.workers_per_process);
@@ -466,8 +545,11 @@ pub fn cluster_allocate(spec: &ClusterSpec) -> (Vec<Allocator>, ClusterGuard) {
         mailbox_rxs.push(rx);
     }
 
-    // One writer and one reader thread per remote process. The writer handles
-    // are joined by the ClusterGuard so no process exits with frames queued.
+    // One writer and one reader thread per remote process, sharing one
+    // peer-health record that the workers' allocators watch. The writer
+    // handles are joined by the ClusterGuard so no process exits with frames
+    // queued.
+    let status = Arc::new(PeerStatus::default());
     let mut writer_txs: Vec<Option<Sender<WireFrame>>> =
         (0..spec.processes()).map(|_| None).collect();
     let mut writers = Vec::new();
@@ -475,19 +557,24 @@ pub fn cluster_allocate(spec: &ClusterSpec) -> (Vec<Allocator>, ClusterGuard) {
         let Some(stream) = stream else { continue };
         let (frame_tx, frame_rx) = unbounded::<WireFrame>();
         writer_txs[peer] = Some(frame_tx);
-        let write_stream = stream.try_clone().expect("failed to clone stream");
+        let write_stream = stream.try_clone().map_err(|error| {
+            io::Error::new(
+                error.kind(),
+                format!("could not clone the socket to process {peer}: {error}"),
+            )
+        })?;
+        let writer_status = Arc::clone(&status);
         writers.push(
             std::thread::Builder::new()
                 .name(format!("timelite-net-writer-{}-{}", spec.process, peer))
-                .spawn(move || writer_loop(write_stream, frame_rx))
-                .expect("failed to spawn writer thread"),
+                .spawn(move || writer_loop(write_stream, frame_rx, writer_status))?,
         );
         let mailboxes = mailbox_txs.clone();
         let first_worker = spec.first_worker();
+        let reader_status = Arc::clone(&status);
         std::thread::Builder::new()
             .name(format!("timelite-net-reader-{}-{}", spec.process, peer))
-            .spawn(move || reader_loop(stream, first_worker, mailboxes))
-            .expect("failed to spawn reader thread");
+            .spawn(move || reader_loop(stream, first_worker, mailboxes, reader_status))?;
     }
 
     // The global sender table every local worker shares: in-memory channels to
@@ -514,9 +601,10 @@ pub fn cluster_allocate(spec: &ClusterSpec) -> (Vec<Allocator>, ClusterGuard) {
         .enumerate()
         .map(|(local, receiver)| {
             Allocator::from_parts(first + local, total, senders.clone(), receiver)
+                .with_peer_status(Arc::clone(&status))
         })
         .collect();
-    (allocators, ClusterGuard { writers })
+    Ok((allocators, ClusterGuard { writers }))
 }
 
 #[cfg(test)]
@@ -548,13 +636,106 @@ mod tests {
     }
 
     #[test]
+    fn bootstrap_surfaces_bind_conflict_as_error() {
+        // Hold the port this process is supposed to listen on: the bootstrap
+        // must return a clean error naming the address, not panic.
+        let holder = TcpListener::bind("127.0.0.1:0").expect("bind failed");
+        let held = holder.local_addr().expect("local addr").to_string();
+        let spec = ClusterSpec {
+            process: 0,
+            workers_per_process: 1,
+            addresses: vec![held.clone(), "127.0.0.1:1".to_string()],
+        };
+        let error = match cluster_allocate(&spec) {
+            Err(error) => error,
+            Ok(_) => panic!("bind conflict must fail the bootstrap"),
+        };
+        assert!(error.to_string().contains(&held), "error should name the address: {error}");
+    }
+
+    #[test]
+    fn mid_frame_peer_death_reports_failure_instead_of_aborting() {
+        let addresses = free_addresses(2);
+        let spec =
+            ClusterSpec { process: 0, workers_per_process: 1, addresses: addresses.clone() };
+        let cluster_id = spec.cluster_id();
+        let bootstrap = {
+            let spec = spec.clone();
+            std::thread::spawn(move || cluster_allocate(&spec).expect("bootstrap failed"))
+        };
+        // Impersonate process 1: complete the handshake and barrier by hand,
+        // then die half-way through a frame.
+        let mut stream = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if let Ok(stream) = TcpStream::connect(&addresses[0]) {
+                    break stream;
+                }
+                assert!(Instant::now() < deadline, "process 0 never listened");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+        let mut hello = Vec::new();
+        hello.extend_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
+        hello.extend_from_slice(&cluster_id.to_le_bytes());
+        hello.extend_from_slice(&1u64.to_le_bytes());
+        stream.write_all(&hello).expect("hello");
+        let mut ack = [0u8; 1];
+        stream.read_exact(&mut ack).expect("ack");
+        assert_eq!(ack[0], HANDSHAKE_ACK);
+        stream.write_all(&[0xB7]).expect("barrier out");
+        stream.read_exact(&mut ack).expect("barrier in");
+        assert_eq!(ack[0], 0xB7);
+        let (allocs, _guard) = bootstrap.join().expect("bootstrap thread panicked");
+        // Promise a 100-byte frame, deliver 10 bytes, die.
+        stream.write_all(&100u64.to_le_bytes()).expect("len prefix");
+        stream.write_all(&[0u8; 10]).expect("partial frame");
+        drop(stream);
+        // The reader thread must record the stranding failure (not abort the
+        // process), and a worker step must surface it as a catchable panic.
+        let alloc = allocs.into_iter().next().expect("one allocator");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while alloc.peer_failure().is_none() {
+            assert!(Instant::now() < deadline, "peer failure never reported");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let reason = alloc.peer_failure().expect("failure recorded");
+        assert!(reason.contains("mid-frame"), "unexpected reason: {reason}");
+        let panic = std::panic::catch_unwind(move || {
+            let mut worker = crate::worker::Worker::new(alloc);
+            worker.step();
+        })
+        .expect_err("stepping after a stranding disconnect must panic");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_default());
+        assert!(message.contains("mid-frame"), "unexpected panic message: {message}");
+    }
+
+    #[test]
+    fn len_frames_roundtrip_and_reject_oversize() {
+        let mut buffer = Vec::new();
+        write_len_frame(&mut buffer, b"hello").expect("write");
+        write_len_frame(&mut buffer, b"").expect("write");
+        let mut cursor = std::io::Cursor::new(buffer);
+        assert_eq!(read_len_frame(&mut cursor, 1024).expect("read"), b"hello");
+        assert_eq!(read_len_frame(&mut cursor, 1024).expect("read"), b"");
+        let mut buffer = Vec::new();
+        write_len_frame(&mut buffer, &[0u8; 64]).expect("write");
+        let mut cursor = std::io::Cursor::new(buffer);
+        let error = read_len_frame(&mut cursor, 16).expect_err("oversize frame must be rejected");
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn cluster_of_one_process_falls_back_to_local() {
         let spec = ClusterSpec {
             process: 0,
             workers_per_process: 2,
             addresses: vec!["unused".to_string()],
         };
-        let (allocs, guard) = cluster_allocate(&spec);
+        let (allocs, guard) = cluster_allocate(&spec).expect("bootstrap failed");
         assert_eq!(allocs.len(), 2);
         assert_eq!(allocs[0].peers(), 2);
         guard.flush();
@@ -563,7 +744,7 @@ mod tests {
     #[test]
     fn bootstrap_connects_two_processes_and_indices_are_global() {
         let indices = with_cluster(2, 2, |spec| {
-            let (allocs, guard) = cluster_allocate(&spec);
+            let (allocs, guard) = cluster_allocate(&spec).expect("bootstrap failed");
             let indices =
                 allocs.iter().map(|alloc| (alloc.index(), alloc.peers())).collect::<Vec<_>>();
             drop(allocs);
@@ -577,7 +758,7 @@ mod tests {
     #[test]
     fn envelopes_cross_the_socket_and_decode() {
         let received = with_cluster(2, 1, |spec| {
-            let (allocs, _guard) = cluster_allocate(&spec);
+            let (allocs, _guard) = cluster_allocate(&spec).expect("bootstrap failed");
             let alloc = &allocs[0];
             let other = 1 - spec.process;
             // Every process sends one data envelope to the other's worker.
@@ -617,7 +798,7 @@ mod tests {
     #[test]
     fn per_connection_frame_order_is_preserved() {
         let received = with_cluster(2, 1, |spec| {
-            let (allocs, _guard) = cluster_allocate(&spec);
+            let (allocs, _guard) = cluster_allocate(&spec).expect("bootstrap failed");
             let alloc = &allocs[0];
             let other = 1 - spec.process;
             for i in 0..100usize {

@@ -71,12 +71,12 @@ impl Config {
         }
     }
 
-    fn allocators(&self) -> (Vec<Allocator>, ClusterGuard) {
+    fn allocators(&self) -> std::io::Result<(Vec<Allocator>, ClusterGuard)> {
         match self {
-            Config::Thread => (allocate(1), ClusterGuard::default()),
+            Config::Thread => Ok((allocate(1), ClusterGuard::default())),
             Config::Process(workers) => {
                 assert!(*workers > 0, "at least one worker is required");
-                (allocate(*workers), ClusterGuard::default())
+                Ok((allocate(*workers), ClusterGuard::default()))
             }
             Config::Cluster { process, workers_per_process, addresses } => {
                 cluster_allocate(&ClusterSpec {
@@ -109,8 +109,21 @@ where
     F: Fn(&mut Worker) -> R + Send + Sync + 'static,
     R: Send + 'static,
 {
+    try_execute(config, func)
+        .unwrap_or_else(|error| panic!("cluster bootstrap failed: {error}"))
+}
+
+/// Like [`execute`], but surfaces a failed cluster bootstrap — an address that
+/// cannot be bound, a peer that never connects, a broken handshake — as a
+/// clean [`std::io::Error`] instead of panicking, so embedding applications
+/// can report startup failures without unwinding.
+pub fn try_execute<F, R>(config: Config, func: F) -> std::io::Result<Vec<R>>
+where
+    F: Fn(&mut Worker) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
     let func = Arc::new(func);
-    let (allocators, guard) = config.allocators();
+    let (allocators, guard) = config.allocators()?;
     let handles: Vec<_> = allocators
         .into_iter()
         .map(|alloc| {
@@ -126,15 +139,18 @@ where
                 .expect("failed to spawn worker thread")
         })
         .collect();
-    let results = handles
+    // A worker panic (an application bug, or the step loop surfacing a
+    // stranding peer disconnect) is re-raised with its original payload so
+    // the message survives the thread boundary.
+    let results: Vec<R> = handles
         .into_iter()
-        .map(|handle| handle.join().expect("worker thread panicked"))
+        .map(|handle| handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
         .collect();
     // Cluster mode: block until the socket writers have flushed every frame
     // the workers queued (their final progress updates included) — a process
     // exiting mid-flush would leave its peers' trackers waiting forever.
     guard.flush();
-    results
+    Ok(results)
 }
 
 /// Executes `func` on a single worker thread (useful for examples and tests).

@@ -69,11 +69,11 @@ pub mod worker;
 
 pub use crate::codec::Codec;
 pub use crate::dataflow::{Capability, InputHandle, InputPort, OperatorBuilder, OutputPort, ProbeHandle, Scope, Stream};
-pub use crate::execute::{execute, execute_single, Config};
+pub use crate::execute::{execute, execute_single, try_execute, Config};
 pub use crate::order::{PartialOrder, Product, Timestamp, TotalOrder};
 pub use crate::progress::{Antichain, ChangeBatch, MutableAntichain};
 pub use crate::schedule::Activator;
-pub use crate::worker::Worker;
+pub use crate::worker::{DataflowSummary, Worker};
 
 /// Types that may be transported on dataflow streams.
 ///
@@ -90,11 +90,11 @@ pub mod prelude {
     pub use crate::dataflow::{
         Capability, InputHandle, InputPort, OperatorBuilder, OutputPort, ProbeHandle, Scope, Stream,
     };
-    pub use crate::execute::{execute, execute_single, Config};
+    pub use crate::execute::{execute, execute_single, try_execute, Config};
     pub use crate::hashing::hash_code;
     pub use crate::order::{PartialOrder, Timestamp, TotalOrder};
     pub use crate::progress::{Antichain, MutableAntichain};
     pub use crate::schedule::Activator;
-    pub use crate::worker::Worker;
+    pub use crate::worker::{DataflowSummary, Worker};
     pub use crate::Data;
 }

@@ -81,6 +81,11 @@ impl ActivationSet {
         self.fifo.is_empty()
     }
 
+    /// The number of nodes currently queued.
+    pub fn queued_len(&self) -> usize {
+        self.fifo.len()
+    }
+
     /// Moves every queued node into `into` (clearing the set), preserving
     /// activation order. The caller owns ordering policy from here — the
     /// worker sorts by topological rank before running.

@@ -18,6 +18,20 @@ current="${2:?usage: bench-compare.sh previous.csv current.csv [max-factor]}"
 factor="${3:-2.0}"
 groups="${BENCH_COMPARE_GROUPS:-routing_lookup,key_to_bin,bin_encode,exchange_throughput,exchange_throughput_tcp,saturation,skew_reaction,bin_migrate_large_durable,multi_tenant_steady}"
 
+# A first run of the gate (or a wiped bench cache) has no previous CSV. That
+# is a missing baseline, not a pass and not a regression: say so explicitly
+# and skip the comparison, instead of tripping over the absent file or
+# silently succeeding on an empty one.
+if [[ ! -f "$previous" ]]; then
+    echo "no baseline: previous CSV $previous is missing; skipping comparison"
+    exit 0
+fi
+previous_rows="$(tail -n +2 "$previous" | awk 'NF { rows += 1 } END { print rows + 0 }')"
+if [[ "$previous_rows" -eq 0 ]]; then
+    echo "no baseline: previous CSV $previous has no data rows; skipping comparison"
+    exit 0
+fi
+
 awk -F, -v factor="$factor" -v groups="$groups" '
     BEGIN {
         split(groups, tracked_list, ",")

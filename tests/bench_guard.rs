@@ -181,6 +181,34 @@ fn multi_tenant_steady_is_in_the_tracked_set() {
 }
 
 #[test]
+fn missing_previous_csv_is_a_logged_skip_not_a_silent_pass() {
+    // First run of the gate: no previous CSV exists at all. The script must
+    // say "no baseline" and skip cleanly instead of erroring on the absent
+    // file (or pretending a comparison happened).
+    let dir = temp_dir("missing-prev");
+    let previous = dir.join("does-not-exist.csv");
+    let current = write_csv(&dir, "curr.csv", &[("key_to_bin/12", 10.0)]);
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(ok, "a missing baseline must skip, not fail, got:\n{text}");
+    assert!(text.contains("no baseline"), "the skip must be logged explicitly:\n{text}");
+    assert!(text.contains("missing"), "the log must name the cause:\n{text}");
+    assert!(!text.contains("ok key_to_bin"), "nothing must be 'compared' without a baseline:\n{text}");
+}
+
+#[test]
+fn header_only_previous_csv_is_a_logged_skip_not_a_silent_pass() {
+    // A previous CSV that exists but carries no data rows (e.g. a truncated
+    // artifact) is equally baseline-less: log and skip, don't silently pass.
+    let dir = temp_dir("empty-prev");
+    let previous = write_csv(&dir, "prev.csv", &[]);
+    let current = write_csv(&dir, "curr.csv", &[("key_to_bin/12", 10.0)]);
+    let (ok, text) = run_compare(&previous, &current);
+    assert!(ok, "an empty baseline must skip, not fail, got:\n{text}");
+    assert!(text.contains("no baseline"), "the skip must be logged explicitly:\n{text}");
+    assert!(text.contains("no data rows"), "the log must name the cause:\n{text}");
+}
+
+#[test]
 fn new_benchmark_without_baseline_passes() {
     let dir = temp_dir("new");
     let previous = write_csv(&dir, "prev.csv", &[("key_to_bin/12", 10.0)]);

@@ -32,6 +32,7 @@ fn base_params() -> Params {
         threshold: 1.2,
         min_records: 500,
         paced: false,
+        ctl: None,
     }
 }
 

@@ -1,0 +1,108 @@
+//! End-to-end test of the live control surface: a `CtlClient` attaches to a
+//! running Q5 pipeline over TCP, tails the snapshot stream, and commands a
+//! migration mid-run — and the driven run's output stays byte-identical (via
+//! the order-independent digest) to an undriven oracle run over the same
+//! input, because Megaphone migrations never change *what* is computed, only
+//! *where*.
+
+use std::time::Duration;
+
+use megaphone::prelude::MigrationStrategy;
+use megaphone::{CtlClient, CtlCommand};
+use mp_bench::skew_run::{run, Params};
+
+/// A paced (wall-clock) uniform-load Q5 run: long enough for a client to
+/// attach and interact, with the closed-loop controller present but inert
+/// (uniform load never crosses the huge threshold), so the only migration
+/// that can happen is the one the client commands.
+fn base_params(ctl: Option<&'static str>) -> Params {
+    Params {
+        query: "q5",
+        workers: 2,
+        bin_shift: 5,
+        rate: 20_000,
+        runtime_ms: 5_000,
+        epoch_ms: 50,
+        zipf_hundredths: 0,
+        zipf_pool: 64,
+        skew_at_ms: 1_000,
+        rotate_every_ms: 0,
+        ooo_lag_ms: 0,
+        burst: (0, 0, 1),
+        strategy: MigrationStrategy::Batched(8),
+        sample_every_ms: 250,
+        warmup_ms: 250,
+        threshold: 1e9,
+        min_records: 500,
+        paced: true,
+        ctl,
+    }
+}
+
+#[test]
+fn ctl_client_drives_a_migration_without_changing_the_output() {
+    // A fresh loopback port for the driver's control endpoint; leaked because
+    // `Params::ctl` is a `&'static str` (driver flags live for the process).
+    let addr: &'static str =
+        Box::leak(mp_harness::free_addresses(1).remove(0).into_boxed_str());
+
+    let driven = std::thread::spawn(move || run(base_params(Some(addr))));
+
+    let mut client =
+        CtlClient::connect_retry(addr, Duration::from_secs(10)).expect("connect to the driver");
+    client.set_recv_timeout(Some(Duration::from_secs(15))).expect("set a receive timeout");
+
+    // Tail the stream: at least two periodic snapshots must arrive, carrying
+    // a sane view of the run (two workers, a full assignment, no migration).
+    let first = client.recv_snapshot().expect("first snapshot");
+    let second = client.recv_snapshot().expect("second snapshot");
+    assert!(second.seq > first.seq, "snapshot sequence must advance");
+    assert_eq!(second.workers.len(), 2, "one load entry per worker");
+    assert_eq!(second.assignment.len(), 32, "bin_shift 5 means 32 assigned bins");
+    assert_eq!(second.migration.started, 0, "the inert controller must not have migrated");
+    assert_eq!(second.workload, "uniform");
+
+    // Command a migration: the first worker-0 bin moves to worker 1.
+    let bin = second
+        .assignment
+        .iter()
+        .position(|&worker| worker == 0)
+        .expect("some bin lives on worker 0") as u64;
+    client.send(&CtlCommand::Migrate { bin, worker: 1 }).expect("send the migrate command");
+
+    // Keep tailing until the stream ends with the run; the migration must
+    // show up as started, and the settled final snapshot (published after the
+    // drain phase) must show the bin on its new worker.
+    let mut last = second;
+    while let Ok(snapshot) = client.recv_snapshot() {
+        assert!(snapshot.seq > last.seq);
+        last = snapshot;
+    }
+    assert_eq!(last.migration.started, 1, "the commanded migration must have started");
+    assert_eq!(last.migration.completed, 1, "the commanded migration must have completed");
+    assert!(!last.migration.in_flight, "the run must end settled");
+    assert_eq!(
+        last.assignment[bin as usize], 1,
+        "the final snapshot must show bin {bin} on worker 1"
+    );
+
+    let driven = driven.join().expect("driven run must not panic");
+    assert!(driven.snapshots_published >= 2, "got {} snapshots", driven.snapshots_published);
+    assert_eq!(driven.migrations_started, 1);
+    assert_eq!(driven.migrations_completed, 1);
+    assert_eq!(driven.final_assignment[bin as usize], 1, "the run state agrees with the wire");
+    assert!(driven.output_rows > 0, "Q5 must produce rows at this scale");
+
+    // The oracle: the identical run with no control endpoint and no commands.
+    let oracle = run(base_params(None));
+    assert_eq!(oracle.migrations_started, 0, "the oracle must be undriven");
+    assert_eq!(oracle.snapshots_published, 0);
+    assert_eq!(
+        driven.output_rows, oracle.output_rows,
+        "the commanded migration must not change how many rows Q5 emits"
+    );
+    assert_eq!(
+        driven.output_digest, oracle.output_digest,
+        "the commanded migration must not change Q5's output (order-independent digest)"
+    );
+}

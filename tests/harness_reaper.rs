@@ -1,0 +1,75 @@
+//! The harness cleans up after itself when the *parent* fails: a panic inside
+//! the parent's share of a [`mp_harness::cluster_run`] computation must not
+//! leak the forked child processes (real OS processes that would otherwise
+//! park for minutes) or their scratch files. The drop-guard inside the
+//! harness SIGKILLs and reaps the recorded children on unwind; this test
+//! panics on purpose and then checks `/proc` for survivors.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Where each cluster process records its OS pid. Parent and forked children
+/// re-enter this test with different pids, so the path is derived from the
+/// test name alone.
+fn pid_dir() -> PathBuf {
+    std::env::temp_dir().join("mp-reaper-leak-pids")
+}
+
+#[test]
+fn parent_panic_reaps_cluster_children() {
+    let dir = pid_dir();
+    // Forked children re-enter this test body from the top; only the parent
+    // (no cluster role in the environment) resets the pid directory.
+    if std::env::var("MP_CLUSTER_PROCESS").is_err() {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("failed to create the pid directory");
+    }
+
+    let handle = std::thread::spawn(|| {
+        mp_harness::cluster_run("parent_panic_reaps_cluster_children", 2, 1, move |worker| {
+            let dir = pid_dir();
+            std::fs::write(dir.join(std::process::id().to_string()), b"alive")
+                .expect("failed to record this process's pid");
+            if worker.index() == 0 {
+                // Parent-side worker: wait until the child has recorded its
+                // pid (so the outer assertions have something to check), then
+                // blow up mid-computation.
+                let deadline = Instant::now() + Duration::from_secs(30);
+                while std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0) < 2 {
+                    assert!(Instant::now() < deadline, "cluster child never recorded its pid");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                panic!("deliberate parent-side worker panic");
+            }
+            // Child-side worker: park until the parent's reaper kills this
+            // process. Bounded, so a broken reaper turns into a loud child
+            // that the liveness check below still observes.
+            for _ in 0..300 {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            0u64
+        })
+    });
+    assert!(
+        handle.join().is_err(),
+        "the worker panic must propagate out of cluster_run to the caller"
+    );
+
+    // The reaper killed *and reaped* the children before the unwind left
+    // cluster_run, so their /proc entries must already be gone.
+    let own = std::process::id().to_string();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("pid directory must be readable") {
+        let pid = entry.expect("pid entry").file_name().into_string().expect("utf-8 pid");
+        if pid == own {
+            continue;
+        }
+        checked += 1;
+        assert!(
+            !PathBuf::from(format!("/proc/{pid}")).exists(),
+            "cluster child {pid} outlived the parent panic — the reaper leaked it"
+        );
+    }
+    assert_eq!(checked, 1, "expected exactly one forked child to have recorded its pid");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -355,6 +355,53 @@ fn readme_documents_scheduling() {
 }
 
 #[test]
+fn readme_documents_the_control_surface() {
+    // The control-surface section must describe the handshake, the command
+    // set, the snapshot stream and the CLI, and the types it names must
+    // actually exist in the sources.
+    let readme = read("README.md");
+    assert!(
+        readme.contains("## Control surface"),
+        "README must keep the Control surface section"
+    );
+    for needle in [
+        "--ctl",
+        "megaphone-ctl",
+        "ctl listening on",
+        "MEGACTL1",
+        "CTL_WIRE_VERSION",
+        "CtlCommand",
+        "CtlSnapshot",
+        "CtlWireError",
+        "migrate <bin> <worker>",
+        "rebalance",
+        "set-workload",
+        "pause-controller",
+        "tests/ctl_wire.rs",
+        "tests/ctl_e2e.rs",
+        "ctl-smoke",
+        "scripts/ctl-smoke.sh",
+    ] {
+        assert!(readme.contains(needle), "Control surface section lost `{needle}`");
+    }
+    let ctl = read("crates/megaphone/src/ctl.rs");
+    assert!(
+        ctl.contains("pub struct CtlServer") && ctl.contains("pub struct CtlClient"),
+        "the ctl endpoint types vanished from megaphone::ctl — update this test and README"
+    );
+    let control = read("crates/megaphone/src/control.rs");
+    assert!(
+        control.contains("pub enum CtlCommand") && control.contains("pub struct CtlSnapshot"),
+        "the ctl wire types vanished from megaphone::control — update this test and README"
+    );
+    let main = read("crates/ctl/src/main.rs");
+    assert!(
+        main.contains("tail") && main.contains("migrate"),
+        "megaphone-ctl lost its core subcommands — update this test and README"
+    );
+}
+
+#[test]
 fn readme_criterion_bench_list_matches_the_sources() {
     let readme = read("README.md");
     let benches = std::fs::read_dir(repo_root().join("crates/bench/benches"))

@@ -171,7 +171,9 @@ fn run_one<F: FnMut(&mut Bencher)>(target: Duration, label: &str, routine: &mut 
         }
         if bencher.elapsed >= target / 8 {
             // Close enough to extrapolate: one final measured batch.
-            let per_iter = bencher.elapsed.as_nanos().max(1) / iterations as u128;
+            // Sub-ns/iter routines round down to 0 here; clamp after the
+            // division so the extrapolation below never divides by zero.
+            let per_iter = (bencher.elapsed.as_nanos() / iterations as u128).max(1);
             iterations = (target.as_nanos() / per_iter).clamp(1, 1 << 24) as u64;
             let mut last = Bencher { iterations, elapsed: Duration::ZERO };
             routine(&mut last);
